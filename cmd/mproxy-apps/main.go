@@ -1,0 +1,144 @@
+// Command mproxy-apps reproduces the paper's application evaluation:
+// Table 5 (the suite and its inputs), Figure 8 (self-relative speedups of
+// the ten applications on 1-16 processors under all six design points,
+// normalized to T(1) on HW1), and Table 6 (message sizes, rates and
+// interface utilization on 16 processors).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"mproxy/internal/apps"
+	"mproxy/internal/apps/registry"
+	"mproxy/internal/arch"
+	"mproxy/internal/workload"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "print Table 5 (applications and inputs)")
+		csv    = flag.Bool("csv", false, "emit Figure 8 as CSV")
+		table6 = flag.Bool("table6", false, "print Table 6 (message statistics at 16 procs)")
+		scale  = flag.String("scale", "small", "problem scale: test, small, full")
+		appsCS = flag.String("apps", "", "comma-separated applications (default: all)")
+		archCS = flag.String("archs", "HW0,HW1,MP0,MP1,MP2,SW1", "design points for Figure 8")
+		procs  = flag.String("procs", "1,2,4,8,16", "processor counts")
+	)
+	flag.Parse()
+
+	sc := map[string]registry.Scale{"test": registry.Test, "small": registry.Small, "full": registry.Full}[*scale]
+	if sc == registry.Full {
+		workload.HeapBytes = 128 << 20
+	}
+	specs := pickApps(*appsCS)
+
+	if *list {
+		fmt.Println("Table 5: applications and input parameters")
+		fmt.Printf("  %-12s %-10s %s\n", "Program", "Model", "Input ("+sc.String()+" scale)")
+		for _, s := range specs {
+			fmt.Printf("  %-12s %-10s %s\n", s.Name, s.Model, s.Inputs[sc])
+		}
+		return
+	}
+	if *table6 {
+		printTable6(specs, sc)
+		return
+	}
+	printFigure8(specs, sc, parseArchs(*archCS), parseInts(*procs), *csv)
+}
+
+func pickApps(cs string) []registry.Spec {
+	if cs == "" {
+		return registry.All()
+	}
+	var out []registry.Spec
+	for _, name := range strings.Split(cs, ",") {
+		s, err := registry.ByName(strings.TrimSpace(name))
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func parseArchs(cs string) []arch.Params {
+	var out []arch.Params
+	for _, name := range strings.Split(cs, ",") {
+		a, ok := arch.ByName(strings.TrimSpace(name))
+		if !ok {
+			panic("unknown architecture " + name)
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+func parseInts(cs string) []int {
+	var out []int
+	for _, s := range strings.Split(cs, ",") {
+		var v int
+		fmt.Sscanf(strings.TrimSpace(s), "%d", &v)
+		out = append(out, v)
+	}
+	return out
+}
+
+func printFigure8(specs []registry.Spec, sc registry.Scale, archs []arch.Params, procs []int, csv bool) {
+	if csv {
+		fmt.Println("app,arch,procs,time_ms,speedup")
+	} else {
+		fmt.Println("Figure 8: application speedups relative to T(1) on HW1")
+	}
+	for _, spec := range specs {
+		spec := spec
+		factory := func() apps.App { return spec.New(sc) }
+		curves, err := workload.Speedups(factory, archs, procs, "HW1")
+		if err != nil {
+			fmt.Printf("%s: ERROR: %v\n", spec.Name, err)
+			continue
+		}
+		if csv {
+			for _, c := range curves {
+				for i, p := range c.Procs {
+					fmt.Printf("%s,%s,%d,%.4f,%.4f\n", c.App, c.Arch, p, c.Times[i].Millis(), c.Speedup[i])
+				}
+			}
+			continue
+		}
+		fmt.Printf("\n%s (%s, %s)\n", spec.Name, spec.Model, spec.Inputs[sc])
+		fmt.Printf("  %-6s", "procs")
+		for _, c := range curves {
+			fmt.Printf(" %8s", c.Arch)
+		}
+		fmt.Println()
+		for pi, p := range procs {
+			fmt.Printf("  %-6d", p)
+			for _, c := range curves {
+				fmt.Printf(" %8.2f", c.Speedup[pi])
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func printTable6(specs []registry.Spec, sc registry.Scale) {
+	const nprocs = 16
+	fmt.Printf("Table 6: message sizes, rates and interface utilization on %d processors\n", nprocs)
+	fmt.Printf("  %-12s %-5s %10s %10s %10s %10s\n",
+		"Program", "Arch", "AvgSize B", "Rate op/ms", "AgentUtil", "CPUStolen")
+	for _, spec := range specs {
+		for _, aname := range []string{"HW1", "MP1", "SW1"} {
+			a, _ := arch.ByName(aname)
+			res, err := workload.Run(spec.New(sc), a, nprocs, 1)
+			if err != nil {
+				fmt.Printf("  %-12s %-5s ERROR: %v\n", spec.Name, aname, err)
+				continue
+			}
+			fmt.Printf("  %-12s %-5s %10.0f %10.2f %9.1f%% %9.1f%%\n",
+				spec.Name, aname, res.AvgMsgSize, res.MsgRate, 100*res.AgentUtil, 100*res.CPUStolen)
+		}
+	}
+}

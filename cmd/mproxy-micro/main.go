@@ -1,0 +1,184 @@
+// Command mproxy-micro reproduces the paper's micro-benchmark evaluation:
+// Table 3 (design-point parameters), Table 4 (latencies, overheads and peak
+// bandwidth for all six architectures) and Figure 7 (ping-pong latency and
+// bandwidth versus message size for PUTs and active-message bulk stores).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"mproxy/internal/arch"
+	"mproxy/internal/micro"
+)
+
+var published = map[string][5]float64{
+	"HW0": {10.0, 9.5, 1.0, 28.2, 25.0},
+	"HW1": {10.6, 9.6, 1.5, 30.2, 150},
+	"MP0": {30.0, 28.0, 3.5, 63.5, 22.3},
+	"MP1": {26.6, 24.7, 3.0, 58.0, 86.7},
+	"MP2": {16.9, 16.4, 0.75, 41.1, 86.7},
+	"SW1": {36.1, 34.1, 15.0, 107.8, 86.7},
+}
+
+func main() {
+	var (
+		params = flag.Bool("params", false, "print Table 3 design-point parameters")
+		sweep  = flag.Bool("sweep", false, "print Figure 7 ping-pong sweeps")
+		csv    = flag.Bool("csv", false, "emit the sweep as CSV (with -sweep)")
+		archs  = flag.String("archs", "", "comma-separated design points (default: all)")
+	)
+	flag.Parse()
+
+	selected := arch.All
+	if *archs != "" {
+		selected = nil
+		for _, name := range strings.Split(*archs, ",") {
+			a, ok := arch.ByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Printf("unknown architecture %q\n", name)
+				return
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	if *params {
+		printTable3(selected)
+		return
+	}
+	if *sweep {
+		if *csv {
+			printFigure7CSV(selected)
+		} else {
+			printFigure7(selected)
+		}
+		return
+	}
+	printTable4(selected)
+}
+
+func printTable3(archs []arch.Params) {
+	fmt.Println("Table 3: simulation parameters for the design points")
+	fmt.Printf("%-34s", "Parameter")
+	for _, a := range archs {
+		fmt.Printf(" %8s", a.Name)
+	}
+	fmt.Println()
+	row := func(name string, f func(a arch.Params) string) {
+		fmt.Printf("%-34s", name)
+		for _, a := range archs {
+			fmt.Printf(" %8s", f(a))
+		}
+		fmt.Println()
+	}
+	row("Cache Miss Latency (us)", func(a arch.Params) string { return fmt.Sprintf("%.2f", a.CacheMiss.Micros()) })
+	row("Agent-Proc Miss Latency (us)", func(a arch.Params) string { return fmt.Sprintf("%.2f", a.AgentMiss.Micros()) })
+	row("Agent Speed (x75 MHz)", func(a arch.Params) string { return fmt.Sprintf("%.0f", a.Speed) })
+	row("Polling Delay P (us)", func(a arch.Params) string {
+		if a.Kind != arch.Proxy {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.2f", a.PollDelay().Micros())
+	})
+	row("Adapter Overhead (us)", func(a arch.Params) string {
+		if a.Kind != arch.CustomHW {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.2f", a.AdapterOvh.Micros())
+	})
+	row("Syscall / Interrupt (us)", func(a arch.Params) string {
+		if a.Kind != arch.Syscall {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.1f/%.1f", a.SyscallOvh.Micros(), a.InterruptOvh.Micros())
+	})
+	row("DMA Bandwidth (MB/s)", func(a arch.Params) string { return fmt.Sprintf("%.0f", a.DMABW) })
+	row("Network Latency (us)", func(a arch.Params) string { return fmt.Sprintf("%.2f", a.NetLatency.Micros()) })
+	row("Network Bandwidth (MB/s)", func(a arch.Params) string { return fmt.Sprintf("%.0f", a.NetBW) })
+	row("Page Pinning (us/page)", func(a arch.Params) string {
+		if a.Prepinned {
+			return "pre-pin"
+		}
+		return fmt.Sprintf("%.0f", a.PinPerPage.Micros())
+	})
+}
+
+func printTable4(archs []arch.Params) {
+	fmt.Println("Table 4: micro-benchmark measurements (simulated / published)")
+	fmt.Printf("%-16s", "Measurement")
+	for _, a := range archs {
+		fmt.Printf(" %15s", a.Name)
+	}
+	fmt.Println()
+	rows := make([]micro.Table4Row, len(archs))
+	for i, a := range archs {
+		rows[i] = micro.Table4(a)
+	}
+	print := func(name string, idx int, get func(micro.Table4Row) float64) {
+		fmt.Printf("%-16s", name)
+		for i := range rows {
+			pub := published[rows[i].Arch][idx]
+			fmt.Printf(" %7.1f/%-7.1f", get(rows[i]), pub)
+		}
+		fmt.Println()
+	}
+	print("PUT latency us", 0, func(r micro.Table4Row) float64 { return r.PutLatency })
+	print("GET latency us", 1, func(r micro.Table4Row) float64 { return r.GetLatency })
+	print("PUT+sync ovh us", 2, func(r micro.Table4Row) float64 { return r.PutSyncOvh })
+	print("AM latency us", 3, func(r micro.Table4Row) float64 { return r.AMLatency })
+	print("Peak BW MB/s", 4, func(r micro.Table4Row) float64 { return r.PeakBW })
+}
+
+func printFigure7CSV(archs []arch.Params) {
+	sizes := []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536}
+	fmt.Println("benchmark,arch,bytes,latency_us,bandwidth_mbs")
+	for _, a := range archs {
+		for _, pt := range micro.PingPongPut(a, sizes) {
+			fmt.Printf("put,%s,%d,%.3f,%.3f\n", a.Name, pt.Bytes, pt.Latency, pt.BW)
+		}
+		for _, pt := range micro.PingPongStore(a, sizes) {
+			fmt.Printf("amstore,%s,%d,%.3f,%.3f\n", a.Name, pt.Bytes, pt.Latency, pt.BW)
+		}
+	}
+}
+
+func printFigure7(archs []arch.Params) {
+	sizes := []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536}
+	fmt.Println("Figure 7: PUT ping-pong one-way latency (us) and stream bandwidth (MB/s)")
+	fmt.Printf("%8s", "bytes")
+	for _, a := range archs {
+		fmt.Printf(" %9s-lat %9s-bw", a.Name, a.Name)
+	}
+	fmt.Println()
+	curves := make([][]micro.Point, len(archs))
+	for i, a := range archs {
+		curves[i] = micro.PingPongPut(a, sizes)
+	}
+	for si, n := range sizes {
+		fmt.Printf("%8d", n)
+		for i := range archs {
+			fmt.Printf(" %13.1f %12.1f", curves[i][si].Latency, curves[i][si].BW)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("Figure 7: AM bulk-store ping-pong one-way latency (us) and bandwidth (MB/s)")
+	fmt.Printf("%8s", "bytes")
+	for _, a := range archs {
+		fmt.Printf(" %9s-lat %9s-bw", a.Name, a.Name)
+	}
+	fmt.Println()
+	for i, a := range archs {
+		curves[i] = micro.PingPongStore(a, sizes)
+		_ = a
+	}
+	for si, n := range sizes {
+		fmt.Printf("%8d", n)
+		for i := range archs {
+			fmt.Printf(" %13.1f %12.1f", curves[i][si].Latency, curves[i][si].BW)
+		}
+		fmt.Println()
+	}
+}

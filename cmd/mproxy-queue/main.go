@@ -1,0 +1,99 @@
+// Command mproxy-queue reproduces the Section 5.4 contention analysis:
+// given measured per-processor message rates and proxy utilizations (as in
+// Table 6), how many compute processors can one message proxy support
+// before queueing delay destabilizes it — the paper's "utilization below
+// 50%" rule — and when is it better to use the extra SMP processor for a
+// proxy rather than for computation ("to compute or to communicate").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"strings"
+
+	"mproxy/internal/apps"
+	"mproxy/internal/apps/registry"
+	"mproxy/internal/arch"
+	"mproxy/internal/queueing"
+	"mproxy/internal/workload"
+)
+
+func main() {
+	var (
+		scale  = flag.String("scale", "small", "problem scale: test, small, full")
+		appsCS = flag.String("apps", "LU,Barnes-Hut,Water,Sample,Wator,P-Ray,Moldy", "applications")
+		ppn    = flag.Int("ppn", 4, "compute processors per node for the compute-vs-communicate rule")
+	)
+	flag.Parse()
+	sc := map[string]registry.Scale{"test": registry.Test, "small": registry.Small, "full": registry.Full}[*scale]
+	if sc == registry.Full {
+		workload.HeapBytes = 128 << 20
+	}
+
+	mp1 := mustArch("MP1")
+	sw1 := mustArch("SW1")
+
+	fmt.Println("Section 5.4: message proxy contention analysis")
+	fmt.Println("  (per-processor load measured under MP1 with 16 uniprocessor nodes,")
+	fmt.Println("   so each proxy serves exactly one compute processor)")
+	fmt.Printf("  %-12s %10s %10s %9s %9s %10s %12s\n",
+		"Program", "rate op/ms", "util @1", "util @2", "util @4", "supported", "wait @2 (us)")
+	for _, name := range strings.Split(*appsCS, ",") {
+		spec, err := registry.ByName(strings.TrimSpace(name))
+		if err != nil {
+			panic(err)
+		}
+		res, err := workload.Run(spec.New(sc), mp1, 16, 1)
+		if err != nil {
+			fmt.Printf("  %-12s ERROR: %v\n", spec.Name, err)
+			continue
+		}
+		p := queueing.FromMeasurement(res.MsgRate, res.AgentUtil, 1)
+		w := func(n int) string {
+			v := p.WaitUs(n)
+			if math.IsInf(v, 1) {
+				return "unstable"
+			}
+			return fmt.Sprintf("%.2f", v)
+		}
+		fmt.Printf("  %-12s %10.2f %9.1f%% %8.1f%% %8.1f%% %10d %12s\n",
+			spec.Name, res.MsgRate, 100*p.Utilization(1), 100*p.Utilization(2),
+			100*p.Utilization(4), p.Supported(), w(2))
+	}
+
+	fmt.Println()
+	fmt.Printf("To compute or to communicate (P = %d processors per SMP node):\n", *ppn)
+	fmt.Printf("  a message proxy pays off when it beats system calls by more than "+
+		"P/(P-1) = %.3f\n", float64(*ppn)/float64(*ppn-1))
+	fmt.Printf("  %-12s %12s %12s %8s %s\n", "Program", "MP2 time ms", "SW1 time ms", "ratio", "verdict")
+	mp2 := mustArch("MP2")
+	for _, name := range strings.Split(*appsCS, ",") {
+		spec, err := registry.ByName(strings.TrimSpace(name))
+		if err != nil {
+			panic(err)
+		}
+		resMP, err1 := workload.Run(spec.New(sc), mp2, 4, *ppn)
+		resSW, err2 := workload.Run(spec.New(sc), sw1, 4, *ppn)
+		if err1 != nil || err2 != nil {
+			fmt.Printf("  %-12s ERROR: %v %v\n", spec.Name, err1, err2)
+			continue
+		}
+		ratio := float64(resSW.Time) / float64(resMP.Time)
+		verdict := "use SW (keep the processor)"
+		if queueing.UseProxyOverSyscalls(float64(resMP.Time), float64(resSW.Time), *ppn+1) {
+			verdict = "use the message proxy"
+		}
+		fmt.Printf("  %-12s %12.2f %12.2f %8.2f %s\n",
+			spec.Name, resMP.Time.Millis(), resSW.Time.Millis(), ratio, verdict)
+	}
+	_ = apps.App(nil)
+}
+
+func mustArch(name string) arch.Params {
+	a, ok := arch.ByName(name)
+	if !ok {
+		panic(name)
+	}
+	return a
+}

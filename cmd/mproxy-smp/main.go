@@ -1,0 +1,104 @@
+// Command mproxy-smp reproduces Figure 9 of the paper: the applications
+// with significant communication workloads (LU, Barnes-Hut, Water, Sample,
+// Wator) on a configuration of 4 SMP nodes with 4 compute processors each,
+// where all processors on a node share one communication interface. This
+// is the proxy-contention experiment: the HW1-MP1 gap widens, intra-node
+// communication relieves the proxy, and the cache-update primitive (MP2)
+// keeps four compute processors per proxy viable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"mproxy/internal/apps"
+	"mproxy/internal/apps/registry"
+	"mproxy/internal/arch"
+	"mproxy/internal/comm"
+	"mproxy/internal/machine"
+	"mproxy/internal/workload"
+)
+
+func main() {
+	var (
+		nodes   = flag.Int("nodes", 4, "SMP nodes")
+		ppn     = flag.Int("ppn", 4, "compute processors per node")
+		proxies = flag.Int("proxies", 1, "message proxies per node (MP design points)")
+		scale   = flag.String("scale", "small", "problem scale: test, small, full")
+		appsCS  = flag.String("apps", "LU,Barnes-Hut,Water,Sample,Wator", "applications")
+		archCS  = flag.String("archs", "HW1,MP1,MP2,SW1", "design points")
+	)
+	flag.Parse()
+	sc := map[string]registry.Scale{"test": registry.Test, "small": registry.Small, "full": registry.Full}[*scale]
+	if sc == registry.Full {
+		workload.HeapBytes = 128 << 20
+	}
+
+	var archs []arch.Params
+	for _, name := range strings.Split(*archCS, ",") {
+		a, ok := arch.ByName(strings.TrimSpace(name))
+		if !ok {
+			panic("unknown architecture " + name)
+		}
+		archs = append(archs, a)
+	}
+
+	fmt.Printf("Figure 9: speedups on %d SMP nodes x %d compute processors, "+
+		"%d proxies/node (relative to T(1) on HW1)\n", *nodes, *ppn, *proxies)
+	fmt.Printf("  %-12s", "Program")
+	for _, a := range archs {
+		fmt.Printf(" %8s", a.Name)
+	}
+	fmt.Printf(" %12s %12s %16s\n", "MP1 util", "intra share", "MP1 op lat us")
+
+	for _, name := range strings.Split(*appsCS, ",") {
+		spec, err := registry.ByName(strings.TrimSpace(name))
+		if err != nil {
+			panic(err)
+		}
+		factory := func() apps.App { return spec.New(sc) }
+		ref, err := workload.Run(factory(), mustArch("HW1"), 1, 1)
+		if err != nil {
+			fmt.Printf("  %-12s ERROR: %v\n", spec.Name, err)
+			continue
+		}
+		fmt.Printf("  %-12s", spec.Name)
+		var mp1Util, intraShare, mp1PutUs float64
+		for _, a := range archs {
+			res, err := workload.RunConfig(factory(), a,
+				machine.Config{Nodes: *nodes, ProcsPerNode: *ppn, ProxiesPerNode: *proxies})
+			if err != nil {
+				fmt.Printf(" ERROR:%v", err)
+				continue
+			}
+			fmt.Printf(" %8.2f", float64(ref.Time)/float64(res.Time))
+			if a.Name == "MP1" {
+				mp1Util = res.AgentUtil
+				if tot := float64(res.Msgs + res.IntraOps); tot > 0 {
+					intraShare = float64(res.IntraOps) / tot
+				}
+				// Report the dominant operation's mean one-way latency.
+				var best comm.LatencyStat
+				for _, st := range res.Latency {
+					if st.Count > best.Count {
+						best = st
+					}
+				}
+				mp1PutUs = best.MeanUs
+			}
+		}
+		// The last column shows the dominant operation's mean one-way
+		// delivery latency under load: the contention the proxy's queueing
+		// adds over the ~12 us quiescent one-way time.
+		fmt.Printf(" %11.1f%% %11.1f%% %15.1f\n", 100*mp1Util, 100*intraShare, mp1PutUs)
+	}
+}
+
+func mustArch(name string) arch.Params {
+	a, ok := arch.ByName(name)
+	if !ok {
+		panic(name)
+	}
+	return a
+}

@@ -1,0 +1,67 @@
+// DSM counter: shared mutable state through CRL regions — the programming
+// model of the paper's LU, Barnes-Hut and Water. Four ranks cooperatively
+// increment shared counters under StartWrite/EndWrite sections; the
+// coherence protocol (fetch, invalidate, recall) keeps every copy
+// consistent without any locks in the application.
+package main
+
+import (
+	"fmt"
+
+	"mproxy"
+)
+
+const (
+	ranks    = 4
+	counters = 8
+	incs     = 100 // per rank
+)
+
+func main() {
+	for _, archName := range []string{"MP1", "MP2"} {
+		sys := mproxy.New(mproxy.Config{Nodes: ranks, ProcsPerNode: 1, Arch: archName})
+		regionIDs := make([]mproxy.RegionID, counters)
+		for c := 0; c < counters; c++ {
+			regionIDs[c] = sys.NewRegion(c%ranks, 8)
+		}
+
+		elapsed, err := sys.Run(func(p *mproxy.Proc) {
+			regs := make([]*mproxy.Region, counters)
+			for c := 0; c < counters; c++ {
+				regs[c] = p.Map(regionIDs[c])
+			}
+			for i := 0; i < incs; i++ {
+				c := (i + p.Rank()) % counters
+				rg := regs[c]
+				rg.StartWrite()
+				v := rg.I64(0, 1)
+				v.Set(0, v.Get(0)+1)
+				rg.EndWrite()
+				p.Compute(mproxy.Time(2000)) // 2us of work between increments
+			}
+			// All increments done everywhere; verify each counter.
+			p.Barrier()
+			for c, rg := range regs {
+				rg.StartRead()
+				got := rg.I64(0, 1).Get(0)
+				rg.EndRead()
+				want := int64(0)
+				for r := 0; r < ranks; r++ {
+					for i := 0; i < incs; i++ {
+						if (i+r)%counters == c {
+							want++
+						}
+					}
+				}
+				if got != want {
+					panic(fmt.Sprintf("rank %d counter %d = %d, want %d", p.Rank(), c, got, want))
+				}
+			}
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %d ranks x %d increments over %d shared counters: consistent in %v\n",
+			archName, ranks, incs, counters, elapsed)
+	}
+}

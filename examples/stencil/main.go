@@ -1,0 +1,88 @@
+// Stencil: a 1-D Jacobi iteration with halo exchange over PUTs — the
+// canonical RMA communication pattern. Each rank owns a strip of the
+// domain and pushes its boundary cells into its neighbors' halo slots
+// every iteration, synchronizing with rsync arrival counters. The example
+// prints per-architecture execution times, showing how the proxy's latency
+// is hidden when the computation is large enough to overlap.
+package main
+
+import (
+	"fmt"
+
+	"mproxy"
+	"mproxy/internal/memory"
+)
+
+const (
+	cells = 4096 // per rank
+	iters = 50
+	ranks = 4
+)
+
+func main() {
+	for _, archName := range []string{"HW1", "MP1", "MP2", "SW1"} {
+		sys := mproxy.New(mproxy.Config{Nodes: ranks, ProcsPerNode: 1, Arch: archName})
+
+		// Each rank's strip: [halo_left | cells | halo_right].
+		strips := make([]*mproxy.Segment, ranks)
+		arrive := make([]mproxy.FlagRef, ranks)
+		for r := 0; r < ranks; r++ {
+			strips[r] = sys.NewSegment(r, (cells+2)*8)
+			strips[r].GrantAll(ranks)
+			arrive[r] = sys.NewFlag(r)
+		}
+		// Deterministic initial condition: a hot spot on rank 0.
+		memory.Float64s(strips[0], 8, cells).Set(10, 1000)
+
+		elapsed, err := sys.Run(func(p *mproxy.Proc) {
+			r := p.Rank()
+			ep := p.Endpoint()
+			left, right := r-1, r+1
+			v := memory.Float64s(strips[r], 0, cells+2)
+
+			for it := 0; it < iters; it++ {
+				// Push boundary cells into the neighbors' halos.
+				sent := 0
+				if left >= 0 {
+					_ = ep.Put(strips[r].Addr(8), strips[left].Addr((cells+1)*8), 8,
+						mproxy.FlagRef{}, arrive[left])
+					sent++
+				}
+				if right < ranks {
+					_ = ep.Put(strips[r].Addr(cells*8), strips[right].Addr(0), 8,
+						mproxy.FlagRef{}, arrive[right])
+					sent++
+				}
+				// Wait for this iteration's halos (count arrivals).
+				expected := 0
+				if left >= 0 {
+					expected++
+				}
+				if right < ranks {
+					expected++
+				}
+				ep.WaitFlag(arrive[r], int64((it+1)*expected))
+
+				// Jacobi sweep (real arithmetic, charged to the CPU).
+				vals := v.Load()
+				out := make([]float64, len(vals))
+				for i := 1; i <= cells; i++ {
+					out[i] = 0.25*vals[i-1] + 0.5*vals[i] + 0.25*vals[i+1]
+				}
+				copy(vals[1:cells+1], out[1:cells+1])
+				v.Store(vals)
+				p.Compute(mproxy.Time(cells * 4 * 25)) // 4 flops/cell at 25ns
+
+				// Neighbors must not overwrite halos we haven't read.
+				p.Barrier()
+			}
+		})
+		if err != nil {
+			panic(err)
+		}
+		// The hot spot has diffused; sample the wavefront on rank 0.
+		probe := memory.Float64s(strips[0], 8, cells).Get(30)
+		fmt.Printf("%s: %d ranks x %d iterations in %v (probe=%.4f)\n",
+			archName, ranks, iters, elapsed, probe)
+	}
+}

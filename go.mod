@@ -1,0 +1,3 @@
+module mproxy
+
+go 1.22

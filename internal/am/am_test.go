@@ -1,0 +1,232 @@
+package am
+
+import (
+	"testing"
+
+	"mproxy/internal/arch"
+	"mproxy/internal/comm"
+	"mproxy/internal/machine"
+	"mproxy/internal/sim"
+)
+
+// build creates an n-rank cluster (one processor per node) with an AM layer.
+func build(n int, a arch.Params) (*sim.Engine, *comm.Fabric, *Layer) {
+	eng := sim.NewEngine()
+	cl := machine.New(eng, machine.Config{Nodes: n, ProcsPerNode: 1}, a)
+	f := comm.New(cl)
+	return eng, f, New(f)
+}
+
+func spawn(eng *sim.Engine, f *comm.Fabric, l *Layer, rank int, body func(p *Port)) {
+	eng.Spawn("rank", func(sp *sim.Proc) {
+		f.Endpoint(rank).Bind(sp)
+		body(l.Port(rank))
+	})
+}
+
+func TestRequestReply(t *testing.T) {
+	for _, a := range arch.All {
+		t.Run(a.Name, func(t *testing.T) {
+			eng, f, l := build(2, a)
+			var gotArgs []int64
+			replied := false
+			var hEcho, hDone int
+			hDone = l.Register(func(p *Port, src int, args []int64, _ []byte) {
+				replied = true
+			})
+			hEcho = l.Register(func(p *Port, src int, args []int64, _ []byte) {
+				gotArgs = append([]int64(nil), args...)
+				p.Reply(src, hDone, args[0]*2)
+			})
+			spawn(eng, f, l, 0, func(p *Port) {
+				p.Request(1, hEcho, 21, 7)
+				p.WaitUntil(func() bool { return replied })
+			})
+			spawn(eng, f, l, 1, func(p *Port) {
+				p.WaitUntil(func() bool { return len(gotArgs) > 0 })
+			})
+			if err := eng.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if len(gotArgs) != 2 || gotArgs[0] != 21 || gotArgs[1] != 7 {
+				t.Fatalf("args = %v", gotArgs)
+			}
+			if !replied {
+				t.Fatal("no reply")
+			}
+		})
+	}
+}
+
+func TestSelfSendDeliveredThroughQueue(t *testing.T) {
+	eng, f, l := build(2, arch.MP1)
+	count := 0
+	h := l.Register(func(p *Port, src int, args []int64, _ []byte) {
+		if src != 0 {
+			t.Errorf("src = %d", src)
+		}
+		count++
+	})
+	spawn(eng, f, l, 0, func(p *Port) {
+		p.Request(0, h, 1)
+		p.Request(0, h, 2)
+		if n := p.PollAll(); n != 2 {
+			t.Errorf("PollAll = %d", n)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("count = %d", count)
+	}
+	if f.Stats().TotalOps() != 0 {
+		t.Fatal("self-send generated network traffic")
+	}
+}
+
+func TestPayloadDelivery(t *testing.T) {
+	eng, f, l := build(2, arch.HW1)
+	var got []byte
+	h := l.Register(func(p *Port, src int, args []int64, payload []byte) {
+		got = append([]byte(nil), payload...)
+	})
+	spawn(eng, f, l, 0, func(p *Port) {
+		p.Send(1, h, []int64{int64(3)}, []byte("key-batch-data"))
+	})
+	spawn(eng, f, l, 1, func(p *Port) {
+		p.WaitUntil(func() bool { return got != nil })
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "key-batch-data" {
+		t.Fatalf("payload = %q", got)
+	}
+}
+
+func TestStoreDataVisibleBeforeHandler(t *testing.T) {
+	// am_store: the completion handler must observe the deposited data,
+	// on every architecture (this exercises the FIFO deposit guarantee).
+	for _, a := range arch.All {
+		t.Run(a.Name, func(t *testing.T) {
+			for _, n := range []int{64, 3 * 4096} { // PIO and DMA paths
+				eng, f, l := build(2, a)
+				reg := f.Registry()
+				src := reg.NewSegment(0, n)
+				dst := reg.NewSegment(1, n)
+				dst.Grant(0)
+				for i := range src.Data {
+					src.Data[i] = byte(i%251 + 1)
+				}
+				ok := false
+				h := l.Register(func(p *Port, s int, args []int64, _ []byte) {
+					ok = true
+					for i := range dst.Data {
+						if dst.Data[i] != byte(i%251+1) {
+							t.Errorf("n=%d: handler ran before byte %d deposited", n, i)
+							return
+						}
+					}
+				})
+				spawn(eng, f, l, 0, func(p *Port) {
+					p.Store(1, src.Addr(0), dst.Addr(0), n, h, int64(n))
+				})
+				spawn(eng, f, l, 1, func(p *Port) {
+					p.WaitUntil(func() bool { return ok })
+				})
+				if err := eng.Run(); err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					t.Fatalf("n=%d: handler never ran", n)
+				}
+			}
+		})
+	}
+}
+
+func TestPollNonBlocking(t *testing.T) {
+	eng, f, l := build(2, arch.MP2)
+	hits := 0
+	h := l.Register(func(p *Port, src int, args []int64, _ []byte) { hits++ })
+	spawn(eng, f, l, 0, func(p *Port) {
+		if p.Poll() {
+			t.Error("poll on empty queue returned true")
+		}
+		p.Request(1, h)
+		p.Request(1, h)
+		p.Request(1, h)
+	})
+	spawn(eng, f, l, 1, func(p *Port) {
+		p.Endpoint().Compute(sim.Micros(200)) // let messages accumulate
+		if n := p.PollAll(); n != 3 {
+			t.Errorf("PollAll = %d", n)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 3 {
+		t.Fatalf("hits = %d", hits)
+	}
+	if l.Port(1).Delivered() != 3 {
+		t.Fatalf("delivered = %d", l.Port(1).Delivered())
+	}
+}
+
+func TestUnknownHandlerPanics(t *testing.T) {
+	eng, f, l := build(2, arch.MP1)
+	spawn(eng, f, l, 0, func(p *Port) {
+		p.Request(1, 99)
+	})
+	if err := eng.Run(); err == nil {
+		t.Fatal("expected failure for unknown handler")
+	}
+}
+
+func TestF2IRoundTrip(t *testing.T) {
+	for _, x := range []float64{0, 1.5, -3.25e10, 1e-300} {
+		if I2F(F2I(x)) != x {
+			t.Fatalf("round trip failed for %v", x)
+		}
+	}
+}
+
+func TestManyToOneRequests(t *testing.T) {
+	// Four ranks bombard rank 0; all messages must arrive exactly once.
+	const n = 4
+	eng, f, l := build(n, arch.MP1)
+	got := map[int64]int{}
+	h := l.Register(func(p *Port, src int, args []int64, _ []byte) {
+		got[args[0]]++
+	})
+	for r := 1; r < n; r++ {
+		r := r
+		spawn(eng, f, l, r, func(p *Port) {
+			for i := 0; i < 10; i++ {
+				p.Request(0, h, int64(r*100+i))
+			}
+		})
+	}
+	spawn(eng, f, l, 0, func(p *Port) {
+		seen := 0
+		p.WaitUntil(func() bool {
+			seen = 0
+			for _, c := range got {
+				seen += c
+			}
+			return seen == 30
+		})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < n; r++ {
+		for i := 0; i < 10; i++ {
+			if got[int64(r*100+i)] != 1 {
+				t.Fatalf("message %d delivered %d times", r*100+i, got[int64(r*100+i)])
+			}
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package apps_test
+
+import (
+	"testing"
+
+	"mproxy/internal/apps"
+	"mproxy/internal/arch"
+	"mproxy/internal/machine"
+	"mproxy/internal/sim"
+)
+
+// runApp executes an app on n single-processor nodes and returns the
+// measured time.
+func runApp(t *testing.T, app apps.App, n int, a arch.Params) sim.Time {
+	t.Helper()
+	env := apps.NewEnv(machine.Config{Nodes: n, ProcsPerNode: 1}, a, 1<<22)
+	d, err := apps.Run(env, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatalf("%s: measured time %v", app.Name(), d)
+	}
+	return d
+}

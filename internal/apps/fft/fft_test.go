@@ -1,0 +1,45 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestFFTInPlaceMatchesDFT(t *testing.T) {
+	const n = 64
+	a := make([]complex128, n)
+	for i := range a {
+		a[i] = input(i)
+	}
+	fftInPlace(a)
+	for _, k := range []int{0, 1, 5, n / 2, n - 1} {
+		var want complex128
+		for tt := 0; tt < n; tt++ {
+			want += input(tt) * cmplx.Rect(1, -2*math.Pi*float64(tt*k)/float64(n))
+		}
+		if cmplx.Abs(a[k]-want) > 1e-9*(1+cmplx.Abs(want)) {
+			t.Fatalf("X[%d] = %v, want %v", k, a[k], want)
+		}
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	a := make([]complex128, 16)
+	a[0] = 1
+	fftInPlace(a)
+	for k, x := range a {
+		if cmplx.Abs(x-1) > 1e-12 {
+			t.Fatalf("X[%d] = %v", k, x)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	for n, want := range map[int]int{1: 0, 2: 1, 8: 3, 1024: 10} {
+		if log2(n) != want {
+			t.Fatalf("log2(%d) = %d", n, log2(n))
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package apps_test
+
+import (
+	"testing"
+
+	"mproxy/internal/apps"
+	"mproxy/internal/apps/registry"
+	"mproxy/internal/arch"
+	"mproxy/internal/machine"
+)
+
+// TestEveryAppOnEveryArchitecture is the suite-wide integration sweep: all
+// ten applications run, verify against their serial references, and report
+// plausible times on all six design points (Test scale, 4 processors).
+func TestEveryAppOnEveryArchitecture(t *testing.T) {
+	for _, spec := range registry.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			var times []float64
+			for _, a := range arch.All {
+				env := apps.NewEnv(machine.Config{Nodes: 4, ProcsPerNode: 1}, a, 1<<22)
+				d, err := apps.Run(env, spec.New(registry.Test))
+				if err != nil {
+					t.Fatalf("%s: %v", a.Name, err)
+				}
+				if d <= 0 {
+					t.Fatalf("%s: no measured time", a.Name)
+				}
+				times = append(times, d.Millis())
+			}
+			// HW1 (index 1) should never lose to MP0 or SW1 (indexes 2, 5).
+			if times[1] > times[2]*1.001 || times[1] > times[5]*1.001 {
+				t.Errorf("HW1 lost: times = %v (HW0 HW1 MP0 MP1 MP2 SW1)", times)
+			}
+		})
+	}
+}
+
+// TestEveryAppOnSMPNodes runs the suite in the Figure 9 topology (2 nodes
+// x 2 processors), exercising the intra-node fast path and agent sharing
+// for all programming models.
+func TestEveryAppOnSMPNodes(t *testing.T) {
+	for _, spec := range registry.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			env := apps.NewEnv(machine.Config{Nodes: 2, ProcsPerNode: 2}, arch.MP1, 1<<22)
+			if _, err := apps.Run(env, spec.New(registry.Test)); err != nil {
+				t.Fatal(err)
+			}
+			if env.Fab.Stats().Intra == 0 {
+				t.Error("no intra-node communication recorded on SMP nodes")
+			}
+		})
+	}
+}
+
+// TestEveryAppOddProcessorCounts guards against power-of-two assumptions.
+func TestEveryAppOddProcessorCounts(t *testing.T) {
+	for _, spec := range registry.All() {
+		if spec.Name == "FFT" {
+			continue // FFT legitimately requires rows divisible by P
+		}
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			env := apps.NewEnv(machine.Config{Nodes: 3, ProcsPerNode: 1}, arch.MP2, 1<<22)
+			if _, err := apps.Run(env, spec.New(registry.Test)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

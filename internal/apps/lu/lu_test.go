@@ -1,0 +1,67 @@
+package lu
+
+import (
+	"math"
+	"testing"
+)
+
+// multiplyBlocked reconstructs A from the in-place LU factors (unit-lower
+// L, upper U) stored block-major and compares to the original.
+func TestSerialLUReconstructsMatrix(t *testing.T) {
+	const n, b = 24, 8
+	nb := n / b
+	fac := serialLU(n, b)
+	// Expand block-major factors into a dense matrix.
+	lu := make([]float64, n*n)
+	for bi := 0; bi < nb; bi++ {
+		for bj := 0; bj < nb; bj++ {
+			blk := fac[(bi*nb+bj)*b*b : (bi*nb+bj+1)*b*b]
+			for x := 0; x < b; x++ {
+				for y := 0; y < b; y++ {
+					lu[(bi*b+x)*n+bj*b+y] = blk[x*b+y]
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			// (L*U)[i][j] with L unit-lower, U upper.
+			s := 0.0
+			for k := 0; k <= i && k <= j; k++ {
+				l := lu[i*n+k]
+				if k == i {
+					l = 1
+				}
+				if k > j {
+					continue
+				}
+				s += l * lu[k*n+j]
+			}
+			want := aElem(i, j, n)
+			if math.Abs(s-want) > 1e-9*math.Max(1, math.Abs(want)) {
+				t.Fatalf("LU[%d][%d] = %.12g, want %.12g", i, j, s, want)
+			}
+		}
+	}
+}
+
+func TestFactorDiagDoolittle(t *testing.T) {
+	// 2x2 by hand: [[4,2],[6,9]] -> L21=1.5, U=[[4,2],[0,6]].
+	d := []float64{4, 2, 6, 9}
+	factorDiag(d, 2)
+	want := []float64{4, 2, 1.5, 6}
+	for i := range want {
+		if math.Abs(d[i]-want[i]) > 1e-12 {
+			t.Fatalf("factor = %v, want %v", d, want)
+		}
+	}
+}
+
+func TestNewRejectsBadBlocking(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(100, 7)
+}

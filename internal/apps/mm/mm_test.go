@@ -1,0 +1,25 @@
+package mm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestElementGeneratorsBounded(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 50; j++ {
+			if math.Abs(aElem(i, j)) > 1 || math.Abs(bElem(i, j)) > 1 {
+				t.Fatalf("element out of range at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestNewRejectsBadBlocking(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(100, 8)
+}

@@ -1,0 +1,50 @@
+package pray
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSceneHasEightObjects(t *testing.T) {
+	if len(scene()) != 8 {
+		t.Fatalf("objects = %d", len(scene()))
+	}
+}
+
+func TestTracePixelBackgroundAndHit(t *testing.T) {
+	objs := scene()
+	// A corner ray misses everything: background value.
+	bg := tracePixel(objs, 100, 100, 0, 0)
+	if bg != 0.05 {
+		t.Fatalf("background = %v", bg)
+	}
+	// Some pixel in the image must hit a sphere (value differs from
+	// background and is a plausible shade).
+	hit := false
+	for y := 0; y < 64 && !hit; y++ {
+		for x := 0; x < 64; x++ {
+			v := tracePixel(objs, 64, 64, x, y)
+			if v != 0.05 {
+				if v < 0 || v > 1.2 {
+					t.Fatalf("shade out of range: %v", v)
+				}
+				hit = true
+				break
+			}
+		}
+	}
+	if !hit {
+		t.Fatal("no ray hit any sphere")
+	}
+}
+
+func TestRenderRowDeterministic(t *testing.T) {
+	objs := scene()
+	a := renderRow(objs, 64, 64, 10)
+	if a != renderRow(objs, 64, 64, 10) {
+		t.Fatal("row render not deterministic")
+	}
+	if math.IsNaN(a) {
+		t.Fatal("NaN checksum")
+	}
+}

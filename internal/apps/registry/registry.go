@@ -1,0 +1,200 @@
+// Package registry wires up the ten-application suite of Table 5 with
+// three problem scales: Test (seconds of wall time, for unit tests), Small
+// (the default for the experiment drivers; scaled-down inputs with the
+// same communication structure), and Full (the paper's published inputs).
+// Scaling is reported alongside every reproduced figure in EXPERIMENTS.md.
+package registry
+
+import (
+	"fmt"
+	"sort"
+
+	"mproxy/internal/apps"
+	"mproxy/internal/apps/barnes"
+	"mproxy/internal/apps/fft"
+	"mproxy/internal/apps/lu"
+	"mproxy/internal/apps/mm"
+	"mproxy/internal/apps/moldy"
+	"mproxy/internal/apps/pray"
+	"mproxy/internal/apps/sortapp"
+	"mproxy/internal/apps/water"
+	"mproxy/internal/apps/wator"
+)
+
+// Scale selects the problem size.
+type Scale int
+
+const (
+	// Test sizes run in milliseconds; used by the test suite.
+	Test Scale = iota
+	// Small is the experiment drivers' default: scaled-down inputs that
+	// preserve each program's communication structure.
+	Small
+	// Full is the paper's Table 5 inputs.
+	Full
+)
+
+func (s Scale) String() string {
+	switch s {
+	case Test:
+		return "test"
+	case Small:
+		return "small"
+	default:
+		return "full"
+	}
+}
+
+// Spec describes one application at every scale.
+type Spec struct {
+	Name  string
+	Model string // programming model (Table 5 grouping)
+	// Input descriptions per scale, for reports.
+	Inputs map[Scale]string
+	// New builds a fresh instance at the given scale.
+	New func(s Scale) apps.App
+}
+
+// pick returns t, s or f depending on the scale.
+func pick[T any](sc Scale, t, s, f T) T {
+	switch sc {
+	case Test:
+		return t
+	case Small:
+		return s
+	default:
+		return f
+	}
+}
+
+var specs = []Spec{
+	{
+		Name: "Moldy", Model: "native RMA",
+		Inputs: map[Scale]string{
+			Test: "96 atoms, 2 iterations", Small: "768 atoms, 4 iterations",
+			Full: "2000 atoms (immunoglobin-sized), 10 iterations",
+		},
+		New: func(sc Scale) apps.App {
+			return moldy.New(pick(sc, 96, 768, 2000), pick(sc, 2, 4, 10))
+		},
+	},
+	{
+		Name: "LU", Model: "CRL",
+		Inputs: map[Scale]string{
+			Test: "48x48, 8x8 blocks", Small: "192x192, 8x8 blocks",
+			Full: "500x500, 10x10 blocks",
+		},
+		New: func(sc Scale) apps.App {
+			if sc == Full {
+				return lu.New(500, 10)
+			}
+			return lu.New(pick(sc, 48, 192, 500), 8)
+		},
+	},
+	{
+		Name: "Barnes-Hut", Model: "CRL",
+		Inputs: map[Scale]string{
+			Test: "96 bodies, 2 steps", Small: "1024 bodies, 2 steps",
+			Full: "4096 bodies, 3 steps",
+		},
+		New: func(sc Scale) apps.App {
+			return barnes.New(pick(sc, 96, 1024, 4096), pick(sc, 2, 2, 3))
+		},
+	},
+	{
+		Name: "Water", Model: "CRL",
+		Inputs: map[Scale]string{
+			Test: "48 molecules, 2 steps", Small: "216 molecules, 3 steps",
+			Full: "512 molecules, 3 steps",
+		},
+		New: func(sc Scale) apps.App {
+			return water.New(pick(sc, 48, 216, 512), pick(sc, 2, 3, 3))
+		},
+	},
+	{
+		Name: "MM", Model: "Split-C",
+		Inputs: map[Scale]string{
+			Test: "32x32, 8x8 blocks", Small: "128x128, 8x8 blocks",
+			Full: "256x256, 8x8 blocks",
+		},
+		New: func(sc Scale) apps.App {
+			return mm.New(pick(sc, 32, 128, 256), 8)
+		},
+	},
+	{
+		Name: "FFT", Model: "Split-C",
+		Inputs: map[Scale]string{
+			Test: "512 points", Small: "16K points", Full: "1M points",
+		},
+		New: func(sc Scale) apps.App {
+			n1 := pick(sc, 16, 128, 1024)
+			n2 := pick(sc, 32, 128, 1024)
+			return fft.New(n1, n2)
+		},
+	},
+	{
+		Name: "Sample", Model: "Split-C",
+		Inputs: map[Scale]string{
+			Test: "600 keys", Small: "16K keys", Full: "1M keys",
+		},
+		New: func(sc Scale) apps.App {
+			return sortapp.New(pick(sc, 600, 16384, 1<<20), false)
+		},
+	},
+	{
+		Name: "Sampleb", Model: "Split-C",
+		Inputs: map[Scale]string{
+			Test: "2000 keys", Small: "64K keys", Full: "1M keys",
+		},
+		New: func(sc Scale) apps.App {
+			return sortapp.New(pick(sc, 2000, 1<<16, 1<<20), true)
+		},
+	},
+	{
+		Name: "P-Ray", Model: "Split-C",
+		Inputs: map[Scale]string{
+			Test: "32x24 image, 8 objects", Small: "128x96 image, 8 objects",
+			Full: "512x512 image, 8 objects",
+		},
+		New: func(sc Scale) apps.App {
+			return pray.New(pick(sc, 32, 128, 512), pick(sc, 24, 96, 512))
+		},
+	},
+	{
+		Name: "Wator", Model: "Split-C",
+		Inputs: map[Scale]string{
+			Test: "48 fish, 2 steps", Small: "256 fish, 3 steps",
+			Full: "400 fish, 10 steps",
+		},
+		New: func(sc Scale) apps.App {
+			return wator.New(pick(sc, 48, 256, 400), pick(sc, 2, 3, 10))
+		},
+	},
+}
+
+// Names returns the suite's application names in Table 5 order.
+func Names() []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// All returns the specs in Table 5 order.
+func All() []Spec { return append([]Spec(nil), specs...) }
+
+// ByName returns the spec for an application (case-sensitive).
+func ByName(name string) (Spec, error) {
+	for _, s := range specs {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	var have []string
+	for _, s := range specs {
+		have = append(have, s.Name)
+	}
+	sort.Strings(have)
+	return Spec{}, fmt.Errorf("unknown application %q (have %v)", name, have)
+}

@@ -1,0 +1,47 @@
+package registry
+
+import "testing"
+
+func TestSuiteMatchesTable5(t *testing.T) {
+	names := Names()
+	want := []string{"Moldy", "LU", "Barnes-Hut", "Water", "MM", "FFT",
+		"Sample", "Sampleb", "P-Ray", "Wator"}
+	if len(names) != len(want) {
+		t.Fatalf("suite size = %d", len(names))
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("suite[%d] = %s, want %s", i, names[i], want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("Water")
+	if err != nil || s.Name != "Water" || s.Model != "CRL" {
+		t.Fatalf("Water = %+v, %v", s, err)
+	}
+	if _, err := ByName("water"); err == nil {
+		t.Fatal("lookup is case-sensitive by design")
+	}
+}
+
+func TestEverySpecBuildsAtEveryScale(t *testing.T) {
+	for _, spec := range All() {
+		for _, sc := range []Scale{Test, Small, Full} {
+			app := spec.New(sc)
+			if app == nil || app.Name() != spec.Name {
+				t.Errorf("%s at %v: bad instance", spec.Name, sc)
+			}
+			if spec.Inputs[sc] == "" {
+				t.Errorf("%s at %v: missing input description", spec.Name, sc)
+			}
+		}
+	}
+}
+
+func TestScaleStrings(t *testing.T) {
+	if Test.String() != "test" || Small.String() != "small" || Full.String() != "full" {
+		t.Fatal("scale names wrong")
+	}
+}

@@ -1,0 +1,70 @@
+package sortapp
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBucketOfAgainstLinearScan(t *testing.T) {
+	sp := []float64{10, 20, 30}
+	cases := map[float64]int{5: 0, 10: 1, 15: 1, 29.9: 2, 30: 3, 99: 3}
+	for k, want := range cases {
+		if got := bucketOf(sp, k); got != want {
+			t.Fatalf("bucketOf(%v) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestPropertyBucketOfOrderPreserving(t *testing.T) {
+	f := func(raw []float64, k float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 15 {
+			raw = raw[:15]
+		}
+		sp := append([]float64(nil), raw...)
+		sort.Float64s(sp)
+		b := bucketOf(sp, k)
+		// All splitters below the bucket are <= k; all at/after are > k.
+		for i := 0; i < b; i++ {
+			if !(sp[i] <= k) {
+				return false
+			}
+		}
+		for i := b; i < len(sp); i++ {
+			if !(sp[i] > k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplittersMonotone(t *testing.T) {
+	sample := make([]float64, 64)
+	for i := range sample {
+		sample[i] = key(i)
+	}
+	sp := splitters(sample, 8)
+	if len(sp) != 7 {
+		t.Fatalf("splitters = %d", len(sp))
+	}
+	for i := 1; i < len(sp); i++ {
+		if sp[i] < sp[i-1] {
+			t.Fatalf("splitters not sorted: %v", sp)
+		}
+	}
+}
+
+func TestKeyStreamDeterministicPositive(t *testing.T) {
+	for g := 0; g < 1000; g++ {
+		if key(g) != key(g) || key(g) < 0 {
+			t.Fatalf("bad key at %d", g)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package apps_test
+
+import (
+	"testing"
+
+	"mproxy/internal/apps/fft"
+	"mproxy/internal/apps/mm"
+	"mproxy/internal/arch"
+)
+
+func TestMMCorrect(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		d := runApp(t, mm.New(32, 8), n, arch.MP1)
+		t.Logf("mm P=%d: %v", n, d)
+	}
+	runApp(t, mm.New(32, 8), 2, arch.SW1)
+}
+
+func TestFFTCorrect(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		d := runApp(t, fft.New(16, 32), n, arch.MP1)
+		t.Logf("fft P=%d: %v", n, d)
+	}
+	runApp(t, fft.New(16, 16), 4, arch.HW1)
+}

@@ -1,0 +1,33 @@
+package apps_test
+
+import (
+	"testing"
+
+	"mproxy/internal/apps/pray"
+	"mproxy/internal/apps/sortapp"
+	"mproxy/internal/arch"
+)
+
+func TestSampleCorrect(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		d := runApp(t, sortapp.New(600, false), n, arch.MP1)
+		t.Logf("sample P=%d: %v", n, d)
+	}
+	runApp(t, sortapp.New(400, false), 3, arch.SW1)
+}
+
+func TestSamplebCorrect(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		d := runApp(t, sortapp.New(2000, true), n, arch.MP1)
+		t.Logf("sampleb P=%d: %v", n, d)
+	}
+	runApp(t, sortapp.New(1000, true), 3, arch.HW0)
+}
+
+func TestPRayCorrect(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		d := runApp(t, pray.New(32, 24), n, arch.MP1)
+		t.Logf("pray P=%d: %v", n, d)
+	}
+	runApp(t, pray.New(16, 16), 2, arch.MP2)
+}

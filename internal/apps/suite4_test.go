@@ -1,0 +1,34 @@
+package apps_test
+
+import (
+	"testing"
+
+	"mproxy/internal/apps/barnes"
+	"mproxy/internal/apps/lu"
+	"mproxy/internal/apps/water"
+	"mproxy/internal/arch"
+)
+
+func TestWaterCorrect(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		d := runApp(t, water.New(48, 2), n, arch.MP1)
+		t.Logf("water P=%d: %v", n, d)
+	}
+	runApp(t, water.New(32, 2), 2, arch.SW1)
+}
+
+func TestBarnesCorrect(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		d := runApp(t, barnes.New(96, 2), n, arch.MP1)
+		t.Logf("barnes P=%d: %v", n, d)
+	}
+	runApp(t, barnes.New(64, 1), 2, arch.HW1)
+}
+
+func TestLUCorrect(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		d := runApp(t, lu.New(48, 8), n, arch.MP1)
+		t.Logf("lu P=%d: %v", n, d)
+	}
+	runApp(t, lu.New(32, 8), 3, arch.MP2)
+}

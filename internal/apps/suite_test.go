@@ -1,0 +1,35 @@
+package apps_test
+
+import (
+	"testing"
+
+	"mproxy/internal/apps/moldy"
+	"mproxy/internal/apps/wator"
+	"mproxy/internal/arch"
+)
+
+func TestMoldyCorrectAcrossArchsAndSizes(t *testing.T) {
+	for _, a := range []arch.Params{arch.MP1, arch.HW1, arch.SW1} {
+		for _, n := range []int{1, 2, 4} {
+			d := runApp(t, moldy.New(64, 3), n, a)
+			t.Logf("moldy %s P=%d: %v", a.Name, n, d)
+		}
+	}
+}
+
+func TestWatorCorrectAcrossArchsAndSizes(t *testing.T) {
+	for _, a := range []arch.Params{arch.MP1, arch.HW0} {
+		for _, n := range []int{1, 2, 4} {
+			d := runApp(t, wator.New(48, 2), n, a)
+			t.Logf("wator %s P=%d: %v", a.Name, n, d)
+		}
+	}
+}
+
+func TestMoldySpeedsUp(t *testing.T) {
+	t1 := runApp(t, moldy.New(96, 2), 1, arch.HW1)
+	t4 := runApp(t, moldy.New(96, 2), 4, arch.HW1)
+	if float64(t1)/float64(t4) < 2.0 {
+		t.Errorf("moldy speedup on 4 procs = %.2f, want > 2", float64(t1)/float64(t4))
+	}
+}

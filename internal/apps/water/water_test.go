@@ -1,0 +1,38 @@
+package water
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSweepMatchesWholeRange(t *testing.T) {
+	// Summing per-chunk sweeps equals one full sweep (the parallel
+	// decomposition identity the app relies on).
+	const n = 40
+	pos := initPos(n)
+	prev := append([]float64(nil), pos...)
+	nextA := make([]float64, len(pos))
+	nextB := make([]float64, len(pos))
+	whole := sweep(pos, prev, nextA, n, 0, n)
+	parts := sweep(pos, prev, nextB, n, 0, 17) + sweep(pos, prev, nextB, n, 17, n)
+	if math.Abs(whole-parts) > 1e-9*math.Abs(whole) {
+		t.Fatalf("energy: whole %v vs parts %v", whole, parts)
+	}
+	for i := range nextA {
+		if nextA[i] != nextB[i] {
+			t.Fatalf("position %d differs", i)
+		}
+	}
+}
+
+func TestChunksCount(t *testing.T) {
+	if chunks(16) != 1 || chunks(17) != 2 || chunks(48) != 3 {
+		t.Fatal("chunk arithmetic wrong")
+	}
+}
+
+func TestSerialRunDeterministic(t *testing.T) {
+	if serialRun(32, 2) != serialRun(32, 2) {
+		t.Fatal("not deterministic")
+	}
+}

@@ -1,0 +1,49 @@
+package wator
+
+import (
+	"math"
+	"testing"
+)
+
+func TestForceSymmetryOfPairTerm(t *testing.T) {
+	// Two isolated equal-mass fish attract each other along the line
+	// joining them (before the drift field is added).
+	snap := make([]float64, 2*fishWords)
+	snap[0], snap[1], snap[2] = 0, 0, 1 // fish 0 at origin
+	snap[4], snap[5], snap[6] = 3, 4, 1 // fish 1 at (3,4)
+	fx0, fy0 := force(snap, 2, 0)
+	fx1, fy1 := force(snap, 2, 1)
+	// Remove the drift contributions.
+	fx0 -= 0.3 - 0.01*snap[0]
+	fy0 -= -0.01 * snap[1]
+	fx1 -= 0.3 - 0.01*snap[4]
+	fy1 -= -0.01 * snap[5]
+	if math.Abs(fx0+fx1) > 1e-12 || math.Abs(fy0+fy1) > 1e-12 {
+		t.Fatalf("pair forces not equal and opposite: (%v,%v) vs (%v,%v)", fx0, fy0, fx1, fy1)
+	}
+	if fx0 <= 0 || fy0 <= 0 {
+		t.Fatalf("fish 0 should be pulled toward (3,4): %v %v", fx0, fy0)
+	}
+}
+
+func TestSerialRunDeterministicAndFinite(t *testing.T) {
+	a := serialRun(64, 3)
+	if a != serialRun(64, 3) {
+		t.Fatal("not deterministic")
+	}
+	if math.IsNaN(a) || math.IsInf(a, 0) {
+		t.Fatalf("checksum = %v", a)
+	}
+}
+
+func TestInitFishDistinctPositions(t *testing.T) {
+	f := initFish(100)
+	seen := map[[2]float64]bool{}
+	for i := 0; i < 100; i++ {
+		key := [2]float64{f[i*fishWords], f[i*fishWords+1]}
+		if seen[key] {
+			t.Fatalf("duplicate fish position %v", key)
+		}
+		seen[key] = true
+	}
+}

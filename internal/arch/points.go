@@ -1,0 +1,91 @@
+package arch
+
+import "mproxy/internal/sim"
+
+// The six design points of Table 3. "Today's technology" (HW0, MP0) uses
+// 25 MB/s DMA, a 40 MB/s link and 1 us network latency; "next generation"
+// (HW1, MP1, MP2, SW1) uses 150 MB/s DMA, a 175 MB/s link and 0.5 us
+// latency. Custom hardware has a 0.5 us cache miss with uniprocessor nodes
+// (HW0) and 1.0 us with SMP nodes (HW1, and all software design points).
+var (
+	// HW0: custom hardware, uniprocessor nodes, today's technology
+	// (Princeton SHRIMP is representative).
+	HW0 = Params{
+		Name: "HW0", Kind: CustomHW,
+		CacheMiss: sim.Micros(0.5), AgentMiss: sim.Micros(0.5),
+		Uncached: sim.Micros(0.65), Speed: 1,
+		AdapterOvh: sim.Micros(1.5), ComputeOvh: sim.Micros(0.5),
+		DMABW: 25, NetBW: 40, PIOBW: 35, MemBW: 80, NetLatency: sim.Micros(0.5),
+		PageSize: 4096, PIOCutoff: 1024, Prepinned: true,
+	}
+
+	// HW1: custom hardware, SMP nodes, next-generation parameters.
+	HW1 = Params{
+		Name: "HW1", Kind: CustomHW,
+		CacheMiss: sim.Micros(1.0), AgentMiss: sim.Micros(1.0),
+		Uncached: sim.Micros(0.65), Speed: 2,
+		AdapterOvh: sim.Micros(1.5), ComputeOvh: sim.Micros(0.5),
+		DMABW: 150, NetBW: 175, PIOBW: 150, MemBW: 250, NetLatency: sim.Micros(0.5),
+		PageSize: 4096, PIOCutoff: 1024, Prepinned: true,
+	}
+
+	// MP0: message proxy, today's technology — the IBM G30 implementation
+	// of Section 4 is representative. P = PollBase + 2*AgentMiss = 3.0 us,
+	// matching Table 1's measured polling delay.
+	MP0 = Params{
+		Name: "MP0", Kind: Proxy,
+		CacheMiss: sim.Micros(1.0), AgentMiss: sim.Micros(1.0),
+		Uncached: sim.Micros(0.65), VMAtt: sim.Micros(0.433), Speed: 1,
+		PollBase: sim.Micros(1.0),
+		DMABW:    25, NetBW: 40, PIOBW: 30, MemBW: 80, NetLatency: sim.Micros(1.0),
+		PinPerPage: sim.Micros(10), PageSize: 4096, PIOCutoff: 1024,
+	}
+
+	// MP1: message proxy, next-generation parameters; the faster proxy
+	// processor (S=2) lowers per-operation proxy overhead.
+	MP1 = Params{
+		Name: "MP1", Kind: Proxy,
+		CacheMiss: sim.Micros(1.0), AgentMiss: sim.Micros(1.0),
+		Uncached: sim.Micros(0.65), VMAtt: sim.Micros(0.433), Speed: 2,
+		PollBase: sim.Micros(1.0),
+		DMABW:    150, NetBW: 175, PIOBW: 60, MemBW: 250, NetLatency: sim.Micros(0.5),
+		PinPerPage: sim.Micros(10), PageSize: 4096, PIOCutoff: 1024,
+	}
+
+	// MP2: MP1 plus the direct cache-update primitive: misses between the
+	// proxy and compute processors (command queues, sync flags, user
+	// buffers) take 0.25 us instead of 1.0 us.
+	MP2 = Params{
+		Name: "MP2", Kind: Proxy,
+		CacheMiss: sim.Micros(1.0), AgentMiss: sim.Micros(0.25),
+		Uncached: sim.Micros(0.65), VMAtt: sim.Micros(0.433), Speed: 2,
+		PollBase: sim.Micros(1.0),
+		DMABW:    150, NetBW: 175, PIOBW: 60, MemBW: 250, NetLatency: sim.Micros(0.5),
+		PinPerPage: sim.Micros(10), PageSize: 4096, PIOCutoff: 1024,
+	}
+
+	// SW1: system calls + interrupts, next-generation parameters, with the
+	// paper's very aggressive 6.5 us per system call and per interrupt.
+	SW1 = Params{
+		Name: "SW1", Kind: Syscall,
+		CacheMiss: sim.Micros(1.0), AgentMiss: sim.Micros(1.0),
+		Uncached: sim.Micros(0.65), Speed: 2,
+		SyscallOvh: sim.Micros(6.5), InterruptOvh: sim.Micros(8.5),
+		ProtocolOvh: sim.Micros(1.0),
+		DMABW:       150, NetBW: 175, PIOBW: 60, MemBW: 250, NetLatency: sim.Micros(0.5),
+		PinPerPage: sim.Micros(10), PageSize: 4096, PIOCutoff: 1024,
+	}
+)
+
+// All lists the design points in the paper's column order.
+var All = []Params{HW0, HW1, MP0, MP1, MP2, SW1}
+
+// ByName returns the design point with the given name.
+func ByName(name string) (Params, bool) {
+	for _, p := range All {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Params{}, false
+}

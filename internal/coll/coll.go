@@ -1,0 +1,256 @@
+// Package coll provides the collective communication library the paper
+// builds on RMA and RQ: barriers, broadcasts, reductions and scans (Section
+// 5.1). All collectives use logarithmic-depth algorithms over active
+// messages: dissemination for barrier and scan, binomial trees for
+// broadcast and reduce.
+package coll
+
+import (
+	"fmt"
+
+	"mproxy/internal/am"
+	"mproxy/internal/costmodel"
+)
+
+// Op is a reduction operator.
+type Op int
+
+const (
+	Sum Op = iota
+	Max
+	Min
+)
+
+func (o Op) apply(a, b float64) float64 {
+	switch o {
+	case Sum:
+		return a + b
+	case Max:
+		if a > b {
+			return a
+		}
+		return b
+	case Min:
+		if a < b {
+			return a
+		}
+		return b
+	default:
+		panic(fmt.Sprintf("coll: unknown op %d", int(o)))
+	}
+}
+
+// Group is the cluster-wide collective state. Build it once (after am.New,
+// before any process starts communicating) and hand each rank its Comm.
+type Group struct {
+	l *am.Layer
+	n int
+
+	hBarrier, hValue int
+	comms            []*Comm
+}
+
+type slot struct {
+	count int
+	value float64
+}
+
+// Comm is one rank's handle on the collective group.
+type Comm struct {
+	g    *Group
+	rank int
+	port *am.Port
+
+	barrierGen int
+	valueGen   int
+	// pending collective messages, keyed by (generation, round).
+	barriers map[[2]int]int
+	values   map[[2]int]*slot
+}
+
+// NewGroup builds the collective group over the AM layer.
+func NewGroup(l *am.Layer) *Group {
+	g := &Group{l: l, n: l.Ranks()}
+	for r := 0; r < g.n; r++ {
+		g.comms = append(g.comms, &Comm{
+			g: g, rank: r, port: l.Port(r),
+			barriers: make(map[[2]int]int),
+			values:   make(map[[2]int]*slot),
+		})
+	}
+	g.hBarrier = l.Register(func(p *am.Port, src int, args []int64, _ []byte) {
+		c := g.comms[p.Rank()]
+		c.barriers[[2]int{int(args[0]), int(args[1])}]++
+	})
+	g.hValue = l.Register(func(p *am.Port, src int, args []int64, _ []byte) {
+		c := g.comms[p.Rank()]
+		key := [2]int{int(args[0]), int(args[1])}
+		s := c.values[key]
+		if s == nil {
+			s = &slot{}
+			c.values[key] = s
+		}
+		s.count++
+		s.value = am.I2F(args[2]) // one contribution per (gen, round) sender
+	})
+	return g
+}
+
+// Comm returns rank's collective handle.
+func (g *Group) Comm(rank int) *Comm { return g.comms[rank] }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.g.n }
+
+// Rank returns this handle's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Port returns the underlying active-message port.
+func (c *Comm) Port() *am.Port { return c.port }
+
+// Barrier blocks until all ranks have entered it (dissemination barrier,
+// ceil(log2 n) rounds).
+func (c *Comm) Barrier() {
+	n := c.g.n
+	if n == 1 {
+		return
+	}
+	gen := c.barrierGen
+	c.barrierGen++
+	for round, dist := 0, 1; dist < n; round, dist = round+1, dist*2 {
+		peer := (c.rank + dist) % n
+		c.port.Request(peer, c.g.hBarrier, int64(gen), int64(round))
+		key := [2]int{gen, round}
+		c.port.WaitUntil(func() bool { return c.barriers[key] >= 1 })
+		delete(c.barriers, key)
+		c.port.Endpoint().Compute(costmodel.IntOps(10))
+	}
+}
+
+// valueExchange sends x to peer and waits for the peer's value for the
+// same (generation, round).
+func (c *Comm) valueExchange(peer, gen, round int, x float64) float64 {
+	c.port.Request(peer, c.g.hValue, int64(gen), int64(round), am.F2I(x))
+	key := [2]int{gen, round}
+	c.port.WaitUntil(func() bool {
+		s := c.values[key]
+		return s != nil && s.count >= 1
+	})
+	v := c.values[key].value
+	delete(c.values, key)
+	return v
+}
+
+// AllReduce combines x across all ranks with op and returns the result on
+// every rank (recursive doubling for power-of-two counts; an extra
+// fold-in/fold-out step otherwise).
+func (c *Comm) AllReduce(x float64, op Op) float64 {
+	n := c.g.n
+	if n == 1 {
+		return x
+	}
+	// One generation per collective call; rounds disambiguate the
+	// exchanges within it.
+	gen := c.valueGen
+	c.valueGen++
+
+	// Fold ranks beyond the largest power of two into the base group.
+	pow := 1
+	for pow*2 <= n {
+		pow *= 2
+	}
+	extra := n - pow
+	if c.rank >= pow {
+		// Send the contribution to the partner and wait for it to return
+		// the final result.
+		c.port.Request(c.rank-pow, c.g.hValue, int64(gen), 0, am.F2I(x))
+		key := [2]int{gen, 1}
+		c.port.WaitUntil(func() bool { s := c.values[key]; return s != nil && s.count >= 1 })
+		v := c.values[key].value
+		delete(c.values, key)
+		return v
+	}
+	if c.rank < extra {
+		key := [2]int{gen, 0}
+		c.port.WaitUntil(func() bool { s := c.values[key]; return s != nil && s.count >= 1 })
+		x = op.apply(x, c.values[key].value)
+		delete(c.values, key)
+	}
+	// Recursive doubling within the power-of-two group.
+	for round, dist := 0, 1; dist < pow; round, dist = round+1, dist*2 {
+		peer := c.rank ^ dist
+		v := c.valueExchange(peer, gen, 2+round, x)
+		x = op.apply(x, v)
+		c.port.Endpoint().Compute(costmodel.Flops(1))
+	}
+	if c.rank < extra {
+		c.port.Request(c.rank+pow, c.g.hValue, int64(gen), 1, am.F2I(x))
+	}
+	return x
+}
+
+// Reduce combines x across all ranks with the result at root. Implemented
+// over AllReduce, so every rank happens to observe the result; callers
+// should rely on it only at root.
+func (c *Comm) Reduce(x float64, op Op, root int) float64 {
+	return c.AllReduce(x, op)
+}
+
+// Bcast distributes root's x to every rank (binomial tree).
+func (c *Comm) Bcast(x float64, root int) float64 {
+	n := c.g.n
+	if n == 1 {
+		return x
+	}
+	gen := c.valueGen
+	c.valueGen++
+	// Relabel so the root is rank 0.
+	rel := (c.rank - root + n) % n
+	if rel != 0 {
+		// Wait for the value from the parent.
+		key := [2]int{gen, 0}
+		c.port.WaitUntil(func() bool { s := c.values[key]; return s != nil && s.count >= 1 })
+		x = c.values[key].value
+		delete(c.values, key)
+	}
+	// Forward to children: rel + 2^k for 2^k > rel.
+	for dist := 1; dist < n; dist *= 2 {
+		if rel < dist && rel+dist < n {
+			child := (rel + dist + root) % n
+			c.port.Request(child, c.g.hValue, int64(gen), 0, am.F2I(x))
+		}
+	}
+	return x
+}
+
+// Scan returns the inclusive prefix reduction of x over ranks 0..rank
+// (Kogge-Stone dissemination, ceil(log2 n) rounds).
+func (c *Comm) Scan(x float64, op Op) float64 {
+	n := c.g.n
+	if n == 1 {
+		return x
+	}
+	gen := c.valueGen
+	c.valueGen++
+	acc := x
+	for round, dist := 0, 1; dist < n; round, dist = round+1, dist*2 {
+		key := [2]int{gen, round}
+		if c.rank+dist < n {
+			c.port.Request(c.rank+dist, c.g.hValue, int64(gen), int64(round), am.F2I(acc))
+		}
+		if c.rank-dist >= 0 {
+			c.port.WaitUntil(func() bool { s := c.values[key]; return s != nil && s.count >= 1 })
+			acc = op.apply(c.values[key].value, acc)
+			delete(c.values, key)
+		}
+	}
+	return acc
+}
+
+func log2ceil(n int) int {
+	k := 0
+	for v := 1; v < n; v *= 2 {
+		k++
+	}
+	return k
+}

@@ -1,0 +1,232 @@
+package coll
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mproxy/internal/am"
+	"mproxy/internal/arch"
+	"mproxy/internal/comm"
+	"mproxy/internal/machine"
+	"mproxy/internal/sim"
+)
+
+// world runs body on every rank of an n-rank cluster.
+func world(t *testing.T, n int, a arch.Params, body func(c *Comm)) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cl := machine.New(eng, machine.Config{Nodes: n, ProcsPerNode: 1}, a)
+	f := comm.New(cl)
+	l := am.New(f)
+	g := NewGroup(l)
+	for r := 0; r < n; r++ {
+		r := r
+		eng.Spawn("rank", func(p *sim.Proc) {
+			f.Endpoint(r).Bind(p)
+			body(g.Comm(r))
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 8, 16} {
+		var entered, exited [32]sim.Time
+		world(t, n, arch.MP1, func(c *Comm) {
+			// Stagger arrivals; nobody may leave before the last arrives.
+			c.Port().Endpoint().Compute(sim.Time(c.Rank()) * 100 * sim.Microsecond)
+			entered[c.Rank()] = c.Port().Endpoint().Proc().Now()
+			c.Barrier()
+			exited[c.Rank()] = c.Port().Endpoint().Proc().Now()
+		})
+		var lastIn sim.Time
+		for r := 0; r < n; r++ {
+			if entered[r] > lastIn {
+				lastIn = entered[r]
+			}
+		}
+		for r := 0; r < n; r++ {
+			if exited[r] < lastIn {
+				t.Fatalf("n=%d: rank %d left the barrier at %v before rank arrival at %v",
+					n, r, exited[r], lastIn)
+			}
+		}
+	}
+}
+
+func TestBarrierRepeated(t *testing.T) {
+	world(t, 5, arch.MP2, func(c *Comm) {
+		for i := 0; i < 10; i++ {
+			c.Barrier()
+		}
+	})
+}
+
+func TestAllReduceSum(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 13, 16} {
+		want := float64(n * (n - 1) / 2)
+		world(t, n, arch.HW1, func(c *Comm) {
+			got := c.AllReduce(float64(c.Rank()), Sum)
+			if got != want {
+				t.Errorf("n=%d rank %d: AllReduce = %v, want %v", n, c.Rank(), got, want)
+			}
+		})
+	}
+}
+
+func TestAllReduceMaxMin(t *testing.T) {
+	world(t, 6, arch.MP1, func(c *Comm) {
+		if got := c.AllReduce(float64(c.Rank()), Max); got != 5 {
+			t.Errorf("max = %v", got)
+		}
+		if got := c.AllReduce(float64(c.Rank()+1), Min); got != 1 {
+			t.Errorf("min = %v", got)
+		}
+	})
+}
+
+func TestBcast(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7, 16} {
+		for _, root := range []int{0, n - 1} {
+			root := root
+			world(t, n, arch.SW1, func(c *Comm) {
+				x := -1.0
+				if c.Rank() == root {
+					x = 42.5
+				}
+				if got := c.Bcast(x, root); got != 42.5 {
+					t.Errorf("n=%d root=%d rank=%d: bcast = %v", n, root, c.Rank(), got)
+				}
+			})
+		}
+	}
+}
+
+func TestScanInclusive(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 11} {
+		world(t, n, arch.MP0, func(c *Comm) {
+			got := c.Scan(float64(c.Rank()+1), Sum)
+			want := float64((c.Rank() + 1) * (c.Rank() + 2) / 2)
+			if got != want {
+				t.Errorf("n=%d rank %d: scan = %v, want %v", n, c.Rank(), got, want)
+			}
+		})
+	}
+}
+
+func TestReduceAtRoot(t *testing.T) {
+	world(t, 9, arch.MP1, func(c *Comm) {
+		got := c.Reduce(2.0, Sum, 3)
+		if c.Rank() == 3 && got != 18 {
+			t.Errorf("reduce at root = %v", got)
+		}
+	})
+}
+
+func TestMixedCollectiveSequence(t *testing.T) {
+	// Interleaving different collectives must not cross wires.
+	world(t, 8, arch.MP1, func(c *Comm) {
+		s := c.AllReduce(1, Sum)
+		c.Barrier()
+		b := c.Bcast(s*2, 0)
+		p := c.Scan(1, Sum)
+		c.Barrier()
+		if s != 8 || b != 16 || p != float64(c.Rank()+1) {
+			t.Errorf("rank %d: s=%v b=%v p=%v", c.Rank(), s, b, p)
+		}
+	})
+}
+
+func TestAllReduceFloatValues(t *testing.T) {
+	world(t, 4, arch.HW0, func(c *Comm) {
+		got := c.AllReduce(0.1*float64(c.Rank()+1), Sum)
+		if math.Abs(got-1.0) > 1e-12 {
+			t.Errorf("sum = %v", got)
+		}
+	})
+}
+
+func TestBarrierCostGrowsLogarithmically(t *testing.T) {
+	cost := func(n int) sim.Time {
+		eng := sim.NewEngine()
+		cl := machine.New(eng, machine.Config{Nodes: n, ProcsPerNode: 1}, arch.MP1)
+		f := comm.New(cl)
+		g := NewGroup(am.New(f))
+		var worst sim.Time
+		for r := 0; r < n; r++ {
+			r := r
+			eng.Spawn("rank", func(p *sim.Proc) {
+				f.Endpoint(r).Bind(p)
+				start := p.Now()
+				g.Comm(r).Barrier()
+				if d := p.Now() - start; d > worst {
+					worst = d
+				}
+			})
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return worst
+	}
+	c4, c16 := cost(4), cost(16)
+	// Dissemination: 2 rounds vs 4 rounds — about 2x, certainly not 4x.
+	if ratio := float64(c16) / float64(c4); ratio > 3.0 {
+		t.Errorf("barrier cost ratio 16/4 procs = %.2f, want ~2 (log depth)", ratio)
+	}
+}
+
+func TestPropertyCollectivesMatchSerial(t *testing.T) {
+	// Property: for random rank counts and contributions, AllReduce/Scan
+	// agree with their serial definitions on every rank.
+	f := func(seed uint32, nRaw uint8) bool {
+		n := int(nRaw%7) + 2
+		vals := make([]float64, n)
+		x := uint64(seed) + 1
+		for i := range vals {
+			x = x*6364136223846793005 + 1442695040888963407
+			vals[i] = float64(x%1000) / 10
+		}
+		sums := make([]float64, n)
+		scans := make([]float64, n)
+		maxs := make([]float64, n)
+		eng := sim.NewEngine()
+		cl := machine.New(eng, machine.Config{Nodes: n, ProcsPerNode: 1}, arch.MP1)
+		fb := comm.New(cl)
+		g := NewGroup(am.New(fb))
+		for r := 0; r < n; r++ {
+			r := r
+			eng.Spawn("rank", func(p *sim.Proc) {
+				fb.Endpoint(r).Bind(p)
+				c := g.Comm(r)
+				sums[r] = c.AllReduce(vals[r], Sum)
+				scans[r] = c.Scan(vals[r], Sum)
+				maxs[r] = c.AllReduce(vals[r], Max)
+				c.Barrier()
+			})
+		}
+		if err := eng.Run(); err != nil {
+			return false
+		}
+		var total, prefix, max float64
+		for r := 0; r < n; r++ {
+			total += vals[r]
+			if vals[r] > max {
+				max = vals[r]
+			}
+		}
+		for r := 0; r < n; r++ {
+			prefix += vals[r]
+			if math.Abs(sums[r]-total) > 1e-9 || math.Abs(scans[r]-prefix) > 1e-9 || maxs[r] != max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,442 @@
+// Package comm implements the paper's communication model — remote memory
+// access (PUT/GET) and remote queues (ENQ/DEQ) — over the three protected
+// communication architectures: message proxies, custom hardware, and
+// system calls. The primitives are asynchronous; completion is signaled
+// through local and remote synchronization flags, letting programs overlap
+// communication latency with computation.
+package comm
+
+import (
+	"fmt"
+
+	"mproxy/internal/arch"
+	"mproxy/internal/machine"
+	"mproxy/internal/memory"
+	"mproxy/internal/proxy"
+	"mproxy/internal/sim"
+)
+
+// HeaderSize is the network packet header size in bytes; headers count
+// toward link serialization.
+const HeaderSize = 16
+
+// CommandQueueCap is the per-user command-queue capacity under the
+// message-proxy design points. A full ring applies backpressure: the user
+// spins (one polling period per retry) until the proxy drains an entry.
+// Variable so tests can exercise the backpressure path.
+var CommandQueueCap = 1024
+
+// OpKind enumerates the RMA/RQ primitives.
+type OpKind int
+
+const (
+	OpPut OpKind = iota
+	OpGet
+	OpEnq
+	OpDeq
+	opKinds
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpPut:
+		return "PUT"
+	case OpGet:
+		return "GET"
+	case OpEnq:
+		return "ENQ"
+	case OpDeq:
+		return "DEQ"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Stats aggregates message traffic for the Table 6 analysis.
+type Stats struct {
+	Ops   [opKinds]int64
+	Bytes [opKinds]int64
+	// Intra counts operations that stayed within an SMP node (shared
+	// memory; no network message, no agent work).
+	Intra int64
+}
+
+// LatencyStat summarizes observed end-to-end operation latencies
+// (submission to data deposit at the destination — one way, unlike the
+// Table 4 micro-benchmarks which time the completion round trip).
+type LatencyStat struct {
+	Count  int64
+	MeanUs float64
+	MaxUs  float64
+}
+
+type latAccum struct {
+	count int64
+	sum   sim.Time
+	max   sim.Time
+}
+
+func (a *latAccum) add(d sim.Time) {
+	a.count++
+	a.sum += d
+	if d > a.max {
+		a.max = d
+	}
+}
+
+func (a latAccum) stat() LatencyStat {
+	st := LatencyStat{Count: a.count, MaxUs: a.max.Micros()}
+	if a.count > 0 {
+		st.MeanUs = (a.sum / sim.Time(a.count)).Micros()
+	}
+	return st
+}
+
+// TotalOps returns the total RMA/RQ operation count.
+func (s Stats) TotalOps() int64 {
+	var n int64
+	for _, v := range s.Ops {
+		n += v
+	}
+	return n
+}
+
+// TotalBytes returns the total payload bytes moved.
+func (s Stats) TotalBytes() int64 {
+	var n int64
+	for _, v := range s.Bytes {
+		n += v
+	}
+	return n
+}
+
+// AvgMsgSize returns the average payload per operation in bytes.
+func (s Stats) AvgMsgSize() float64 {
+	ops := s.TotalOps()
+	if ops == 0 {
+		return 0
+	}
+	return float64(s.TotalBytes()) / float64(ops)
+}
+
+// Fabric wires a cluster's endpoints to its communication agents under the
+// cluster's design point.
+type Fabric struct {
+	Cl  *machine.Cluster
+	A   arch.Params
+	eps []*Endpoint
+	// scanners holds the per-(node, proxy) round-robin command-queue
+	// scanner used by the message proxy design points.
+	scanners [][]*proxy.Scanner
+	stats    Stats
+
+	// forceRemote disables the intra-node shared-memory fast path,
+	// pushing same-node operations through the agent and loopback network
+	// (the Figure 9 ablation: how much does the bypass relieve the
+	// proxy?).
+	forceRemote bool
+
+	lat [opKinds]latAccum
+}
+
+// New builds the fabric for cl, creating one endpoint per compute
+// processor and, for message-proxy design points, registering one command
+// queue per endpoint with the node's proxy scanner.
+func New(cl *machine.Cluster) *Fabric {
+	f := &Fabric{Cl: cl, A: cl.Arch}
+	if f.A.Kind == arch.Proxy {
+		f.scanners = make([][]*proxy.Scanner, len(cl.Nodes))
+		for i, nd := range cl.Nodes {
+			f.scanners[i] = make([]*proxy.Scanner, len(nd.Agents))
+			for k := range nd.Agents {
+				f.scanners[i][k] = proxy.NewScanner()
+			}
+		}
+	}
+	for _, cpu := range cl.CPUs {
+		ep := &Endpoint{f: f, cpu: cpu, rank: cpu.Rank}
+		if f.A.Kind == arch.Proxy {
+			ep.cmdq = proxy.NewCommandQueue(cpu.Rank, CommandQueueCap)
+			nProxies := len(cpu.Node.Agents)
+			ep.proxyIdx = cpu.Slot % nProxies
+			ep.cmdqIdx = f.scanners[cpu.Node.ID][ep.proxyIdx].Register(ep.cmdq)
+		}
+		f.eps = append(f.eps, ep)
+	}
+	return f
+}
+
+// Endpoint returns the endpoint of a global rank.
+func (f *Fabric) Endpoint(rank int) *Endpoint { return f.eps[rank] }
+
+// Stats returns the accumulated traffic statistics.
+func (f *Fabric) Stats() Stats { return f.stats }
+
+// DisableIntraBypass routes intra-node operations through the
+// communication agent instead of shared memory. For ablation studies only.
+func (f *Fabric) DisableIntraBypass() { f.forceRemote = true }
+
+// LatencyStats reports observed one-way operation latencies by kind,
+// measured inside whatever workload ran — under load, not quiescent.
+func (f *Fabric) LatencyStats() map[OpKind]LatencyStat {
+	out := make(map[OpKind]LatencyStat, int(opKinds))
+	for k := OpKind(0); k < opKinds; k++ {
+		if f.lat[k].count > 0 {
+			out[k] = f.lat[k].stat()
+		}
+	}
+	return out
+}
+
+// opDone records one completed operation's latency.
+func (f *Fabric) opDone(kind OpKind, issued sim.Time) {
+	f.lat[kind].add(f.Cl.Eng.Now() - issued)
+}
+
+// Registry returns the cluster's address-space registry.
+func (f *Fabric) Registry() *memory.Registry { return f.Cl.Reg }
+
+// Endpoint is one compute process's handle on the communication system. It
+// must be bound to the simulated process before use.
+type Endpoint struct {
+	f        *Fabric
+	cpu      *machine.CPU
+	rank     int
+	proc     *sim.Proc
+	cmdq     *proxy.CommandQueue
+	cmdqIdx  int
+	proxyIdx int // which of the node's proxies serves this endpoint
+
+	ops   int64
+	bytes int64
+}
+
+// Bind attaches the simulated process that issues operations through this
+// endpoint (the registration step of Section 4: the user allocates command
+// queues and registers them with the proxy via one system call at startup).
+func (ep *Endpoint) Bind(p *sim.Proc) { ep.proc = p }
+
+// Proc returns the bound process.
+func (ep *Endpoint) Proc() *sim.Proc { return ep.proc }
+
+// Rank returns the endpoint's global rank.
+func (ep *Endpoint) Rank() int { return ep.rank }
+
+// Node returns the endpoint's SMP node.
+func (ep *Endpoint) Node() *machine.Node { return ep.cpu.Node }
+
+// CPU returns the endpoint's compute processor.
+func (ep *Endpoint) CPU() *machine.CPU { return ep.cpu }
+
+// Ops returns the number of operations this endpoint has issued.
+func (ep *Endpoint) Ops() int64 { return ep.ops }
+
+// Bytes returns the payload bytes this endpoint has moved.
+func (ep *Endpoint) Bytes() int64 { return ep.bytes }
+
+// request is a submitted RMA/RQ command.
+type request struct {
+	kind    OpKind
+	from    int
+	issued  sim.Time
+	local   memory.Addr
+	payload []byte // ENQ immediate payload (instead of local)
+	remote  memory.Addr
+	rq      memory.QueueRef
+	n       int
+	fsync   memory.FlagRef
+	rsync   memory.FlagRef
+}
+
+// Put copies n bytes from local (in the caller's space) to remote. rsync is
+// signaled at the destination when the data is deposited; fsync, if
+// non-nil, is signaled locally once the destination confirms the deposit.
+func (ep *Endpoint) Put(local, remote memory.Addr, n int, fsync, rsync memory.FlagRef) error {
+	if err := ep.checkRMA(local, remote, n, "PUT"); err != nil {
+		return err
+	}
+	ep.record(OpPut, n)
+	ep.submit(request{kind: OpPut, from: ep.rank, local: local, remote: remote, n: n, fsync: fsync, rsync: rsync})
+	return nil
+}
+
+// PutBytes is Put with an immediate payload (a value composed in registers
+// rather than read from a source buffer); it costs the same as a PUT of
+// len(data) bytes and is safe to issue back-to-back, since the data is
+// captured at submission.
+func (ep *Endpoint) PutBytes(data []byte, remote memory.Addr, fsync, rsync memory.FlagRef) error {
+	if _, err := ep.f.Cl.Reg.CheckAccess(ep.rank, remote, len(data), "PUT remote"); err != nil {
+		return err
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	ep.record(OpPut, len(data))
+	ep.submit(request{kind: OpPut, from: ep.rank, payload: buf, remote: remote, n: len(data), fsync: fsync, rsync: rsync})
+	return nil
+}
+
+// Get copies n bytes from remote into local. fsync is signaled locally when
+// the data arrives; rsync, if non-nil, is signaled at the remote end when
+// the source has been read.
+func (ep *Endpoint) Get(local, remote memory.Addr, n int, fsync, rsync memory.FlagRef) error {
+	if err := ep.checkRMA(local, remote, n, "GET"); err != nil {
+		return err
+	}
+	ep.record(OpGet, n)
+	ep.submit(request{kind: OpGet, from: ep.rank, local: local, remote: remote, n: n, fsync: fsync, rsync: rsync})
+	return nil
+}
+
+// Enq atomically appends n bytes starting at local to the tail of the
+// remote queue rq. lsync is signaled locally when the source buffer has
+// been transmitted and may be reused.
+func (ep *Endpoint) Enq(local memory.Addr, rq memory.QueueRef, n int, lsync memory.FlagRef) error {
+	reg := ep.f.Cl.Reg
+	if _, err := reg.CheckAccess(ep.rank, local, n, "ENQ source"); err != nil {
+		return err
+	}
+	if _, err := reg.CheckQueue(ep.rank, rq, "ENQ"); err != nil {
+		return err
+	}
+	ep.record(OpEnq, n)
+	ep.submit(request{kind: OpEnq, from: ep.rank, local: local, rq: rq, n: n, fsync: lsync})
+	return nil
+}
+
+// EnqBytes is Enq with an immediate payload (a record composed in
+// registers rather than in a memory buffer); it costs the same.
+func (ep *Endpoint) EnqBytes(data []byte, rq memory.QueueRef, lsync memory.FlagRef) error {
+	if _, err := ep.f.Cl.Reg.CheckQueue(ep.rank, rq, "ENQ"); err != nil {
+		return err
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	ep.record(OpEnq, len(data))
+	ep.submit(request{kind: OpEnq, from: ep.rank, payload: buf, rq: rq, n: len(data), fsync: lsync})
+	return nil
+}
+
+// Deq removes the record at the head of the (possibly remote) queue rq and
+// copies up to n bytes of it to local. lsync is signaled when the data
+// arrives. If the queue is empty the dequeue completes once a record is
+// enqueued.
+func (ep *Endpoint) Deq(local memory.Addr, rq memory.QueueRef, n int, lsync memory.FlagRef) error {
+	reg := ep.f.Cl.Reg
+	if _, err := reg.CheckAccess(ep.rank, local, n, "DEQ dest"); err != nil {
+		return err
+	}
+	if _, err := reg.CheckQueue(ep.rank, rq, "DEQ"); err != nil {
+		return err
+	}
+	ep.record(OpDeq, n)
+	ep.submit(request{kind: OpDeq, from: ep.rank, local: local, rq: rq, n: n, fsync: lsync})
+	return nil
+}
+
+// Recv blocks until the local queue q has a record and returns it,
+// charging the user-level dequeue cost. This is the fast path a process
+// uses on queues in its own address space (message handlers, Active
+// Message polls).
+func (ep *Endpoint) Recv(q *memory.RQueue) []byte {
+	if q.Owner != ep.rank {
+		panic(fmt.Sprintf("comm: rank %d Recv on rank %d's queue", ep.rank, q.Owner))
+	}
+	rec := q.Take(ep.proc)
+	ep.cpu.Compute(ep.proc, ep.f.dequeueCost())
+	return rec
+}
+
+// TryRecv is Recv without blocking; the head probe costs one miss only
+// when it finds data (a polled-empty queue stays in cache).
+func (ep *Endpoint) TryRecv(q *memory.RQueue) ([]byte, bool) {
+	if q.Owner != ep.rank {
+		panic(fmt.Sprintf("comm: rank %d TryRecv on rank %d's queue", ep.rank, q.Owner))
+	}
+	rec, ok := q.TryTake()
+	if ok {
+		ep.cpu.Compute(ep.proc, ep.f.dequeueCost())
+	}
+	return rec, ok
+}
+
+// WaitFlag blocks until the referenced local flag reaches need, then
+// charges the completion-detection cost (a miss on the flag's cache line;
+// a status system call under SW).
+func (ep *Endpoint) WaitFlag(ref memory.FlagRef, need int64) {
+	fl, ok := ep.f.Cl.Reg.Flag(ref)
+	if !ok {
+		panic(fmt.Sprintf("comm: rank %d waits on unknown flag %+v", ep.rank, ref))
+	}
+	fl.Wait(ep.proc, need)
+	ep.cpu.Compute(ep.proc, ep.f.detectCost())
+}
+
+// FlagValue reads the referenced flag without blocking or cost (a cached
+// re-read of an already-detected flag).
+func (ep *Endpoint) FlagValue(ref memory.FlagRef) int64 {
+	fl, ok := ep.f.Cl.Reg.Flag(ref)
+	if !ok {
+		return 0
+	}
+	return fl.Value()
+}
+
+// Compute charges d of application computation to this endpoint's CPU.
+func (ep *Endpoint) Compute(d sim.Time) { ep.cpu.Compute(ep.proc, d) }
+
+func (ep *Endpoint) checkRMA(local, remote memory.Addr, n int, op string) error {
+	if n <= 0 {
+		return fmt.Errorf("comm: %s of %d bytes", op, n)
+	}
+	reg := ep.f.Cl.Reg
+	if _, err := reg.CheckAccess(ep.rank, local, n, op+" local"); err != nil {
+		return err
+	}
+	if _, err := reg.CheckAccess(ep.rank, remote, n, op+" remote"); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (ep *Endpoint) record(kind OpKind, n int) {
+	ep.ops++
+	ep.bytes += int64(n)
+	ep.f.stats.Ops[kind]++
+	ep.f.stats.Bytes[kind] += int64(n)
+}
+
+// submit hands the request to the architecture-specific send path after
+// charging the submission overhead on the caller's CPU. Operations whose
+// target lives on the same SMP node move through shared memory directly.
+func (ep *Endpoint) submit(r request) {
+	f := ep.f
+	r.issued = f.Cl.Eng.Now()
+	if !f.forceRemote && f.nodeOf(f.targetRank(r)) == ep.cpu.Node {
+		f.stats.Intra++
+		f.intra(ep, r)
+		return
+	}
+	switch f.A.Kind {
+	case arch.Proxy:
+		// Writing the opcode and operands into the user's command queue:
+		// a read miss on the tail entry and a write miss publishing it.
+		ep.cpu.Compute(ep.proc, 2*f.A.AgentMiss+f.A.Instr(0.2))
+		if err := ep.cmdq.Enqueue(ep.rank, r); err != nil {
+			// Queue full: the user spins until the proxy drains an entry.
+			for err != nil {
+				ep.cpu.Compute(ep.proc, f.A.PollDelay())
+				err = ep.cmdq.Enqueue(ep.rank, r)
+			}
+		}
+		node := ep.cpu.Node
+		idx := ep.proxyIdx
+		f.scanners[node.ID][idx].MarkNonEmpty(ep.cmdqIdx)
+		node.Agents[idx].Submit(func(ap *sim.Proc) { f.proxyServiceOne(ap, node, idx) })
+	case arch.CustomHW:
+		ep.cpu.Compute(ep.proc, f.A.ComputeOvh)
+		node := ep.cpu.Node
+		node.Agent.Submit(func(ap *sim.Proc) { f.hwSend(ap, node, r) })
+	case arch.Syscall:
+		f.swSend(ep, r)
+	}
+}

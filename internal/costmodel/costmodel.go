@@ -1,0 +1,45 @@
+// Package costmodel charges deterministic simulated time for application
+// computation. The paper's execution-driven simulator timed compute
+// intervals with the POWER2 real-time clock on a quiescent SP2; a Go
+// reproduction cannot do that faithfully (garbage collection and the
+// goroutine scheduler would blur the intervals), so applications run their
+// real algorithms and charge analytic costs instead, calibrated to the
+// paper's ~66 MHz POWER2 compute nodes.
+//
+// The constants matter only through the compute-to-communication ratio they
+// induce; the reproduction's speedup shapes are stable across a wide range
+// of plausible values (see BenchmarkAblationCPUSpeed).
+package costmodel
+
+import "mproxy/internal/sim"
+
+// Per-operation costs for a ~66 MHz POWER2-class processor.
+const (
+	// Flop is one floating-point operation: ~40 Mflops sustained on
+	// compiled inner loops.
+	Flop = 25 * sim.Nanosecond
+	// IntOp is one integer ALU operation (compare, add, shift).
+	IntOp = 15 * sim.Nanosecond
+	// MemRef is one cached memory reference in pointer-chasing code.
+	MemRef = 30 * sim.Nanosecond
+	// ByteCopy is one byte of local memory-to-memory copy (~100 MB/s).
+	ByteCopy = 10 * sim.Nanosecond
+)
+
+// Scale multiplies all charged costs; 1.0 is the calibrated POWER2. The
+// CPU-speed ablation sweeps it.
+var Scale = 1.0
+
+func scaled(t sim.Time) sim.Time { return sim.Time(float64(t) * Scale) }
+
+// Flops returns the cost of n floating-point operations.
+func Flops(n int) sim.Time { return scaled(sim.Time(n) * Flop) }
+
+// IntOps returns the cost of n integer operations.
+func IntOps(n int) sim.Time { return scaled(sim.Time(n) * IntOp) }
+
+// MemRefs returns the cost of n dependent memory references.
+func MemRefs(n int) sim.Time { return scaled(sim.Time(n) * MemRef) }
+
+// Copy returns the cost of copying n bytes locally.
+func Copy(n int) sim.Time { return scaled(sim.Time(n) * ByteCopy) }

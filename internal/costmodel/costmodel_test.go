@@ -1,0 +1,49 @@
+package costmodel
+
+import (
+	"testing"
+
+	"mproxy/internal/sim"
+)
+
+func TestBaseCosts(t *testing.T) {
+	if Flops(4) != 100*sim.Nanosecond {
+		t.Errorf("Flops(4) = %v", Flops(4))
+	}
+	if IntOps(10) != 150*sim.Nanosecond {
+		t.Errorf("IntOps(10) = %v", IntOps(10))
+	}
+	if MemRefs(2) != 60*sim.Nanosecond {
+		t.Errorf("MemRefs(2) = %v", MemRefs(2))
+	}
+	if Copy(100) != sim.Microsecond {
+		t.Errorf("Copy(100) = %v", Copy(100))
+	}
+}
+
+func TestScale(t *testing.T) {
+	old := Scale
+	defer func() { Scale = old }()
+	Scale = 2
+	if Flops(4) != 200*sim.Nanosecond {
+		t.Errorf("scaled Flops(4) = %v", Flops(4))
+	}
+	Scale = 0.5
+	if Flops(4) != 50*sim.Nanosecond {
+		t.Errorf("scaled Flops(4) = %v", Flops(4))
+	}
+}
+
+func TestCalibrationBallpark(t *testing.T) {
+	// ~40 Mflops: one million flops should take ~25 ms of simulated time.
+	d := Flops(1_000_000)
+	if d < 20*sim.Millisecond || d > 30*sim.Millisecond {
+		t.Errorf("1 Mflop = %v, want ~25ms (POWER2 calibration)", d)
+	}
+}
+
+func TestZeroWork(t *testing.T) {
+	if Flops(0) != 0 || IntOps(0) != 0 || MemRefs(0) != 0 || Copy(0) != 0 {
+		t.Error("zero work must cost zero time")
+	}
+}

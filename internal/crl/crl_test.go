@@ -1,0 +1,405 @@
+package crl
+
+import (
+	"math/rand"
+	"testing"
+
+	"mproxy/internal/am"
+	"mproxy/internal/arch"
+	"mproxy/internal/coll"
+	"mproxy/internal/comm"
+	"mproxy/internal/machine"
+	"mproxy/internal/sim"
+)
+
+// world builds an n-rank cluster with a CRL layer, calls setup on the host
+// (region creation), then runs body on every rank.
+func world(t *testing.T, n int, a arch.Params, setup func(ly *Layer), body func(nd *Node)) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cl := machine.New(eng, machine.Config{Nodes: n, ProcsPerNode: 1}, a)
+	f := comm.New(cl)
+	l := am.New(f)
+	ly := New(l)
+	g := coll.NewGroup(l)
+	setup(ly)
+	for r := 0; r < n; r++ {
+		r := r
+		eng.Spawn("rank", func(p *sim.Proc) {
+			f.Endpoint(r).Bind(p)
+			body(ly.Node(r))
+			// Keep serving protocol requests until every rank is done:
+			// a CRL home must stay responsive for the lifetime of the
+			// program, exactly as in real CRL.
+			g.Comm(r).Barrier()
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleRankReadWrite(t *testing.T) {
+	var rid RID
+	world(t, 1, arch.MP1,
+		func(ly *Layer) { rid = ly.Create(0, 64) },
+		func(nd *Node) {
+			rg := nd.Map(rid)
+			rg.StartWrite()
+			rg.F64(0, 8).Set(3, 2.5)
+			rg.EndWrite()
+			rg.StartRead()
+			if got := rg.F64(0, 8).Get(3); got != 2.5 {
+				t.Errorf("got %v", got)
+			}
+			rg.EndRead()
+		})
+}
+
+func TestWriteThenRemoteRead(t *testing.T) {
+	for _, a := range arch.All {
+		t.Run(a.Name, func(t *testing.T) {
+			var rid RID
+			world(t, 2, a,
+				func(ly *Layer) { rid = ly.Create(0, 64) },
+				func(nd *Node) {
+					rg := nd.Map(rid)
+					if nd.Rank() == 1 {
+						rg.StartWrite()
+						rg.F64(0, 8).Set(0, 7.25)
+						rg.EndWrite()
+					} else {
+						// Rank 0 (the home) waits for rank 1's value. Retry
+						// reads until the write is visible.
+						for {
+							rg.StartRead()
+							v := rg.F64(0, 8).Get(0)
+							rg.EndRead()
+							if v == 7.25 {
+								break
+							}
+							// Drop the copy so the next read re-fetches.
+							rg.Flush()
+							nd.port.Endpoint().Compute(50 * sim.Microsecond)
+						}
+					}
+				})
+		})
+	}
+}
+
+func TestReadYourOwnWriteAfterRemoteWrite(t *testing.T) {
+	// Two ranks alternate exclusive writes, each incrementing a counter;
+	// sequential consistency per region means no increment is lost.
+	const rounds = 20
+	var rid RID
+	world(t, 2, arch.MP2,
+		func(ly *Layer) { rid = ly.Create(0, 8) },
+		func(nd *Node) {
+			rg := nd.Map(rid)
+			for i := 0; i < rounds; i++ {
+				rg.StartWrite()
+				v := rg.I64(0, 1)
+				v.Set(0, v.Get(0)+1)
+				rg.EndWrite()
+			}
+			// Everyone waits until both ranks' increments are visible.
+			for {
+				rg.StartRead()
+				total := rg.I64(0, 1).Get(0)
+				rg.EndRead()
+				if total == 2*rounds {
+					return
+				}
+				nd.port.Endpoint().Compute(20 * sim.Microsecond)
+			}
+		})
+}
+
+func TestMultipleConcurrentReaders(t *testing.T) {
+	var rid RID
+	world(t, 4, arch.MP1,
+		func(ly *Layer) { rid = ly.Create(0, 32) },
+		func(nd *Node) {
+			rg := nd.Map(rid)
+			if nd.Rank() == 0 {
+				rg.StartWrite()
+				rg.F64(0, 4).Store([]float64{1, 2, 3, 4})
+				rg.EndWrite()
+			} else {
+				for {
+					rg.StartRead()
+					ok := rg.F64(0, 4).Get(3) == 4
+					rg.EndRead()
+					if ok {
+						break
+					}
+					rg.Flush()
+					nd.port.Endpoint().Compute(30 * sim.Microsecond)
+				}
+			}
+		})
+}
+
+func TestReadHitIsLocal(t *testing.T) {
+	var rid RID
+	world(t, 2, arch.MP1,
+		func(ly *Layer) { rid = ly.Create(0, 16) },
+		func(nd *Node) {
+			if nd.Rank() != 1 {
+				return
+			}
+			rg := nd.Map(rid)
+			rg.StartRead()
+			rg.EndRead()
+			missesAfterFirst := nd.Misses()
+			for i := 0; i < 10; i++ {
+				rg.StartRead()
+				rg.EndRead()
+			}
+			if nd.Misses() != missesAfterFirst {
+				t.Errorf("repeat reads missed: %d -> %d", missesAfterFirst, nd.Misses())
+			}
+			if nd.Hits() < 10 {
+				t.Errorf("hits = %d", nd.Hits())
+			}
+		})
+}
+
+func TestWriterInvalidatesReaders(t *testing.T) {
+	// After rank 1 writes, rank 2's old copy must be invalidated: its next
+	// read fetches the new value without an explicit Flush.
+	var rid, token RID
+	world(t, 3, arch.HW1,
+		func(ly *Layer) {
+			rid = ly.Create(0, 8)
+			token = ly.Create(0, 8)
+		},
+		func(nd *Node) {
+			rg := nd.Map(rid)
+			tk := nd.Map(token)
+			switch nd.Rank() {
+			case 2:
+				// Take a shared copy of rid, then announce readiness.
+				rg.StartRead()
+				rg.EndRead()
+				tk.StartWrite()
+				tk.I64(0, 1).Set(0, 1)
+				tk.EndWrite()
+				// Wait for the writer's announcement.
+				for {
+					tk.StartRead()
+					done := tk.I64(0, 1).Get(0) == 2
+					tk.EndRead()
+					if done {
+						break
+					}
+					nd.port.Endpoint().Compute(20 * sim.Microsecond)
+				}
+				rg.StartRead()
+				got := rg.F64(0, 1).Get(0)
+				rg.EndRead()
+				if got != 9.5 {
+					t.Errorf("stale read: %v (invalidation failed)", got)
+				}
+			case 1:
+				// Wait for rank 2's shared copy, then write.
+				for {
+					tk.StartRead()
+					ready := tk.I64(0, 1).Get(0) == 1
+					tk.EndRead()
+					if ready {
+						break
+					}
+					nd.port.Endpoint().Compute(20 * sim.Microsecond)
+				}
+				rg.StartWrite()
+				rg.F64(0, 1).Set(0, 9.5)
+				rg.EndWrite()
+				tk.StartWrite()
+				tk.I64(0, 1).Set(0, 2)
+				tk.EndWrite()
+			}
+		})
+}
+
+func TestManyRegions(t *testing.T) {
+	// Each rank owns a slice of regions and updates its own; then all
+	// ranks read all regions and verify.
+	const perRank = 8
+	const ranks = 4
+	var rids [ranks * perRank]RID
+	world(t, ranks, arch.MP1,
+		func(ly *Layer) {
+			for i := range rids {
+				rids[i] = ly.Create(i%ranks, 16)
+			}
+		},
+		func(nd *Node) {
+			regs := make([]*Region, len(rids))
+			for i, rid := range rids {
+				regs[i] = nd.Map(rid)
+			}
+			for i, rg := range regs {
+				if i%ranks != nd.Rank() {
+					continue
+				}
+				rg.StartWrite()
+				rg.I64(0, 2).Set(0, int64(1000+i))
+				rg.EndWrite()
+			}
+			for i, rg := range regs {
+				for {
+					rg.StartRead()
+					v := rg.I64(0, 2).Get(0)
+					rg.EndRead()
+					if v == int64(1000+i) {
+						break
+					}
+					rg.Flush()
+					nd.port.Endpoint().Compute(30 * sim.Microsecond)
+				}
+			}
+		})
+}
+
+func TestProtocolStressRandomOps(t *testing.T) {
+	// Deterministic random workload: every rank performs a random sequence
+	// of read and increment-write sections on shared counters. Sequential
+	// consistency per region demands that no increment is lost.
+	const ranks = 4
+	const regions = 6
+	const opsPerRank = 60
+	var rids [regions]RID
+	expected := make([]int64, regions)
+	var plans [ranks][]int
+	rng := rand.New(rand.NewSource(12345))
+	for r := 0; r < ranks; r++ {
+		for k := 0; k < opsPerRank; k++ {
+			reg := rng.Intn(regions)
+			write := rng.Intn(2) == 0
+			op := reg * 2
+			if write {
+				op++
+				expected[reg]++
+			}
+			plans[r] = append(plans[r], op)
+		}
+	}
+	var finals [ranks][regions]int64
+	world(t, ranks, arch.MP1,
+		func(ly *Layer) {
+			for i := range rids {
+				rids[i] = ly.Create(i%ranks, 8)
+			}
+		},
+		func(nd *Node) {
+			regs := make([]*Region, regions)
+			for i, rid := range rids {
+				regs[i] = nd.Map(rid)
+			}
+			for _, op := range plans[nd.Rank()] {
+				rg := regs[op/2]
+				if op%2 == 1 {
+					rg.StartWrite()
+					v := rg.I64(0, 1)
+					v.Set(0, v.Get(0)+1)
+					rg.EndWrite()
+				} else {
+					rg.StartRead()
+					_ = rg.I64(0, 1).Get(0)
+					rg.EndRead()
+				}
+			}
+			// Converge: read until all expected increments are visible.
+			for i, rg := range regs {
+				for {
+					rg.StartRead()
+					v := rg.I64(0, 1).Get(0)
+					rg.EndRead()
+					if v == expected[i] {
+						finals[nd.Rank()][i] = v
+						break
+					}
+					if v > expected[i] {
+						t.Errorf("region %d overshot: %d > %d", i, v, expected[i])
+						return
+					}
+					rg.Flush()
+					nd.port.Endpoint().Compute(20 * sim.Microsecond)
+				}
+			}
+		})
+	for r := 0; r < ranks; r++ {
+		for i := 0; i < regions; i++ {
+			if finals[r][i] != expected[i] {
+				t.Errorf("rank %d region %d: %d increments, want %d", r, i, finals[r][i], expected[i])
+			}
+		}
+	}
+}
+
+func TestEndWithoutStartPanics(t *testing.T) {
+	var rid RID
+	eng := sim.NewEngine()
+	cl := machine.New(eng, machine.Config{Nodes: 1, ProcsPerNode: 1}, arch.MP1)
+	f := comm.New(cl)
+	ly := New(am.New(f))
+	rid = ly.Create(0, 8)
+	eng.Spawn("rank", func(p *sim.Proc) {
+		f.Endpoint(0).Bind(p)
+		ly.Node(0).Map(rid).EndRead()
+	})
+	if err := eng.Run(); err == nil {
+		t.Fatal("expected failure")
+	}
+}
+
+func TestStateTransitions(t *testing.T) {
+	var rid RID
+	world(t, 2, arch.MP1,
+		func(ly *Layer) { rid = ly.Create(0, 8) },
+		func(nd *Node) {
+			if nd.Rank() != 1 {
+				return
+			}
+			rg := nd.Map(rid)
+			if rg.State() != Invalid {
+				t.Errorf("initial state %v", rg.State())
+			}
+			rg.StartRead()
+			if rg.State() != Shared {
+				t.Errorf("after StartRead: %v", rg.State())
+			}
+			rg.EndRead()
+			rg.StartWrite()
+			if rg.State() != Exclusive {
+				t.Errorf("after StartWrite: %v", rg.State())
+			}
+			rg.EndWrite()
+			rg.Flush()
+			if rg.State() != Invalid {
+				t.Errorf("after Flush: %v", rg.State())
+			}
+		})
+}
+
+func TestProtocolMessageAccounting(t *testing.T) {
+	var rid RID
+	var msgs int64
+	var ly2 *Layer
+	world(t, 2, arch.MP1,
+		func(ly *Layer) { ly2 = ly; rid = ly.Create(0, 8) },
+		func(nd *Node) {
+			if nd.Rank() != 1 {
+				return
+			}
+			rg := nd.Map(rid)
+			rg.StartRead()
+			rg.EndRead()
+			msgs = ly2.ProtocolMessages()
+		})
+	if msgs < 2 { // request + data grant
+		t.Errorf("protocol messages = %d", msgs)
+	}
+}

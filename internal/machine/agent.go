@@ -1,0 +1,95 @@
+package machine
+
+import "mproxy/internal/sim"
+
+// Agent is a node's communication agent: a server process that executes
+// work items one at a time in FIFO order. For a message proxy the agent is
+// the dedicated SMP processor running the polling loop of Figure 5; for
+// custom hardware it is the adapter's protocol engine.
+//
+// A work item is a closure executed on the agent's process; it advances
+// simulated time with Hold and may use node resources. Items submitted
+// while the agent is idle incur the notice delay (the proxy's polling delay
+// P — time spent scanning other queues before reaching this one); items
+// that queue behind other work are picked up as the loop reaches them and
+// incur queueing delay instead, which is how proxy contention emerges in
+// the Figure 9 experiment.
+type Agent struct {
+	Name   string
+	eng    *sim.Engine
+	queue  *sim.Queue
+	notice sim.Time
+
+	busyTotal sim.Time
+	served    int64
+	waitTotal sim.Time
+}
+
+type agentWork struct {
+	fn func(p *sim.Proc)
+	at sim.Time
+}
+
+// NewAgent spawns an agent server process.
+func NewAgent(eng *sim.Engine, name string, notice sim.Time) *Agent {
+	a := &Agent{Name: name, eng: eng, queue: eng.NewQueue(), notice: notice}
+	eng.SpawnDaemon(name, a.loop)
+	return a
+}
+
+func (a *Agent) loop(p *sim.Proc) {
+	for {
+		w, ok := a.queue.Get(p).(agentWork)
+		if !ok {
+			return // poison pill from Shutdown
+		}
+		if p.Now() == w.at && a.notice > 0 {
+			// The agent was idle (blocked in Get) when this item arrived:
+			// charge the polling notice delay. Items found queued when a
+			// previous item finishes are reached by the ongoing scan and
+			// pay queueing delay only.
+			p.Hold(a.notice)
+		}
+		a.waitTotal += p.Now() - w.at
+		start := p.Now()
+		w.fn(p)
+		a.busyTotal += p.Now() - start
+		a.served++
+	}
+}
+
+// Submit enqueues a work item.
+func (a *Agent) Submit(fn func(p *sim.Proc)) {
+	a.queue.Put(agentWork{fn: fn, at: a.eng.Now()})
+}
+
+// Shutdown terminates the agent process once queued work drains.
+func (a *Agent) Shutdown() { a.queue.Put(nil) }
+
+// QueueLen returns the number of pending work items.
+func (a *Agent) QueueLen() int { return a.queue.Len() }
+
+// BusyTime returns the total time spent executing work items (excluding
+// idle polling).
+func (a *Agent) BusyTime() sim.Time { return a.busyTotal }
+
+// Served returns the number of completed work items.
+func (a *Agent) Served() int64 { return a.served }
+
+// Utilization returns BusyTime over the elapsed interval — the paper's
+// "interface utilization" (Table 6).
+func (a *Agent) Utilization(elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(a.busyTotal) / float64(elapsed)
+}
+
+// MeanWait returns the average delay between submission and the start of
+// service (notice delay plus queueing).
+func (a *Agent) MeanWait() sim.Time {
+	if a.served == 0 {
+		return 0
+	}
+	return a.waitTotal / sim.Time(a.served)
+}

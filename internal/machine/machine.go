@@ -1,0 +1,221 @@
+// Package machine models the hardware of an SMP cluster: nodes containing
+// compute processors (CPUs), a network adapter with input/output FIFOs, a
+// DMA engine, and — on message-proxy and custom-hardware design points — a
+// communication agent (the dedicated proxy processor or the adapter's
+// protocol engine). Following the paper's simulator, the models account for
+// contention for processors, DMA engines and network queues within a node,
+// but not for memory-bus or switch contention.
+package machine
+
+import (
+	"fmt"
+
+	"mproxy/internal/arch"
+	"mproxy/internal/memory"
+	"mproxy/internal/sim"
+)
+
+// Config describes a cluster topology.
+type Config struct {
+	Nodes        int // SMP nodes
+	ProcsPerNode int // compute processors per node (excludes any proxy)
+	// ProxiesPerNode is the number of dedicated proxy processors per node
+	// (message-proxy design points only; default 1). Section 5.4 raises
+	// multiple proxies as a way past the 50% utilization wall, noting the
+	// memory bus and network interface remain the hard constraint.
+	ProxiesPerNode int
+}
+
+// Procs returns the total number of compute processors.
+func (c Config) Procs() int { return c.Nodes * c.ProcsPerNode }
+
+// Cluster is a simulated SMP cluster under one architecture design point.
+type Cluster struct {
+	Eng   *sim.Engine
+	Cfg   Config
+	Arch  arch.Params
+	Reg   *memory.Registry
+	Nodes []*Node
+	CPUs  []*CPU // indexed by global rank
+}
+
+// New builds a cluster of cfg.Nodes SMPs under design point a.
+func New(eng *sim.Engine, cfg Config, a arch.Params) *Cluster {
+	if cfg.Nodes <= 0 || cfg.ProcsPerNode <= 0 {
+		panic(fmt.Sprintf("machine: bad config %+v", cfg))
+	}
+	if cfg.ProxiesPerNode <= 0 {
+		cfg.ProxiesPerNode = 1
+	}
+	c := &Cluster{Eng: eng, Cfg: cfg, Arch: a, Reg: memory.NewRegistry(eng)}
+	for n := 0; n < cfg.Nodes; n++ {
+		node := &Node{
+			ID:      n,
+			Cluster: c,
+			OutLink: NewLink(eng, fmt.Sprintf("node%d.out", n), a.NetBW, a.NetLatency),
+			DMA:     NewLink(eng, fmt.Sprintf("node%d.dma", n), a.DMABW, 0),
+		}
+		switch a.Kind {
+		case arch.Proxy:
+			for k := 0; k < cfg.ProxiesPerNode; k++ {
+				node.Agents = append(node.Agents,
+					NewAgent(eng, fmt.Sprintf("node%d.proxy%d", n, k), a.PollDelay()))
+			}
+			node.Agent = node.Agents[0]
+		case arch.CustomHW:
+			node.Agent = NewAgent(eng, fmt.Sprintf("node%d.adapter", n), 0)
+			node.Agents = []*Agent{node.Agent}
+		}
+		for s := 0; s < cfg.ProcsPerNode; s++ {
+			cpu := &CPU{Node: node, Rank: n*cfg.ProcsPerNode + s, Slot: s}
+			node.CPUs = append(node.CPUs, cpu)
+			c.CPUs = append(c.CPUs, cpu)
+		}
+		c.Nodes = append(c.Nodes, node)
+	}
+	return c
+}
+
+// Node is one SMP in the cluster.
+type Node struct {
+	ID      int
+	Cluster *Cluster
+	OutLink *Link
+	// DMA is the node's DMA engine, modeled as a zero-latency serializing
+	// link at the DMA bandwidth.
+	DMA *Link
+	// Agent is the node's primary communication agent: the message proxy
+	// processor (Proxy) or the adapter's protocol engine (CustomHW). Nil
+	// under Syscall, where compute processors run the protocol themselves.
+	Agent *Agent
+	// Agents lists every agent; message-proxy nodes may run several
+	// proxies (Section 5.4's "multiple message proxies may help").
+	Agents []*Agent
+	CPUs   []*CPU
+}
+
+// AgentFor returns the agent serving a compute-processor slot (commands
+// are statically partitioned across proxies by slot).
+func (n *Node) AgentFor(slot int) *Agent {
+	if len(n.Agents) == 0 {
+		return n.Agent
+	}
+	return n.Agents[slot%len(n.Agents)]
+}
+
+// CPU is a compute processor. Application processes charge compute time to
+// their CPU; under system-call communication, incoming messages interrupt
+// the CPU and steal cycles from whatever is computing.
+type CPU struct {
+	Node *Node
+	Rank int // global rank
+	Slot int // index within the node
+
+	computing   bool
+	steal       sim.Time // stolen during the current compute interval
+	stolenTotal sim.Time
+	busyTotal   sim.Time
+}
+
+// Compute charges d time units of computation to the CPU on behalf of p,
+// extending the interval by any interrupt time stolen while it runs.
+func (c *CPU) Compute(p *sim.Proc, d sim.Time) {
+	if d < 0 {
+		panic("machine: negative compute time")
+	}
+	c.computing = true
+	c.steal = 0
+	remaining := d
+	for remaining > 0 {
+		p.Hold(remaining)
+		remaining = c.steal // interrupts pushed the finish time out
+		c.steal = 0
+	}
+	c.computing = false
+	c.busyTotal += d
+}
+
+// Interrupt steals cost cycles from the CPU (system-call receive path). If
+// a compute interval is in progress it is extended; otherwise the handler
+// runs in otherwise-idle time.
+func (c *CPU) Interrupt(cost sim.Time) {
+	c.stolenTotal += cost
+	if c.computing {
+		c.steal += cost
+	}
+}
+
+// Stolen returns the total CPU time consumed by interrupt handling.
+func (c *CPU) Stolen() sim.Time { return c.stolenTotal }
+
+// BusyTime returns total application compute time charged to the CPU.
+func (c *CPU) BusyTime() sim.Time { return c.busyTotal }
+
+// Link is a store-and-forward network output port: packets serialize at the
+// link bandwidth, then arrive after the wire latency. Senders do not block;
+// the adapter's output FIFO buffers them.
+type Link struct {
+	eng      *sim.Engine
+	name     string
+	mbps     float64
+	latency  sim.Time
+	freeAt   sim.Time
+	busy     sim.Time
+	packets  int64
+	sentByte int64
+}
+
+// NewLink returns a link of mbps MB/s bandwidth and the given wire latency.
+func NewLink(eng *sim.Engine, name string, mbps float64, latency sim.Time) *Link {
+	return &Link{eng: eng, name: name, mbps: mbps, latency: latency}
+}
+
+// Send serializes n bytes onto the link and schedules deliver at the
+// arrival time. Headers count toward serialization, so callers pass the
+// full packet size.
+func (l *Link) Send(n int, deliver func()) {
+	xfer := arch.XferTime(n, l.mbps)
+	start := l.freeAt
+	if now := l.eng.Now(); start < now {
+		start = now
+	}
+	depart := start + xfer
+	l.freeAt = depart
+	l.busy += xfer
+	l.packets++
+	l.sentByte += int64(n)
+	l.eng.Schedule(depart+l.latency-l.eng.Now(), deliver)
+}
+
+// SendOverlapped accounts n bytes on the link but charges no serialization
+// time, scheduling deliver after just the wire latency. It is used for
+// DMA-fed transfers, where cut-through overlaps wire serialization with the
+// (slower) DMA stream that the caller has already paid for.
+func (l *Link) SendOverlapped(n int, deliver func()) {
+	l.packets++
+	l.sentByte += int64(n)
+	l.eng.Schedule(l.latency, deliver)
+}
+
+// Occupy serializes n bytes through the link on behalf of p, blocking p
+// until the transfer completes. Agents use it to stay busy for the duration
+// of a DMA page transfer.
+func (l *Link) Occupy(p *sim.Proc, n int) {
+	f := l.eng.NewFlag()
+	l.Send(n, func() { f.Add(1) })
+	f.Wait(p, 1)
+}
+
+// Packets returns the number of packets sent.
+func (l *Link) Packets() int64 { return l.packets }
+
+// Bytes returns the number of bytes sent.
+func (l *Link) Bytes() int64 { return l.sentByte }
+
+// Utilization returns link busy time divided by elapsed.
+func (l *Link) Utilization(elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(l.busy) / float64(elapsed)
+}

@@ -1,0 +1,290 @@
+package machine
+
+import (
+	"testing"
+
+	"mproxy/internal/arch"
+	"mproxy/internal/sim"
+)
+
+func TestClusterTopology(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, Config{Nodes: 4, ProcsPerNode: 4}, arch.MP1)
+	if len(c.Nodes) != 4 || len(c.CPUs) != 16 {
+		t.Fatalf("nodes=%d cpus=%d", len(c.Nodes), len(c.CPUs))
+	}
+	// Rank 5 is slot 1 of node 1.
+	cpu := c.CPUs[5]
+	if cpu.Node.ID != 1 || cpu.Slot != 1 || cpu.Rank != 5 {
+		t.Fatalf("cpu5 = %+v", cpu)
+	}
+	if c.Nodes[0].Agent == nil {
+		t.Fatal("proxy arch must have node agents")
+	}
+}
+
+func TestSyscallArchHasNoAgent(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, Config{Nodes: 2, ProcsPerNode: 1}, arch.SW1)
+	if c.Nodes[0].Agent != nil {
+		t.Fatal("SW1 must not have an agent")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(sim.NewEngine(), Config{Nodes: 0, ProcsPerNode: 1}, arch.HW1)
+}
+
+func TestCPUComputeWithoutInterrupts(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, Config{Nodes: 1, ProcsPerNode: 1}, arch.SW1)
+	cpu := c.CPUs[0]
+	var end sim.Time
+	eng.Spawn("app", func(p *sim.Proc) {
+		cpu.Compute(p, 100)
+		end = p.Now()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != 100 || cpu.BusyTime() != 100 {
+		t.Fatalf("end=%v busy=%v", end, cpu.BusyTime())
+	}
+}
+
+func TestCPUInterruptExtendsCompute(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, Config{Nodes: 1, ProcsPerNode: 1}, arch.SW1)
+	cpu := c.CPUs[0]
+	var end sim.Time
+	eng.Spawn("app", func(p *sim.Proc) {
+		cpu.Compute(p, 100)
+		end = p.Now()
+	})
+	eng.Schedule(50, func() { cpu.Interrupt(30) })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != 130 {
+		t.Fatalf("end = %v, want 130 (100 compute + 30 stolen)", end)
+	}
+	if cpu.Stolen() != 30 {
+		t.Fatalf("stolen = %v", cpu.Stolen())
+	}
+}
+
+func TestCPUInterruptWhileIdleIsFree(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, Config{Nodes: 1, ProcsPerNode: 1}, arch.SW1)
+	cpu := c.CPUs[0]
+	var end sim.Time
+	eng.Spawn("app", func(p *sim.Proc) {
+		p.Hold(50) // blocked, not computing
+		cpu.Compute(p, 10)
+		end = p.Now()
+	})
+	eng.Schedule(20, func() { cpu.Interrupt(30) })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != 60 {
+		t.Fatalf("end = %v, want 60 (idle-time interrupt costs the app nothing)", end)
+	}
+	if cpu.Stolen() != 30 {
+		t.Fatalf("stolen = %v", cpu.Stolen())
+	}
+}
+
+func TestCPUMultipleInterrupts(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, Config{Nodes: 1, ProcsPerNode: 1}, arch.SW1)
+	cpu := c.CPUs[0]
+	var end sim.Time
+	eng.Spawn("app", func(p *sim.Proc) {
+		cpu.Compute(p, 100)
+		end = p.Now()
+	})
+	eng.Schedule(10, func() { cpu.Interrupt(5) })
+	eng.Schedule(104, func() { cpu.Interrupt(5) }) // lands in the extension
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != 110 {
+		t.Fatalf("end = %v, want 110", end)
+	}
+}
+
+func TestLinkSerialization(t *testing.T) {
+	eng := sim.NewEngine()
+	// 100 MB/s = 100 bytes/us; latency 2 us.
+	l := NewLink(eng, "l", 100, 2*sim.Microsecond)
+	var arrivals []sim.Time
+	// Two back-to-back 1000-byte packets: serialization 10 us each.
+	l.Send(1000, func() { arrivals = append(arrivals, eng.Now()) })
+	l.Send(1000, func() { arrivals = append(arrivals, eng.Now()) })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want0, want1 := sim.Micros(12), sim.Micros(22)
+	if arrivals[0] != want0 || arrivals[1] != want1 {
+		t.Fatalf("arrivals = %v, want [%v %v]", arrivals, want0, want1)
+	}
+	if l.Packets() != 2 || l.Bytes() != 2000 {
+		t.Fatalf("packets=%d bytes=%d", l.Packets(), l.Bytes())
+	}
+	if u := l.Utilization(sim.Micros(20)); u != 1.0 {
+		t.Fatalf("utilization = %v", u)
+	}
+}
+
+func TestLinkIdleGapNoSerializationCarry(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, "l", 100, 0)
+	var second sim.Time
+	l.Send(100, func() {}) // arrives at 1 us
+	eng.Schedule(sim.Micros(10), func() {
+		l.Send(100, func() { second = eng.Now() })
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if second != sim.Micros(11) {
+		t.Fatalf("second arrival = %v, want 11us", second)
+	}
+}
+
+func TestAgentExecutesFIFOWithNotice(t *testing.T) {
+	eng := sim.NewEngine()
+	a := NewAgent(eng, "proxy", sim.Micros(3))
+	var done []sim.Time
+	eng.Spawn("client", func(p *sim.Proc) {
+		a.Submit(func(q *sim.Proc) { q.Hold(sim.Micros(5)); done = append(done, q.Now()) })
+		a.Submit(func(q *sim.Proc) { q.Hold(sim.Micros(5)); done = append(done, q.Now()) })
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// First item: notice 3 + service 5 = 8. Second queued behind: no extra
+	// notice, finishes at 13.
+	if len(done) != 2 || done[0] != sim.Micros(8) || done[1] != sim.Micros(13) {
+		t.Fatalf("done = %v", done)
+	}
+	if a.Served() != 2 || a.BusyTime() != sim.Micros(10) {
+		t.Fatalf("served=%d busy=%v", a.Served(), a.BusyTime())
+	}
+}
+
+func TestAgentIdleThenNewNotice(t *testing.T) {
+	eng := sim.NewEngine()
+	a := NewAgent(eng, "proxy", sim.Micros(3))
+	var done []sim.Time
+	eng.Spawn("client", func(p *sim.Proc) {
+		a.Submit(func(q *sim.Proc) { q.Hold(sim.Micros(1)); done = append(done, q.Now()) })
+		p.Hold(sim.Micros(100))
+		a.Submit(func(q *sim.Proc) { q.Hold(sim.Micros(1)); done = append(done, q.Now()) })
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Both items find the agent idle: each pays the notice delay.
+	if done[0] != sim.Micros(4) || done[1] != sim.Micros(104) {
+		t.Fatalf("done = %v", done)
+	}
+	if w := a.MeanWait(); w != sim.Micros(3) {
+		t.Fatalf("mean wait = %v", w)
+	}
+}
+
+func TestAgentUtilization(t *testing.T) {
+	eng := sim.NewEngine()
+	a := NewAgent(eng, "proxy", 0)
+	eng.Spawn("client", func(p *sim.Proc) {
+		a.Submit(func(q *sim.Proc) { q.Hold(sim.Micros(25)) })
+		p.Hold(sim.Micros(100))
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if u := a.Utilization(sim.Micros(100)); u != 0.25 {
+		t.Fatalf("utilization = %v", u)
+	}
+}
+
+func TestAgentShutdown(t *testing.T) {
+	eng := sim.NewEngine()
+	a := NewAgent(eng, "proxy", 0)
+	ran := false
+	eng.Spawn("client", func(p *sim.Proc) {
+		a.Submit(func(q *sim.Proc) { ran = true })
+		p.Hold(1)
+		a.Shutdown()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("work did not run")
+	}
+}
+
+func TestLinkSendOverlapped(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, "l", 100, 2*sim.Microsecond)
+	var at sim.Time
+	// Overlapped sends pay only the wire latency (serialization was paid
+	// at the DMA engine) but still count toward traffic stats.
+	l.SendOverlapped(4096, func() { at = eng.Now() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 2*sim.Microsecond {
+		t.Fatalf("arrival = %v, want 2us", at)
+	}
+	if l.Packets() != 1 || l.Bytes() != 4096 {
+		t.Fatalf("stats: %d pkts %d bytes", l.Packets(), l.Bytes())
+	}
+}
+
+func TestLinkOccupyBlocksSender(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, "dma", 100, 0) // 100 B/us
+	var end sim.Time
+	eng.Spawn("agent", func(p *sim.Proc) {
+		l.Occupy(p, 1000) // 10 us
+		l.Occupy(p, 500)  // 5 us
+		end = p.Now()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != sim.Micros(15) {
+		t.Fatalf("end = %v, want 15us", end)
+	}
+}
+
+func TestMultiProxyTopology(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, Config{Nodes: 2, ProcsPerNode: 4, ProxiesPerNode: 2}, arch.MP1)
+	nd := c.Nodes[0]
+	if len(nd.Agents) != 2 {
+		t.Fatalf("agents = %d", len(nd.Agents))
+	}
+	if nd.Agent != nd.Agents[0] {
+		t.Fatal("primary agent must alias Agents[0]")
+	}
+	// Slots partition across proxies round-robin.
+	if nd.AgentFor(0) != nd.Agents[0] || nd.AgentFor(1) != nd.Agents[1] ||
+		nd.AgentFor(2) != nd.Agents[0] {
+		t.Fatal("slot partition wrong")
+	}
+	// Custom hardware keeps a single adapter regardless.
+	c2 := New(eng, Config{Nodes: 1, ProcsPerNode: 2, ProxiesPerNode: 3}, arch.HW1)
+	if len(c2.Nodes[0].Agents) != 1 {
+		t.Fatalf("HW agents = %d", len(c2.Nodes[0].Agents))
+	}
+}

@@ -1,0 +1,305 @@
+// Package memory models the protected address spaces of the communication
+// layer. Remote addresses in the RMA/RQ primitives are relative to an
+// address-space segment named by a logical identifier (asid); the mapping is
+// established at program initialization and the system faults a process that
+// accesses a segment without permission — exactly the protection contract
+// the message proxy enforces in the paper.
+package memory
+
+import (
+	"fmt"
+
+	"mproxy/internal/sim"
+)
+
+// ASID is a logical address-space segment identifier, unique cluster-wide.
+type ASID int32
+
+// Addr names a byte offset within a segment.
+type Addr struct {
+	Seg ASID
+	Off int
+}
+
+func (a Addr) String() string { return fmt.Sprintf("asid%d+%d", a.Seg, a.Off) }
+
+// Plus returns the address off bytes past a.
+func (a Addr) Plus(off int) Addr { return Addr{a.Seg, a.Off + off} }
+
+// Segment is a contiguous region of a process's address space exported for
+// remote access. Only the owner and ranks it has granted may address it.
+type Segment struct {
+	ID    ASID
+	Owner int // global rank of the owning process
+	Data  []byte
+	acl   map[int]bool
+}
+
+// Grant permits rank to address this segment.
+func (s *Segment) Grant(rank int) {
+	if s.acl == nil {
+		s.acl = make(map[int]bool)
+	}
+	s.acl[rank] = true
+}
+
+// GrantAll permits every rank in [0, n) to address this segment.
+func (s *Segment) GrantAll(n int) {
+	for r := 0; r < n; r++ {
+		s.Grant(r)
+	}
+}
+
+// Revoke removes rank's permission. The owner's access cannot be revoked.
+func (s *Segment) Revoke(rank int) { delete(s.acl, rank) }
+
+// Allowed reports whether rank may address this segment.
+func (s *Segment) Allowed(rank int) bool {
+	return rank == s.Owner || s.acl[rank]
+}
+
+// Addr returns the address of byte off within the segment.
+func (s *Segment) Addr(off int) Addr { return Addr{s.ID, off} }
+
+// Fault is the error produced by a protection violation: an access to a
+// segment the accessing process was not granted, or an out-of-bounds
+// transfer. The communication agents check protection before moving data,
+// mirroring the proxy's "address and packet size check".
+type Fault struct {
+	Rank int    // offending process
+	Seg  ASID   // target segment
+	Op   string // operation attempted
+	Why  string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("fault: rank %d %s asid %d: %s", f.Rank, f.Op, f.Seg, f.Why)
+}
+
+// FlagID names a synchronization flag within a process.
+type FlagID int32
+
+// FlagRef is a cluster-wide reference to a synchronization flag (the lsync
+// and rsync arguments of the RMA/RQ primitives).
+type FlagRef struct {
+	Owner int
+	ID    FlagID
+}
+
+// Nil reports whether the reference is the zero "no flag" value.
+func (f FlagRef) Nil() bool { return f.Owner == 0 && f.ID == 0 }
+
+// QueueID names a remote queue within a process.
+type QueueID int32
+
+// QueueRef is a cluster-wide reference to a remote queue.
+type QueueRef struct {
+	Owner int
+	ID    QueueID
+}
+
+// RQueue is a remote queue: a receive queue in the owner's address space
+// that remote processes ENQ records into and the owner (usually) DEQs from.
+type RQueue struct {
+	ID    QueueID
+	Owner int
+	acl   map[int]bool
+
+	entries  [][]byte
+	getters  []*sim.Proc
+	takers   []func([]byte)
+	eng      *sim.Engine
+	enqueued int64
+	maxDepth int
+}
+
+// Grant permits rank to enqueue into (or dequeue from) this queue.
+func (q *RQueue) Grant(rank int) {
+	if q.acl == nil {
+		q.acl = make(map[int]bool)
+	}
+	q.acl[rank] = true
+}
+
+// GrantAll permits every rank in [0, n).
+func (q *RQueue) GrantAll(n int) {
+	for r := 0; r < n; r++ {
+		q.Grant(r)
+	}
+}
+
+// Allowed reports whether rank may operate on this queue.
+func (q *RQueue) Allowed(rank int) bool {
+	return rank == q.Owner || q.acl[rank]
+}
+
+// Deliver appends one record (called by the communication agent when an ENQ
+// message arrives) and wakes a blocked dequeuer. Pending asynchronous
+// takers (remote DEQs that found the queue empty) are served first.
+func (q *RQueue) Deliver(rec []byte) {
+	q.enqueued++
+	if len(q.takers) > 0 {
+		fn := q.takers[0]
+		q.takers = q.takers[1:]
+		fn(rec)
+		return
+	}
+	q.entries = append(q.entries, rec)
+	if len(q.entries) > q.maxDepth {
+		q.maxDepth = len(q.entries)
+	}
+	if len(q.getters) > 0 {
+		p := q.getters[0]
+		q.getters = q.getters[1:]
+		q.eng.Wake(p)
+	}
+}
+
+// TakeAsync consumes the head record if one is present, calling fn
+// immediately; otherwise fn is queued and called by a future Deliver. The
+// communication agents use this to serve remote DEQ requests that race
+// ahead of the matching ENQ.
+func (q *RQueue) TakeAsync(fn func([]byte)) {
+	if rec, ok := q.TryTake(); ok {
+		fn(rec)
+		return
+	}
+	q.takers = append(q.takers, fn)
+}
+
+// Take removes the head record, blocking p while the queue is empty.
+func (q *RQueue) Take(p *sim.Proc) []byte {
+	for len(q.entries) == 0 {
+		q.getters = append(q.getters, p)
+		p.Park()
+	}
+	rec := q.entries[0]
+	q.entries[0] = nil
+	q.entries = q.entries[1:]
+	return rec
+}
+
+// TryTake removes the head record without blocking.
+func (q *RQueue) TryTake() ([]byte, bool) {
+	if len(q.entries) == 0 {
+		return nil, false
+	}
+	rec := q.entries[0]
+	q.entries[0] = nil
+	q.entries = q.entries[1:]
+	return rec, true
+}
+
+// Len returns the number of queued records.
+func (q *RQueue) Len() int { return len(q.entries) }
+
+// Enqueued returns the total number of records ever delivered.
+func (q *RQueue) Enqueued() int64 { return q.enqueued }
+
+// MaxDepth returns the high-water queue depth.
+func (q *RQueue) MaxDepth() int { return q.maxDepth }
+
+// Registry is the cluster-wide map from logical identifiers to segments,
+// flags and queues ("the mapping between asid and an address space is
+// defined at program initialization time").
+type Registry struct {
+	eng       *sim.Engine
+	nextSeg   ASID
+	nextFlag  FlagID
+	nextQueue QueueID
+	segs      map[ASID]*Segment
+	flags     map[FlagRef]*sim.Flag
+	queues    map[QueueRef]*RQueue
+}
+
+// NewRegistry returns an empty registry bound to eng.
+func NewRegistry(eng *sim.Engine) *Registry {
+	return &Registry{
+		eng:    eng,
+		segs:   make(map[ASID]*Segment),
+		flags:  make(map[FlagRef]*sim.Flag),
+		queues: make(map[QueueRef]*RQueue),
+	}
+}
+
+// NewSegment allocates a segment of size bytes owned by rank owner.
+func (r *Registry) NewSegment(owner, size int) *Segment {
+	r.nextSeg++
+	s := &Segment{ID: r.nextSeg, Owner: owner, Data: make([]byte, size)}
+	r.segs[s.ID] = s
+	return s
+}
+
+// Segment resolves an ASID.
+func (r *Registry) Segment(id ASID) (*Segment, bool) {
+	s, ok := r.segs[id]
+	return s, ok
+}
+
+// CheckAccess verifies that rank may transfer n bytes at addr, returning a
+// Fault otherwise.
+func (r *Registry) CheckAccess(rank int, addr Addr, n int, op string) (*Segment, error) {
+	s, ok := r.segs[addr.Seg]
+	if !ok {
+		return nil, &Fault{Rank: rank, Seg: addr.Seg, Op: op, Why: "no such segment"}
+	}
+	if !s.Allowed(rank) {
+		return nil, &Fault{Rank: rank, Seg: addr.Seg, Op: op, Why: "permission denied"}
+	}
+	if addr.Off < 0 || n < 0 || addr.Off+n > len(s.Data) {
+		return nil, &Fault{Rank: rank, Seg: addr.Seg, Op: op,
+			Why: fmt.Sprintf("out of bounds: [%d,%d) of %d", addr.Off, addr.Off+n, len(s.Data))}
+	}
+	return s, nil
+}
+
+// NewFlag allocates a synchronization flag owned by rank owner.
+func (r *Registry) NewFlag(owner int) FlagRef {
+	r.nextFlag++
+	ref := FlagRef{Owner: owner, ID: r.nextFlag}
+	r.flags[ref] = r.eng.NewFlag()
+	return ref
+}
+
+// Flag resolves a flag reference.
+func (r *Registry) Flag(ref FlagRef) (*sim.Flag, bool) {
+	f, ok := r.flags[ref]
+	return f, ok
+}
+
+// Signal increments a flag (no-op for the nil reference), as the agents do
+// on operation completion.
+func (r *Registry) Signal(ref FlagRef) {
+	if ref.Nil() {
+		return
+	}
+	if f, ok := r.flags[ref]; ok {
+		f.Add(1)
+	}
+}
+
+// NewQueue allocates a remote queue owned by rank owner.
+func (r *Registry) NewQueue(owner int) *RQueue {
+	r.nextQueue++
+	q := &RQueue{ID: r.nextQueue, Owner: owner, eng: r.eng}
+	r.queues[QueueRef{Owner: owner, ID: q.ID}] = q
+	return q
+}
+
+// Queue resolves a queue reference.
+func (r *Registry) Queue(ref QueueRef) (*RQueue, bool) {
+	q, ok := r.queues[ref]
+	return q, ok
+}
+
+// CheckQueue verifies that rank may operate on the referenced queue.
+func (r *Registry) CheckQueue(rank int, ref QueueRef, op string) (*RQueue, error) {
+	q, ok := r.queues[ref]
+	if !ok {
+		return nil, &Fault{Rank: rank, Seg: ASID(ref.ID), Op: op, Why: "no such queue"}
+	}
+	if !q.Allowed(rank) {
+		return nil, &Fault{Rank: rank, Seg: ASID(ref.ID), Op: op, Why: "queue permission denied"}
+	}
+	return q, nil
+}

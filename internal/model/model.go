@@ -1,0 +1,227 @@
+// Package model implements the analytic message-proxy latency model of
+// Section 4 of the paper: the primitive machine operations measured on the
+// IBM Model G30 SMPs (Table 1), the component-by-component trace of a
+// one-word GET through two message proxies (Table 2), the closed-form GET
+// and PUT latency equations, and the protection-cost decomposition.
+//
+// The model predicts message-proxy performance on any SMP cluster from six
+// machine parameters and is used by the simulator's proxy engine so that the
+// event-level model and the closed form agree by construction.
+package model
+
+import "fmt"
+
+// Primitives holds the machine parameters of the model, in microseconds
+// (except S, a pure ratio). Notation follows Table 1.
+type Primitives struct {
+	C float64 // time to service a cache miss
+	U float64 // time for an uncached access
+	V float64 // time for one vm_att/vm_det cross-memory attach
+	S float64 // processor speed, multiple of 75 MHz
+	P float64 // polling delay
+	L float64 // network transit time
+}
+
+// G30 returns the parameters measured on the paper's pair of IBM Model G30
+// SMPs (four 75 MHz PowerPC 601s each, prototype SP2 switch adapter).
+// V is reconstructed from the paper's statement that vm_att/vm_det
+// contribute about 1.3 us to a GET (three attaches).
+func G30() Primitives {
+	return Primitives{C: 1.0, U: 0.65, V: 1.3 / 3, S: 1.0, P: 3.0, L: 1.0}
+}
+
+// GETLatency returns the one-word GET latency in microseconds:
+//
+//	10C + 6U + 3V + 3.6/S + 3P + 2L
+func (m Primitives) GETLatency() float64 {
+	return 10*m.C + 6*m.U + 3*m.V + 3.6/m.S + 3*m.P + 2*m.L
+}
+
+// PUTLatency returns the one-word PUT latency in microseconds:
+//
+//	7C + 4U + 2V + 2.2/S + 2P + L
+func (m Primitives) PUTLatency() float64 {
+	return 7*m.C + 4*m.U + 2*m.V + 2.2/m.S + 2*m.P + m.L
+}
+
+// GETProtectionCost returns the protection cost a message proxy imposes on
+// a GET: 3C + 3V + 3P (= 14 us on the G30). This is the price of
+// communicating through protected shared-memory command queues rather than
+// touching the adapter directly.
+func (m Primitives) GETProtectionCost() float64 { return 3*m.C + 3*m.V + 3*m.P }
+
+// PUTProtectionCost returns the protection cost for a PUT: 3C + 2V + 2P
+// (= 10.3 us on the G30).
+func (m Primitives) PUTProtectionCost() float64 { return 3*m.C + 2*m.V + 2*m.P }
+
+// Syscall protection costs the paper cites for streamlined system-call
+// communication (Thekkath et al.), for comparison.
+const (
+	SyscallGETProtectionCost = 23.0
+	SyscallPUTProtectionCost = 19.0
+)
+
+// Agent identifies who executes a step of the critical path.
+type Agent int
+
+const (
+	User Agent = iota
+	LocalProxy
+	Network
+	RemoteProxy
+)
+
+func (a Agent) String() string {
+	switch a {
+	case User:
+		return "User"
+	case LocalProxy:
+		return "Message Proxy (local)"
+	case Network:
+		return "Network"
+	case RemoteProxy:
+		return "Message Proxy (remote)"
+	default:
+		return fmt.Sprintf("Agent(%d)", int(a))
+	}
+}
+
+// Step is one row of a critical-path trace: a primitive operation with its
+// symbolic cost aC + bU + cV + i/S + pP + lL.
+type Step struct {
+	Agent Agent
+	Op    string
+	C     int     // cache misses
+	U     int     // uncached accesses
+	V     int     // vm_att/vm_det calls
+	Instr float64 // fixed instruction time at 75 MHz (us)
+	P     int     // polling delays
+	L     int     // network transits
+}
+
+// Cost evaluates the step under m, in microseconds.
+func (s Step) Cost(m Primitives) float64 {
+	return float64(s.C)*m.C + float64(s.U)*m.U + float64(s.V)*m.V +
+		s.Instr/m.S + float64(s.P)*m.P + float64(s.L)*m.L
+}
+
+// Symbolic renders the step's cost formula in the paper's notation.
+func (s Step) Symbolic() string {
+	out := ""
+	add := func(n int, sym string) {
+		if n == 0 {
+			return
+		}
+		if out != "" {
+			out += " + "
+		}
+		if n == 1 {
+			out += sym
+		} else {
+			out += fmt.Sprintf("%d%s", n, sym)
+		}
+	}
+	add(s.C, "C")
+	add(s.U, "U")
+	add(s.V, "V")
+	if s.Instr != 0 {
+		if out != "" {
+			out += " + "
+		}
+		out += fmt.Sprintf("%.2g/S", s.Instr)
+	}
+	add(s.P, "P")
+	add(s.L, "L")
+	if out == "" {
+		out = "0"
+	}
+	return out
+}
+
+// Trace is a critical-path decomposition (Table 2 reproduces GETTrace).
+type Trace []Step
+
+// Total sums the trace under m, in microseconds.
+func (t Trace) Total(m Primitives) float64 {
+	var sum float64
+	for _, s := range t {
+		sum += s.Cost(m)
+	}
+	return sum
+}
+
+// Totals returns the summed symbolic coefficients (C, U, V, Instr, P, L).
+func (t Trace) Totals() Step {
+	var tot Step
+	tot.Op = "total"
+	for _, s := range t {
+		tot.C += s.C
+		tot.U += s.U
+		tot.V += s.V
+		tot.Instr += s.Instr
+		tot.P += s.P
+		tot.L += s.L
+	}
+	return tot
+}
+
+// GETTrace returns the latency components of the critical path of a
+// one-word GET (Table 2). The symbolic totals reduce exactly to the GET
+// latency equation.
+func GETTrace() Trace {
+	return Trace{
+		{Agent: User, Op: "enq command, (read miss, write miss)", C: 2, Instr: 0.2},
+		{Agent: LocalProxy, Op: "polling delay", P: 1},
+		{Agent: LocalProxy, Op: "dequeue entry, (read miss)", C: 1},
+		{Agent: LocalProxy, Op: "decode command, allocate CCB", Instr: 0.5},
+		{Agent: LocalProxy, Op: "dispatch to send routine", Instr: 0.1},
+		{Agent: LocalProxy, Op: "set up network packet header", U: 1, Instr: 0.6},
+		{Agent: LocalProxy, Op: "launch packet", U: 1},
+		{Agent: Network, Op: "transit time", L: 1},
+		{Agent: RemoteProxy, Op: "polling delay", P: 1},
+		{Agent: RemoteProxy, Op: "read input packet header, (read miss)", C: 1},
+		{Agent: RemoteProxy, Op: "decode packet, dispatch to handler", Instr: 0.4},
+		{Agent: RemoteProxy, Op: "compute remote address, check validity", Instr: 0.1},
+		{Agent: RemoteProxy, Op: "vm_att to remote address", V: 1},
+		{Agent: RemoteProxy, Op: "address and packet size check", Instr: 0.5},
+		{Agent: RemoteProxy, Op: "set up network packet header", U: 1, Instr: 0.7},
+		{Agent: RemoteProxy, Op: "fill in data, read miss", C: 1, U: 1},
+		{Agent: RemoteProxy, Op: "set remote sync. register, (write miss)", C: 1},
+		{Agent: RemoteProxy, Op: "launch packet", U: 1},
+		{Agent: Network, Op: "transit time", L: 1},
+		{Agent: LocalProxy, Op: "polling delay", P: 1},
+		{Agent: LocalProxy, Op: "read input packet header, (read miss)", C: 1},
+		{Agent: LocalProxy, Op: "decode packet, dispatch to handler", Instr: 0.3},
+		{Agent: LocalProxy, Op: "find local addr in CCB, check validity", Instr: 0.2},
+		{Agent: LocalProxy, Op: "vm_att to local address space", V: 1},
+		{Agent: LocalProxy, Op: "read packet payload", U: 1},
+		{Agent: LocalProxy, Op: "copy data to destination, (write miss)", C: 1},
+		{Agent: LocalProxy, Op: "set local sync. register, (write miss)", C: 1},
+		{Agent: User, Op: "read local sync. register, (read miss)", C: 1},
+		{Agent: LocalProxy, Op: "vm_att to FIFO queue", V: 1},
+	}
+}
+
+// PUTTrace returns the critical path of a one-word PUT; the symbolic totals
+// reduce exactly to the PUT latency equation.
+func PUTTrace() Trace {
+	return Trace{
+		{Agent: User, Op: "enq command, (read miss, write miss)", C: 2, Instr: 0.2},
+		{Agent: LocalProxy, Op: "polling delay", P: 1},
+		{Agent: LocalProxy, Op: "dequeue entry, (read miss)", C: 1},
+		{Agent: LocalProxy, Op: "decode command", Instr: 0.5},
+		{Agent: LocalProxy, Op: "vm_att to local source", V: 1},
+		{Agent: LocalProxy, Op: "set up network packet header", U: 1, Instr: 0.6},
+		{Agent: LocalProxy, Op: "read source data, (read miss)", C: 1, U: 1},
+		{Agent: LocalProxy, Op: "launch packet", U: 1},
+		{Agent: Network, Op: "transit time", L: 1},
+		{Agent: RemoteProxy, Op: "polling delay", P: 1},
+		{Agent: RemoteProxy, Op: "read input packet header, (read miss)", C: 1},
+		{Agent: RemoteProxy, Op: "decode packet, dispatch to handler", Instr: 0.4},
+		{Agent: RemoteProxy, Op: "vm_att to remote address", V: 1},
+		{Agent: RemoteProxy, Op: "address and packet size check", Instr: 0.5},
+		{Agent: RemoteProxy, Op: "read packet payload", U: 1},
+		{Agent: RemoteProxy, Op: "copy data to destination, (write miss)", C: 1},
+		{Agent: RemoteProxy, Op: "set remote sync. register, (write miss)", C: 1},
+	}
+}

@@ -1,0 +1,154 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestG30MeasuredLatencies(t *testing.T) {
+	// Section 4.1: measured one-way PUT latency is 18.5 + L us and GET is
+	// 27.5 + L us (the model gives 2L for GET's round trip; the measured
+	// quote folds one L into the constant). Check the model against the
+	// measured constants at L = 1.
+	m := G30()
+	if got := m.PUTLatency(); !close(got, 18.5+m.L, 0.8) {
+		t.Errorf("PUT latency = %.2f us, want ~%.2f", got, 18.5+m.L)
+	}
+	if got := m.GETLatency(); !close(got, 27.5+2*m.L, 0.8) {
+		t.Errorf("GET latency = %.2f us, want ~%.2f", got, 27.5+2*m.L)
+	}
+}
+
+func TestProtectionCosts(t *testing.T) {
+	// Section 4.1: proxies impose ~14 us protection cost on GET and
+	// ~10.3 us on PUT; streamlined syscalls impose 23 and 19 us.
+	m := G30()
+	if got := m.GETProtectionCost(); !close(got, 14, 1.0) {
+		t.Errorf("GET protection cost = %.2f, want ~14", got)
+	}
+	if got := m.PUTProtectionCost(); !close(got, 10.3, 1.0) {
+		t.Errorf("PUT protection cost = %.2f, want ~10.3", got)
+	}
+	if m.GETProtectionCost() >= SyscallGETProtectionCost {
+		t.Error("proxy GET protection cost should beat syscalls")
+	}
+	if m.PUTProtectionCost() >= SyscallPUTProtectionCost {
+		t.Error("proxy PUT protection cost should beat syscalls")
+	}
+}
+
+func TestGETTraceMatchesEquation(t *testing.T) {
+	// Table 2's components must sum to exactly 10C + 6U + 3V + 3.6/S +
+	// 3P + 2L, for any machine parameters.
+	tot := GETTrace().Totals()
+	if tot.C != 10 || tot.U != 6 || tot.V != 3 || tot.P != 3 || tot.L != 2 {
+		t.Fatalf("GET trace totals = %+v, want 10C 6U 3V 3P 2L", tot)
+	}
+	if !close(tot.Instr, 3.6, 1e-9) {
+		t.Fatalf("GET trace instruction time = %v, want 3.6", tot.Instr)
+	}
+}
+
+func TestPUTTraceMatchesEquation(t *testing.T) {
+	tot := PUTTrace().Totals()
+	if tot.C != 7 || tot.U != 4 || tot.V != 2 || tot.P != 2 || tot.L != 1 {
+		t.Fatalf("PUT trace totals = %+v, want 7C 4U 2V 2P 1L", tot)
+	}
+	if !close(tot.Instr, 2.2, 1e-9) {
+		t.Fatalf("PUT trace instruction time = %v, want 2.2", tot.Instr)
+	}
+}
+
+func TestPropertyTraceTotalEqualsEquation(t *testing.T) {
+	// Property: for arbitrary positive machine parameters, evaluating the
+	// trace step by step equals the closed-form equation.
+	f := func(c, u, v, p, l uint8, s uint8) bool {
+		m := Primitives{
+			C: float64(c)/16 + 0.1, U: float64(u)/16 + 0.1,
+			V: float64(v)/16 + 0.1, P: float64(p)/8 + 0.1,
+			L: float64(l)/8 + 0.1, S: float64(s%8) + 1,
+		}
+		return close(GETTrace().Total(m), m.GETLatency(), 1e-6) &&
+			close(PUTTrace().Total(m), m.PUTLatency(), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFasterProcessorReducesLatency(t *testing.T) {
+	// Prediction use-case: doubling S (MP0 -> MP1 proxy processor) must
+	// shave exactly half the instruction time.
+	m := G30()
+	m2 := m
+	m2.S = 2
+	if got, want := m.GETLatency()-m2.GETLatency(), 1.8; !close(got, want, 1e-9) {
+		t.Errorf("S=2 saves %.3f us on GET, want %.3f", got, want)
+	}
+}
+
+func TestCacheUpdatePrediction(t *testing.T) {
+	// Section 5's motivation for MP2: dropping C from 1.0 to 0.25 removes
+	// 7.5 us from a GET (10 misses) and 5.25 us from a PUT (7 misses).
+	m := G30()
+	m2 := m
+	m2.C = 0.25
+	if got := m.GETLatency() - m2.GETLatency(); !close(got, 7.5, 1e-9) {
+		t.Errorf("cache update saves %.3f on GET, want 7.5", got)
+	}
+	if got := m.PUTLatency() - m2.PUTLatency(); !close(got, 5.25, 1e-9) {
+		t.Errorf("cache update saves %.3f on PUT, want 5.25", got)
+	}
+}
+
+func TestVMAttContribution(t *testing.T) {
+	// Section 4.1: vm_att/vm_det contribute about 1.3 us to the GET
+	// critical path (3V); a 64-bit PowerPC could remove this entirely.
+	m := G30()
+	if got := 3 * m.V; !close(got, 1.3, 0.01) {
+		t.Errorf("3V = %.3f, want ~1.3", got)
+	}
+}
+
+func TestSymbolicRendering(t *testing.T) {
+	s := Step{C: 2, Instr: 0.2}
+	if got := s.Symbolic(); got != "2C + 0.2/S" {
+		t.Errorf("Symbolic = %q", got)
+	}
+	s = Step{U: 1}
+	if got := s.Symbolic(); got != "U" {
+		t.Errorf("Symbolic = %q", got)
+	}
+	if got := (Step{}).Symbolic(); got != "0" {
+		t.Errorf("Symbolic = %q", got)
+	}
+}
+
+func TestAgentString(t *testing.T) {
+	if User.String() != "User" || Network.String() != "Network" {
+		t.Error("agent names wrong")
+	}
+	if LocalProxy.String() == RemoteProxy.String() {
+		t.Error("proxy agents indistinguishable")
+	}
+}
+
+func TestTraceAgentsAlternate(t *testing.T) {
+	// The GET critical path crosses the network exactly twice, and the
+	// network steps separate local from remote proxy work.
+	var transits int
+	for _, s := range GETTrace() {
+		if s.Agent == Network {
+			transits++
+			if s.L != 1 {
+				t.Errorf("network step without transit: %+v", s)
+			}
+		}
+	}
+	if transits != 2 {
+		t.Errorf("GET crosses network %d times, want 2", transits)
+	}
+}

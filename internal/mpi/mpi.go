@@ -1,0 +1,266 @@
+// Package mpi implements a message-passing layer with MPI semantics on the
+// paper's RMA and RQ primitives — the other higher-level protocol (besides
+// Active Messages) that Section 3 names as a natural client of the
+// communication model. It provides tagged, source-matched, non-overtaking
+// point-to-point sends and receives with the two classic protocols:
+//
+//   - eager: small messages travel inside an active message and are
+//     buffered at the receiver if no matching receive is posted yet;
+//   - rendezvous: large messages send only an envelope; when a matching
+//     receive is posted, the receiver pulls the payload with a zero-copy
+//     GET straight out of the sender's buffer and acknowledges — the
+//     remote-memory-access style the paper advocates.
+//
+// Collectives delegate to the coll package.
+package mpi
+
+import (
+	"fmt"
+
+	"mproxy/internal/am"
+	"mproxy/internal/coll"
+	"mproxy/internal/comm"
+	"mproxy/internal/costmodel"
+	"mproxy/internal/memory"
+)
+
+// Any matches any source or any tag in a receive.
+const Any = -1
+
+// EagerLimit is the largest payload sent eagerly (inside the envelope
+// message); larger messages use the rendezvous protocol.
+const EagerLimit = 1024
+
+// Status describes a completed receive.
+type Status struct {
+	Source int
+	Tag    int
+	Bytes  int
+}
+
+// Request is a handle on an outstanding Isend or Irecv.
+type Request struct {
+	done    bool
+	status  Status
+	pending *pendingGet // rendezvous receive awaiting its GET
+}
+
+// Done reports whether the operation has completed. Rendezvous receives
+// finish inside Wait.
+func (r *Request) Done() bool { return r.done }
+
+// pendingGet tracks a rendezvous pull in flight.
+type pendingGet struct {
+	flag   memory.FlagRef
+	sendID int64
+	src    int
+}
+
+// envelope is the control record for one message.
+type envelope struct {
+	src, tag, n int
+	eager       []byte      // eager payload (nil for rendezvous)
+	srcAddr     memory.Addr // rendezvous source buffer
+	sendID      int64       // rendezvous completion token at the sender
+}
+
+type postedRecv struct {
+	src, tag int
+	buf      memory.Addr
+	max      int
+	req      *Request
+}
+
+// World is the cluster-wide MPI state.
+type World struct {
+	l     *am.Layer
+	g     *coll.Group
+	comms []*Comm
+
+	hSend int // envelope (eager payload or rendezvous header)
+	hDone int // rendezvous completion ack to the sender
+}
+
+// Comm is one rank's communicator.
+type Comm struct {
+	w    *World
+	rank int
+	ep   *comm.Endpoint
+	port *am.Port
+	co   *coll.Comm
+
+	posted     []*postedRecv
+	unexpected []*envelope
+
+	nextSendID int64
+	sendReqs   map[int64]*Request
+}
+
+// New builds the MPI layer over the AM layer and collectives.
+func New(l *am.Layer, g *coll.Group) *World {
+	w := &World{l: l, g: g}
+	for r := 0; r < l.Ranks(); r++ {
+		w.comms = append(w.comms, &Comm{
+			w: w, rank: r, ep: l.Fabric().Endpoint(r), port: l.Port(r),
+			co: g.Comm(r), sendReqs: make(map[int64]*Request),
+		})
+	}
+	w.hSend = l.Register(func(p *am.Port, src int, args []int64, payload []byte) {
+		c := w.comms[p.Rank()]
+		env := &envelope{
+			src: src, tag: int(args[0]), n: int(args[1]), sendID: args[2],
+			srcAddr: memory.Addr{Seg: memory.ASID(args[3]), Off: int(args[4])},
+		}
+		if env.n <= EagerLimit {
+			env.eager = append([]byte(nil), payload...)
+		}
+		c.arrive(env)
+	})
+	w.hDone = l.Register(func(p *am.Port, src int, args []int64, _ []byte) {
+		c := w.comms[p.Rank()]
+		if req, ok := c.sendReqs[args[0]]; ok {
+			req.done = true
+			delete(c.sendReqs, args[0])
+		}
+	})
+	return w
+}
+
+// Comm returns rank's communicator.
+func (w *World) Comm(rank int) *Comm { return w.comms[rank] }
+
+// Rank returns this communicator's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return len(c.w.comms) }
+
+// Coll exposes the collective operations (AllReduce, Bcast, Scan, ...).
+func (c *Comm) Coll() *coll.Comm { return c.co }
+
+// Barrier synchronizes all ranks.
+func (c *Comm) Barrier() { c.co.Barrier() }
+
+// Isend starts sending n bytes at buf (in this rank's address space) to
+// dst with the given tag. The buffer must stay untouched until Wait
+// (rendezvous pulls it remotely).
+func (c *Comm) Isend(buf memory.Addr, n, dst, tag int) *Request {
+	r := &Request{}
+	if dst < 0 || dst >= c.Size() {
+		panic(fmt.Sprintf("mpi: rank %d sends to %d", c.rank, dst))
+	}
+	if n <= EagerLimit {
+		seg, ok := c.w.l.Fabric().Registry().Segment(buf.Seg)
+		if !ok {
+			panic("mpi: send buffer in unknown segment")
+		}
+		payload := append([]byte(nil), seg.Data[buf.Off:buf.Off+n]...)
+		c.ep.Compute(costmodel.Copy(n))
+		c.port.Send(dst, c.w.hSend, []int64{int64(tag), int64(n), 0, 0, 0}, payload)
+		r.done = true // eager: the payload left with the message
+		return r
+	}
+	c.nextSendID++
+	id := c.nextSendID
+	c.sendReqs[id] = r
+	c.port.Request(dst, c.w.hSend,
+		int64(tag), int64(n), id, int64(buf.Seg), int64(buf.Off))
+	return r
+}
+
+// Irecv posts a receive of up to max bytes into buf, from src (or Any)
+// with the given tag (or Any).
+func (c *Comm) Irecv(buf memory.Addr, max, src, tag int) *Request {
+	r := &Request{}
+	pr := &postedRecv{src: src, tag: tag, buf: buf, max: max, req: r}
+	// Match the unexpected queue first, in arrival order.
+	for i, env := range c.unexpected {
+		if matches(pr, env) {
+			c.unexpected = append(c.unexpected[:i], c.unexpected[i+1:]...)
+			c.deliver(env, pr)
+			return r
+		}
+	}
+	c.posted = append(c.posted, pr)
+	return r
+}
+
+// Send is a blocking Isend.
+func (c *Comm) Send(buf memory.Addr, n, dst, tag int) {
+	c.Wait(c.Isend(buf, n, dst, tag))
+}
+
+// Recv is a blocking Irecv.
+func (c *Comm) Recv(buf memory.Addr, max, src, tag int) Status {
+	return c.Wait(c.Irecv(buf, max, src, tag))
+}
+
+// Wait blocks until the request completes, serving incoming messages
+// (matching, protocol processing) meanwhile. It returns the receive
+// status.
+func (c *Comm) Wait(r *Request) Status {
+	c.port.WaitUntil(func() bool { return r.done || r.pending != nil })
+	if r.pending != nil {
+		pg := r.pending
+		// The zero-copy pull: wait for the GET's data, then release the
+		// sender's buffer with an ack.
+		c.ep.WaitFlag(pg.flag, 1)
+		c.port.Request(pg.src, c.w.hDone, pg.sendID)
+		r.pending = nil
+		r.done = true
+	}
+	return r.status
+}
+
+// WaitAll waits on several requests.
+func (c *Comm) WaitAll(rs ...*Request) {
+	for _, r := range rs {
+		c.Wait(r)
+	}
+}
+
+// arrive matches an incoming envelope against posted receives (in post
+// order) or queues it as unexpected.
+func (c *Comm) arrive(env *envelope) {
+	for i, pr := range c.posted {
+		if matches(pr, env) {
+			c.posted = append(c.posted[:i], c.posted[i+1:]...)
+			c.deliver(env, pr)
+			return
+		}
+	}
+	c.unexpected = append(c.unexpected, env)
+}
+
+func matches(pr *postedRecv, env *envelope) bool {
+	return (pr.src == Any || pr.src == env.src) && (pr.tag == Any || pr.tag == env.tag)
+}
+
+// deliver completes a matched receive: copy an eager payload, or start the
+// rendezvous pull. Runs inside an active-message handler, so it must not
+// block; rendezvous completion is finished by Wait.
+func (c *Comm) deliver(env *envelope, pr *postedRecv) {
+	n := env.n
+	if n > pr.max {
+		panic(fmt.Sprintf("mpi: rank %d receive truncation: %d > %d (src %d tag %d)",
+			c.rank, n, pr.max, env.src, env.tag))
+	}
+	pr.req.status = Status{Source: env.src, Tag: env.tag, Bytes: n}
+	if n <= EagerLimit {
+		seg, ok := c.w.l.Fabric().Registry().Segment(pr.buf.Seg)
+		if !ok {
+			panic("mpi: receive buffer in unknown segment")
+		}
+		copy(seg.Data[pr.buf.Off:pr.buf.Off+n], env.eager)
+		c.ep.Compute(costmodel.Copy(n))
+		pr.req.done = true
+		return
+	}
+	// Rendezvous: one fresh flag per transfer (completions of concurrent
+	// pulls must not be confused).
+	flag := c.w.l.Fabric().Registry().NewFlag(c.rank)
+	if err := c.ep.Get(pr.buf, env.srcAddr, n, flag, memory.FlagRef{}); err != nil {
+		panic(fmt.Sprintf("mpi: rendezvous get: %v", err))
+	}
+	pr.req.pending = &pendingGet{flag: flag, sendID: env.sendID, src: env.src}
+}

@@ -1,0 +1,253 @@
+package mpi
+
+import (
+	"testing"
+
+	"mproxy/internal/am"
+	"mproxy/internal/arch"
+	"mproxy/internal/coll"
+	"mproxy/internal/comm"
+	"mproxy/internal/machine"
+	"mproxy/internal/memory"
+	"mproxy/internal/sim"
+)
+
+// world runs body on every rank with an MPI layer and a per-rank buffer
+// segment granted to all (rendezvous pulls need remote read access).
+func world(t *testing.T, n int, a arch.Params, segBytes int,
+	body func(c *Comm, seg *memory.Segment)) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cl := machine.New(eng, machine.Config{Nodes: n, ProcsPerNode: 1}, a)
+	f := comm.New(cl)
+	l := am.New(f)
+	g := coll.NewGroup(l)
+	w := New(l, g)
+	segs := make([]*memory.Segment, n)
+	for r := 0; r < n; r++ {
+		segs[r] = f.Registry().NewSegment(r, segBytes)
+		segs[r].GrantAll(n)
+	}
+	for r := 0; r < n; r++ {
+		r := r
+		eng.Spawn("rank", func(p *sim.Proc) {
+			f.Endpoint(r).Bind(p)
+			body(w.Comm(r), segs[r])
+			g.Comm(r).Barrier()
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEagerSendRecv(t *testing.T) {
+	for _, a := range arch.All {
+		t.Run(a.Name, func(t *testing.T) {
+			world(t, 2, a, 256, func(c *Comm, seg *memory.Segment) {
+				if c.Rank() == 0 {
+					copy(seg.Data, "eager payload")
+					c.Send(seg.Addr(0), 13, 1, 7)
+				} else {
+					st := c.Recv(seg.Addr(0), 256, 0, 7)
+					if st.Source != 0 || st.Tag != 7 || st.Bytes != 13 {
+						t.Errorf("status = %+v", st)
+					}
+					if string(seg.Data[:13]) != "eager payload" {
+						t.Errorf("data = %q", seg.Data[:13])
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestRendezvousLargeMessage(t *testing.T) {
+	const n = 3 * 4096 // well past EagerLimit, multi-page
+	for _, a := range []arch.Params{arch.HW1, arch.MP1, arch.SW1} {
+		t.Run(a.Name, func(t *testing.T) {
+			world(t, 2, a, n, func(c *Comm, seg *memory.Segment) {
+				if c.Rank() == 0 {
+					for i := range seg.Data {
+						seg.Data[i] = byte(i % 251)
+					}
+					c.Send(seg.Addr(0), n, 1, 0)
+					// Send returned: the ack came back, so the buffer is
+					// reusable.
+					seg.Data[0] = 0xFF
+				} else {
+					st := c.Recv(seg.Addr(0), n, 0, Any)
+					if st.Bytes != n {
+						t.Fatalf("bytes = %d", st.Bytes)
+					}
+					for i := range seg.Data {
+						if seg.Data[i] != byte(i%251) {
+							t.Fatalf("byte %d corrupt", i)
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestUnexpectedMessageBuffered(t *testing.T) {
+	// Send long before the receive is posted.
+	world(t, 2, arch.MP1, 256, func(c *Comm, seg *memory.Segment) {
+		if c.Rank() == 0 {
+			copy(seg.Data, "early")
+			c.Send(seg.Addr(0), 5, 1, 3)
+		} else {
+			c.Coll().Port().Endpoint().Compute(200 * sim.Microsecond)
+			st := c.Recv(seg.Addr(0), 256, 0, 3)
+			if st.Bytes != 5 || string(seg.Data[:5]) != "early" {
+				t.Errorf("got %+v %q", st, seg.Data[:5])
+			}
+		}
+	})
+}
+
+func TestTagMatching(t *testing.T) {
+	// Two messages with different tags; receives posted in reverse tag
+	// order must match by tag, not arrival.
+	world(t, 2, arch.HW1, 512, func(c *Comm, seg *memory.Segment) {
+		if c.Rank() == 0 {
+			copy(seg.Data[0:], "tagged-A")
+			copy(seg.Data[16:], "tagged-B")
+			c.Send(seg.Addr(0), 8, 1, 1)
+			c.Send(seg.Addr(16), 8, 1, 2)
+		} else {
+			stB := c.Recv(seg.Addr(0), 8, 0, 2)
+			stA := c.Recv(seg.Addr(16), 8, 0, 1)
+			if string(seg.Data[:8]) != "tagged-B" || string(seg.Data[16:24]) != "tagged-A" {
+				t.Errorf("tag matching failed: %q %q", seg.Data[:8], seg.Data[16:24])
+			}
+			if stA.Tag != 1 || stB.Tag != 2 {
+				t.Errorf("status tags %d %d", stA.Tag, stB.Tag)
+			}
+		}
+	})
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	world(t, 4, arch.MP1, 256, func(c *Comm, seg *memory.Segment) {
+		if c.Rank() != 0 {
+			memory.PutI64(seg.Data, int64(100+c.Rank()))
+			c.Send(seg.Addr(0), 8, 0, c.Rank())
+			return
+		}
+		seen := map[int]bool{}
+		for i := 0; i < 3; i++ {
+			st := c.Recv(seg.Addr(0), 8, Any, Any)
+			v := memory.GetI64(seg.Data)
+			if int(v) != 100+st.Source || st.Tag != st.Source {
+				t.Errorf("recv %d: v=%d st=%+v", i, v, st)
+			}
+			seen[st.Source] = true
+		}
+		if len(seen) != 3 {
+			t.Errorf("sources = %v", seen)
+		}
+	})
+}
+
+func TestNonOvertakingSameSourceTag(t *testing.T) {
+	// MPI ordering: two same-(src,tag) messages must be received in send
+	// order.
+	world(t, 2, arch.MP2, 256, func(c *Comm, seg *memory.Segment) {
+		if c.Rank() == 0 {
+			memory.PutI64(seg.Data, 1)
+			c.Send(seg.Addr(0), 8, 1, 5)
+			memory.PutI64(seg.Data, 2)
+			c.Send(seg.Addr(0), 8, 1, 5)
+		} else {
+			c.Recv(seg.Addr(0), 8, 0, 5)
+			first := memory.GetI64(seg.Data)
+			c.Recv(seg.Addr(0), 8, 0, 5)
+			second := memory.GetI64(seg.Data)
+			if first != 1 || second != 2 {
+				t.Errorf("order: %d then %d", first, second)
+			}
+		}
+	})
+}
+
+func TestIsendIrecvOverlap(t *testing.T) {
+	// Both ranks post receives first, then send: no deadlock thanks to
+	// nonblocking posts.
+	world(t, 2, arch.MP1, 8192, func(c *Comm, seg *memory.Segment) {
+		peer := 1 - c.Rank()
+		recv := c.Irecv(seg.Addr(4096), 4096, peer, 0)
+		for i := 0; i < 2048; i++ {
+			seg.Data[i] = byte(c.Rank() + 1)
+		}
+		send := c.Isend(seg.Addr(0), 2048, peer, 0)
+		c.WaitAll(recv, send)
+		if seg.Data[4096] != byte(peer+1) {
+			t.Errorf("rank %d got %d", c.Rank(), seg.Data[4096])
+		}
+	})
+}
+
+func TestPingPongLatencyOrdering(t *testing.T) {
+	// The MPI layer inherits the architecture ordering: MP1 ping-pong sits
+	// between HW1 and SW1.
+	lat := map[string]sim.Time{}
+	for _, a := range []arch.Params{arch.HW1, arch.MP1, arch.SW1} {
+		var took sim.Time
+		world(t, 2, a, 256, func(c *Comm, seg *memory.Segment) {
+			const reps = 10
+			if c.Rank() == 0 {
+				start := c.port.Endpoint().Proc().Now()
+				for i := 0; i < reps; i++ {
+					c.Send(seg.Addr(0), 8, 1, 0)
+					c.Recv(seg.Addr(0), 8, 1, 0)
+				}
+				took = c.port.Endpoint().Proc().Now() - start
+			} else {
+				for i := 0; i < reps; i++ {
+					c.Recv(seg.Addr(0), 8, 0, 0)
+					c.Send(seg.Addr(0), 8, 0, 0)
+				}
+			}
+		})
+		lat[a.Name] = took
+	}
+	if !(lat["HW1"] < lat["MP1"] && lat["MP1"] < lat["SW1"]) {
+		t.Errorf("latency ordering violated: %v", lat)
+	}
+}
+
+func TestCollectivesThroughMPI(t *testing.T) {
+	world(t, 4, arch.MP1, 64, func(c *Comm, seg *memory.Segment) {
+		sum := c.Coll().AllReduce(float64(c.Rank()+1), coll.Sum)
+		if sum != 10 {
+			t.Errorf("allreduce = %v", sum)
+		}
+		c.Barrier()
+	})
+}
+
+func TestTruncationPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := machine.New(eng, machine.Config{Nodes: 2, ProcsPerNode: 1}, arch.MP1)
+	f := comm.New(cl)
+	l := am.New(f)
+	g := coll.NewGroup(l)
+	w := New(l, g)
+	seg0 := f.Registry().NewSegment(0, 256)
+	seg1 := f.Registry().NewSegment(1, 256)
+	seg0.GrantAll(2)
+	seg1.GrantAll(2)
+	eng.Spawn("r0", func(p *sim.Proc) {
+		f.Endpoint(0).Bind(p)
+		w.Comm(0).Send(seg0.Addr(0), 100, 1, 0)
+	})
+	eng.Spawn("r1", func(p *sim.Proc) {
+		f.Endpoint(1).Bind(p)
+		w.Comm(1).Recv(seg1.Addr(0), 10, 0, 0) // too small
+	})
+	if err := eng.Run(); err == nil {
+		t.Fatal("expected truncation failure")
+	}
+}

@@ -1,0 +1,231 @@
+// Package proxy implements the message proxy's user-visible data
+// structures: the per-user command queues and the round-robin polling
+// scanner of the main dispatch loop (Figure 5 of the paper).
+//
+// Each user process owns a single-producer, single-consumer command queue
+// mapped in its own address space, so users are protected from each other
+// and no locks are needed even with truly concurrent producers on an SMP:
+// queue synchronization is a full/empty flag in each entry. The proxy scans
+// registered queues and the network input in round-robin order; a shared
+// non-empty bit vector lets it detect the state of many queues in a single
+// probe (the polling-delay optimization discussed in Section 4.1).
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// ErrFull is returned when a command queue has no free entry; the caller
+// must retry after the proxy drains the queue (backpressure).
+var ErrFull = errors.New("proxy: command queue full")
+
+// entry is one slot of a command queue. Valid is the full/empty flag that
+// replaces locks: the producer sets it last, the consumer clears it last.
+type entry struct {
+	valid bool
+	cmd   any
+}
+
+// CommandQueue is a bounded SPSC ring. Only the owning rank may produce
+// into it; only the proxy consumes.
+type CommandQueue struct {
+	owner    int
+	ring     []entry
+	head     int // consumer position
+	tail     int // producer position
+	enqueued int64
+	fullHits int64
+}
+
+// NewCommandQueue returns a queue of the given capacity owned by rank.
+func NewCommandQueue(owner, capacity int) *CommandQueue {
+	if capacity <= 0 {
+		panic("proxy: command queue capacity must be positive")
+	}
+	return &CommandQueue{owner: owner, ring: make([]entry, capacity)}
+}
+
+// Owner returns the producing rank.
+func (q *CommandQueue) Owner() int { return q.owner }
+
+// Cap returns the queue capacity.
+func (q *CommandQueue) Cap() int { return len(q.ring) }
+
+// Enqueue submits a command on behalf of rank. It fails with ErrFull when
+// the ring has no empty entry, and panics if a foreign rank produces into
+// the queue — foreign processes cannot reach it in a real system, since it
+// is mapped only in the owner's address space.
+func (q *CommandQueue) Enqueue(rank int, cmd any) error {
+	if rank != q.owner {
+		panic(fmt.Sprintf("proxy: rank %d produced into rank %d's command queue", rank, q.owner))
+	}
+	e := &q.ring[q.tail]
+	if e.valid {
+		q.fullHits++
+		return ErrFull
+	}
+	e.cmd = cmd
+	e.valid = true
+	q.tail = (q.tail + 1) % len(q.ring)
+	q.enqueued++
+	return nil
+}
+
+// Dequeue removes the head command, if any (consumer side).
+func (q *CommandQueue) Dequeue() (any, bool) {
+	e := &q.ring[q.head]
+	if !e.valid {
+		return nil, false
+	}
+	cmd := e.cmd
+	e.cmd = nil
+	e.valid = false
+	q.head = (q.head + 1) % len(q.ring)
+	return cmd, true
+}
+
+// Empty reports whether the queue has no valid entries.
+func (q *CommandQueue) Empty() bool { return !q.ring[q.head].valid }
+
+// Len returns the number of valid entries.
+func (q *CommandQueue) Len() int {
+	n := 0
+	for _, e := range q.ring {
+		if e.valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Enqueued returns the total commands ever accepted.
+func (q *CommandQueue) Enqueued() int64 { return q.enqueued }
+
+// FullHits returns how many submissions bounced off a full ring.
+func (q *CommandQueue) FullHits() int64 { return q.fullHits }
+
+// Scanner is the proxy's round-robin poll over registered command queues.
+// Producers set a bit in a shared bit vector when they enqueue; the scanner
+// probes whole words of the vector instead of touching every queue head,
+// so an idle queue costs 1/64th of a probe rather than a cache miss.
+type Scanner struct {
+	queues    []*CommandQueue
+	bitvec    []uint64
+	pos       int
+	suspended map[int]bool
+
+	probes     int64 // word probes of the bit vector
+	headChecks int64 // queue-head reads (cache-miss-prone)
+}
+
+// NewScanner returns an empty scanner.
+func NewScanner() *Scanner { return &Scanner{} }
+
+// Register adds a queue to the scan set and returns its index.
+func (s *Scanner) Register(q *CommandQueue) int {
+	idx := len(s.queues)
+	s.queues = append(s.queues, q)
+	if idx/64 >= len(s.bitvec) {
+		s.bitvec = append(s.bitvec, 0)
+	}
+	return idx
+}
+
+// Queues returns the number of registered queues.
+func (s *Scanner) Queues() int { return len(s.queues) }
+
+// MarkNonEmpty is called by a producer after enqueueing into queue idx.
+// Marks on suspended queues are deferred until Resume.
+func (s *Scanner) MarkNonEmpty(idx int) {
+	if s.suspended[idx] {
+		return
+	}
+	s.bitvec[idx/64] |= 1 << (idx % 64)
+}
+
+// Next dequeues one command from the next non-empty queue in round-robin
+// order starting after the previous hit. It returns the command, the queue
+// index, and whether anything was found.
+func (s *Scanner) Next() (any, int, bool) {
+	n := len(s.queues)
+	if n == 0 {
+		return nil, -1, false
+	}
+	pos := s.pos % n
+	// Visit each position at most twice (one full wrap past the start),
+	// skipping empty stretches a bit-vector word at a time.
+	for visited := 0; visited < 2*n; {
+		w := pos / 64
+		s.probes++
+		rest := s.bitvec[w] >> (pos % 64)
+		if rest == 0 {
+			// The rest of this word is empty: one probe skips it all.
+			next := (w + 1) * 64
+			skipped := next
+			if skipped > n {
+				skipped = n
+			}
+			visited += skipped - pos
+			if next >= n {
+				next = 0
+			}
+			pos = next
+			continue
+		}
+		idx := pos + bits.TrailingZeros64(rest)
+		if idx >= n {
+			visited += n - pos
+			pos = 0
+			continue
+		}
+		visited += idx - pos + 1
+		s.headChecks++
+		q := s.queues[idx]
+		cmd, ok := q.Dequeue()
+		if q.Empty() {
+			s.bitvec[idx/64] &^= 1 << (idx % 64)
+		}
+		pos = (idx + 1) % n
+		if ok {
+			s.pos = pos
+			return cmd, idx, true
+		}
+		// Stale bit (command consumed earlier): keep scanning.
+	}
+	s.pos = pos
+	return nil, -1, false
+}
+
+// Suspend removes a queue from the scan set without deregistering it:
+// the paper's Section 4.1 optimization of "polling only the queues of
+// scheduled processes". Pending commands stay queued; producers may keep
+// enqueueing, and the commands are picked up after Resume.
+func (s *Scanner) Suspend(idx int) {
+	if s.suspended == nil {
+		s.suspended = make(map[int]bool)
+	}
+	s.suspended[idx] = true
+	s.bitvec[idx/64] &^= 1 << (idx % 64)
+}
+
+// Resume returns a suspended queue to the scan set, re-marking it
+// non-empty if commands accumulated while it was descheduled.
+func (s *Scanner) Resume(idx int) {
+	delete(s.suspended, idx)
+	if !s.queues[idx].Empty() {
+		s.MarkNonEmpty(idx)
+	}
+}
+
+// Suspended reports whether a queue is currently out of the scan set.
+func (s *Scanner) Suspended(idx int) bool { return s.suspended[idx] }
+
+// Probes returns the number of bit-vector word probes performed.
+func (s *Scanner) Probes() int64 { return s.probes }
+
+// HeadChecks returns the number of queue-head reads performed; the bit
+// vector's value is that HeadChecks stays proportional to commands rather
+// than to registered queues.
+func (s *Scanner) HeadChecks() int64 { return s.headChecks }

@@ -1,0 +1,316 @@
+package proxy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCommandQueueFIFO(t *testing.T) {
+	q := NewCommandQueue(0, 4)
+	for i := 0; i < 3; i++ {
+		if err := q.Enqueue(0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v.(int) != i {
+			t.Fatalf("dequeue %d: %v %v", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("dequeue from empty queue")
+	}
+}
+
+func TestCommandQueueFull(t *testing.T) {
+	q := NewCommandQueue(0, 2)
+	_ = q.Enqueue(0, 1)
+	_ = q.Enqueue(0, 2)
+	if err := q.Enqueue(0, 3); err != ErrFull {
+		t.Fatalf("err = %v, want ErrFull", err)
+	}
+	if q.FullHits() != 1 {
+		t.Fatalf("fullHits = %d", q.FullHits())
+	}
+	// Draining one entry frees a slot.
+	q.Dequeue()
+	if err := q.Enqueue(0, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommandQueueWrapAround(t *testing.T) {
+	q := NewCommandQueue(0, 3)
+	next := 0
+	for round := 0; round < 10; round++ {
+		_ = q.Enqueue(0, round*2)
+		_ = q.Enqueue(0, round*2+1)
+		for i := 0; i < 2; i++ {
+			v, ok := q.Dequeue()
+			if !ok || v.(int) != next {
+				t.Fatalf("round %d: got %v want %d", round, v, next)
+			}
+			next++
+		}
+	}
+	if q.Enqueued() != 20 {
+		t.Fatalf("enqueued = %d", q.Enqueued())
+	}
+}
+
+func TestForeignProducerFaults(t *testing.T) {
+	q := NewCommandQueue(7, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign producer did not fault")
+		}
+	}()
+	_ = q.Enqueue(8, "intruder")
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCommandQueue(0, 0)
+}
+
+func TestScannerRoundRobin(t *testing.T) {
+	s := NewScanner()
+	var qs []*CommandQueue
+	for i := 0; i < 3; i++ {
+		q := NewCommandQueue(i, 8)
+		idx := s.Register(q)
+		if idx != i {
+			t.Fatalf("index = %d", idx)
+		}
+		qs = append(qs, q)
+	}
+	// Two commands in each queue; round-robin must interleave them.
+	for i, q := range qs {
+		_ = q.Enqueue(i, i*10)
+		_ = q.Enqueue(i, i*10+1)
+		s.MarkNonEmpty(i)
+	}
+	var order []int
+	for {
+		cmd, _, ok := s.Next()
+		if !ok {
+			break
+		}
+		order = append(order, cmd.(int))
+	}
+	want := []int{0, 10, 20, 1, 11, 21}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestScannerEmpty(t *testing.T) {
+	s := NewScanner()
+	if _, _, ok := s.Next(); ok {
+		t.Fatal("empty scanner produced a command")
+	}
+	q := NewCommandQueue(0, 2)
+	s.Register(q)
+	if _, _, ok := s.Next(); ok {
+		t.Fatal("scanner with empty queue produced a command")
+	}
+}
+
+func TestScannerStaleBit(t *testing.T) {
+	s := NewScanner()
+	q := NewCommandQueue(0, 4)
+	s.Register(q)
+	_ = q.Enqueue(0, 1)
+	s.MarkNonEmpty(0)
+	// Consume behind the scanner's back; the bit is now stale.
+	q.Dequeue()
+	if _, _, ok := s.Next(); ok {
+		t.Fatal("scanner returned a phantom command")
+	}
+}
+
+func TestScannerBitVectorSavesHeadChecks(t *testing.T) {
+	// 100 queues, only one non-empty: head checks must not scale with the
+	// number of registered queues.
+	s := NewScanner()
+	var target *CommandQueue
+	for i := 0; i < 100; i++ {
+		q := NewCommandQueue(i, 2)
+		s.Register(q)
+		if i == 77 {
+			target = q
+		}
+	}
+	_ = target.Enqueue(77, "cmd")
+	s.MarkNonEmpty(77)
+	cmd, idx, ok := s.Next()
+	if !ok || idx != 77 || cmd != "cmd" {
+		t.Fatalf("got %v %d %v", cmd, idx, ok)
+	}
+	if s.HeadChecks() != 1 {
+		t.Fatalf("head checks = %d, want 1", s.HeadChecks())
+	}
+	if s.Probes() > 4 {
+		t.Fatalf("probes = %d, want <= 4 word probes", s.Probes())
+	}
+}
+
+func TestScannerManyQueuesFairness(t *testing.T) {
+	// Every queue keeps producing; consumption counts must stay balanced
+	// (no starvation) thanks to round-robin order.
+	const nq = 10
+	s := NewScanner()
+	qs := make([]*CommandQueue, nq)
+	for i := range qs {
+		qs[i] = NewCommandQueue(i, 4)
+		s.Register(qs[i])
+	}
+	counts := make([]int, nq)
+	for round := 0; round < 100; round++ {
+		for i, q := range qs {
+			if q.Enqueue(i, i) == nil {
+				s.MarkNonEmpty(i)
+			}
+		}
+		for k := 0; k < nq; k++ {
+			if cmd, _, ok := s.Next(); ok {
+				counts[cmd.(int)]++
+			}
+		}
+	}
+	for i, c := range counts {
+		if c < 90 || c > 110 {
+			t.Fatalf("queue %d served %d times; counts=%v", i, c, counts)
+		}
+	}
+}
+
+func TestPropertyQueuePreservesOrder(t *testing.T) {
+	// Property: any interleaving of enqueues and dequeues that respects
+	// capacity yields FIFO order.
+	f := func(ops []bool) bool {
+		q := NewCommandQueue(0, 5)
+		nextIn, nextOut := 0, 0
+		for _, isEnq := range ops {
+			if isEnq {
+				if err := q.Enqueue(0, nextIn); err == nil {
+					nextIn++
+				}
+			} else if v, ok := q.Dequeue(); ok {
+				if v.(int) != nextOut {
+					return false
+				}
+				nextOut++
+			}
+		}
+		for {
+			v, ok := q.Dequeue()
+			if !ok {
+				break
+			}
+			if v.(int) != nextOut {
+				return false
+			}
+			nextOut++
+		}
+		return nextIn == nextOut
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyScannerConservation(t *testing.T) {
+	// Property: the scanner eventually yields exactly the commands that
+	// were enqueued, no more, no fewer.
+	f := func(load []uint8) bool {
+		if len(load) == 0 {
+			return true
+		}
+		if len(load) > 20 {
+			load = load[:20]
+		}
+		s := NewScanner()
+		total := 0
+		for i, l := range load {
+			q := NewCommandQueue(i, 256)
+			s.Register(q)
+			for k := 0; k < int(l%8); k++ {
+				if q.Enqueue(i, k) == nil {
+					total++
+				}
+			}
+			if !q.Empty() {
+				s.MarkNonEmpty(i)
+			}
+		}
+		got := 0
+		for {
+			if _, _, ok := s.Next(); !ok {
+				break
+			}
+			got++
+		}
+		return got == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuspendResume(t *testing.T) {
+	s := NewScanner()
+	qs := make([]*CommandQueue, 3)
+	for i := range qs {
+		qs[i] = NewCommandQueue(i, 8)
+		s.Register(qs[i])
+	}
+	// Suspend queue 1 (its process was descheduled); its commands must
+	// not be scanned.
+	s.Suspend(1)
+	if !s.Suspended(1) || s.Suspended(0) {
+		t.Fatal("suspension state wrong")
+	}
+	for i, q := range qs {
+		_ = q.Enqueue(i, i*10)
+		s.MarkNonEmpty(i)
+	}
+	var got []int
+	for {
+		cmd, _, ok := s.Next()
+		if !ok {
+			break
+		}
+		got = append(got, cmd.(int))
+	}
+	if len(got) != 2 || got[0] != 0 || got[1] != 20 {
+		t.Fatalf("scanned %v, want [0 20]", got)
+	}
+	// Resume: the parked command becomes visible.
+	s.Resume(1)
+	cmd, idx, ok := s.Next()
+	if !ok || idx != 1 || cmd.(int) != 10 {
+		t.Fatalf("after resume: %v %d %v", cmd, idx, ok)
+	}
+}
+
+func TestSuspendEmptyQueueResume(t *testing.T) {
+	s := NewScanner()
+	q := NewCommandQueue(0, 4)
+	s.Register(q)
+	s.Suspend(0)
+	s.Resume(0) // empty: no spurious bit
+	if _, _, ok := s.Next(); ok {
+		t.Fatal("phantom command after resume of empty queue")
+	}
+}

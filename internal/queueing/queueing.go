@@ -1,0 +1,97 @@
+// Package queueing provides the Section 5.4 contention analysis: how many
+// compute processors a single message proxy can support. The paper states
+// that "a simple queuing model analysis indicates that the utilization of
+// a communication agent should be below 50% for stable behavior"; this
+// package derives waiting times from an M/D/1 model of the proxy (Poisson
+// command arrivals, near-deterministic service) and applies the rule to
+// measured per-processor loads.
+package queueing
+
+import "math"
+
+// MaxStableUtilization is the paper's stability rule: beyond 50%
+// utilization, queueing delay exceeds the service time itself and the
+// proxy becomes the bottleneck.
+const MaxStableUtilization = 0.5
+
+// Proxy models a message proxy serving command arrivals.
+type Proxy struct {
+	// ServiceUs is the mean proxy occupancy per operation (microseconds).
+	ServiceUs float64
+	// RatePerProcUs is one compute processor's operation arrival rate
+	// (operations per microsecond).
+	RatePerProcUs float64
+}
+
+// Utilization returns the proxy utilization with n compute processors.
+func (p Proxy) Utilization(n int) float64 {
+	return float64(n) * p.RatePerProcUs * p.ServiceUs
+}
+
+// WaitUs returns the expected M/D/1 queueing delay (time a command waits
+// before the proxy picks it up) with n compute processors, in
+// microseconds. It returns +Inf at or beyond saturation.
+func (p Proxy) WaitUs(n int) float64 {
+	rho := p.Utilization(n)
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return rho * p.ServiceUs / (2 * (1 - rho))
+}
+
+// ResponseUs returns queueing delay plus service time.
+func (p Proxy) ResponseUs(n int) float64 {
+	w := p.WaitUs(n)
+	if math.IsInf(w, 1) {
+		return w
+	}
+	return w + p.ServiceUs
+}
+
+// Supported returns the largest processor count that keeps the proxy
+// below the stability threshold.
+func (p Proxy) Supported() int {
+	if p.RatePerProcUs <= 0 || p.ServiceUs <= 0 {
+		return math.MaxInt32
+	}
+	n := int(MaxStableUtilization / (p.RatePerProcUs * p.ServiceUs))
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// Slowdown returns the factor by which mean response time exceeds bare
+// service time at n processors — the visible cost of sharing the proxy.
+func (p Proxy) Slowdown(n int) float64 {
+	r := p.ResponseUs(n)
+	if math.IsInf(r, 1) {
+		return math.Inf(1)
+	}
+	return r / p.ServiceUs
+}
+
+// FromMeasurement builds a Proxy from a measured per-processor message
+// rate (operations per millisecond, as in Table 6) and a measured
+// utilization at that load with nProcs processors.
+func FromMeasurement(ratePerMs float64, utilization float64, nProcs int) Proxy {
+	rateUs := ratePerMs / 1000
+	service := 0.0
+	if rateUs > 0 && nProcs > 0 {
+		service = utilization / (float64(nProcs) * rateUs)
+	}
+	return Proxy{ServiceUs: service, RatePerProcUs: rateUs}
+}
+
+// UseProxyOverSyscalls evaluates the Section 5.4 "compute or communicate"
+// rule: with P-processor SMP nodes, dedicating one processor to a proxy
+// pays off when it improves on system-call communication by more than
+// P/(P-1). proxyTime and syscallTime are application execution times under
+// the two alternatives with equal numbers of compute processors.
+func UseProxyOverSyscalls(proxyTime, syscallTime float64, smpProcs int) bool {
+	if smpProcs <= 1 {
+		return false
+	}
+	factor := float64(smpProcs) / float64(smpProcs-1)
+	return syscallTime/proxyTime > factor
+}

@@ -1,0 +1,98 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUtilizationScalesLinearly(t *testing.T) {
+	p := Proxy{ServiceUs: 10, RatePerProcUs: 0.01}
+	if got := p.Utilization(1); got != 0.1 {
+		t.Fatalf("util(1) = %v", got)
+	}
+	if got := p.Utilization(5); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("util(5) = %v", got)
+	}
+}
+
+func TestWaitGrowsAndSaturates(t *testing.T) {
+	p := Proxy{ServiceUs: 10, RatePerProcUs: 0.01}
+	w2, w5, w9 := p.WaitUs(2), p.WaitUs(5), p.WaitUs(9)
+	if !(w2 < w5 && w5 < w9) {
+		t.Fatalf("waits not increasing: %v %v %v", w2, w5, w9)
+	}
+	// M/D/1 at rho=0.5: wait = 0.5*10/(2*0.5) = 5us (half a service time).
+	if math.Abs(w5-5) > 1e-9 {
+		t.Fatalf("wait at rho=0.5 = %v, want 5", w5)
+	}
+	if !math.IsInf(p.WaitUs(10), 1) {
+		t.Fatal("saturated proxy should have infinite wait")
+	}
+}
+
+func TestSupportedMatchesStabilityRule(t *testing.T) {
+	// The paper's Table 6 LU-like load: ~7.5 ops/ms at ~25 us service
+	// would put four processors past 50%.
+	p := Proxy{ServiceUs: 25, RatePerProcUs: 0.0075}
+	n := p.Supported()
+	if p.Utilization(n) > MaxStableUtilization+1e-12 {
+		t.Fatalf("supported=%d exceeds threshold: %v", n, p.Utilization(n))
+	}
+	if p.Utilization(n+1) <= MaxStableUtilization {
+		t.Fatalf("supported=%d not maximal", n)
+	}
+	if n != 2 {
+		t.Fatalf("supported = %d, want 2 (the paper's prediction for the heavy apps)", n)
+	}
+}
+
+func TestFromMeasurementRoundTrip(t *testing.T) {
+	// Table 6 Water under MP1: 14.48 ops/ms per proc, 25.7% utilization
+	// at 16 processors implies ~1.1 us of proxy time per op... but those
+	// are per-processor rates over 16 procs sharing nothing; reconstruct
+	// and check consistency.
+	p := FromMeasurement(14.48, 0.257, 16)
+	if got := p.Utilization(16); math.Abs(got-0.257) > 1e-9 {
+		t.Fatalf("reconstructed utilization = %v", got)
+	}
+	if p.Supported() >= 32 {
+		t.Fatalf("supported = %d, want < 32", p.Supported())
+	}
+}
+
+func TestUseProxyOverSyscalls(t *testing.T) {
+	// Five-processor nodes: factor 1.25. MP2 vs SW1 on the heavy apps
+	// (Figure 9 discussion): better by >1.25x, so use the proxy.
+	if !UseProxyOverSyscalls(1.0, 1.5, 5) {
+		t.Error("1.5x improvement on 5-proc nodes should favor the proxy")
+	}
+	if UseProxyOverSyscalls(1.0, 1.1, 5) {
+		t.Error("1.1x improvement should not justify losing a processor")
+	}
+	if UseProxyOverSyscalls(1.0, 100, 1) {
+		t.Error("uniprocessor node cannot give up its only processor")
+	}
+}
+
+func TestPropertyWaitMonotoneInLoad(t *testing.T) {
+	f := func(svc, rate uint8, n uint8) bool {
+		p := Proxy{ServiceUs: float64(svc%50) + 1, RatePerProcUs: (float64(rate%100) + 1) / 10000}
+		k := int(n%20) + 1
+		w1, w2 := p.WaitUs(k), p.WaitUs(k+1)
+		return w2 >= w1 || math.IsInf(w1, 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlowdown(t *testing.T) {
+	p := Proxy{ServiceUs: 10, RatePerProcUs: 0.01}
+	if s := p.Slowdown(5); math.Abs(s-1.5) > 1e-9 {
+		t.Fatalf("slowdown at rho=0.5 = %v, want 1.5", s)
+	}
+	if !math.IsInf(p.Slowdown(100), 1) {
+		t.Fatal("over-saturated slowdown should be infinite")
+	}
+}

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback. Ties on time are broken by insertion
+// sequence so runs are deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+// Engine is a discrete-event simulator. It is not safe for concurrent use
+// from outside simulated processes; all interaction happens either before
+// Run, or from process bodies and scheduled events during Run.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+
+	// parked receives a token whenever the currently-running process hands
+	// control back to the engine (by parking or by terminating).
+	parked chan struct{}
+
+	live    int   // spawned processes that have not yet terminated
+	failure error // first panic captured from a process body
+	stopped bool
+	procs   []*Proc
+}
+
+// NewEngine returns an engine at time zero with no pending events.
+func NewEngine() *Engine {
+	return &Engine{parked: make(chan struct{})}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Live returns the number of spawned processes that have not terminated.
+func (e *Engine) Live() int { return e.live }
+
+// Schedule runs fn at now+d. A negative delay panics.
+func (e *Engine) Schedule(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: schedule in the past (delay %v)", d))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: e.now + d, seq: e.seq, fn: fn})
+}
+
+// Run executes events in timestamp order until no events remain, Stop is
+// called, or a process panics. It returns the first process failure, if any.
+// Processes still blocked when the event queue drains are reported as a
+// deadlock error.
+//
+// When the run ends, every still-blocked process (daemons like
+// communication agents, and any deadlocked process) is reaped so its
+// goroutine exits and the simulation's memory can be reclaimed. A reaped
+// engine cannot be resumed.
+func (e *Engine) Run() error {
+	err := e.run(-1)
+	e.Shutdown()
+	return err
+}
+
+// Shutdown reaps every blocked process goroutine. Called automatically at
+// the end of Run; call it manually after a final RunUntil.
+func (e *Engine) Shutdown() {
+	for _, p := range e.procs {
+		if p.dead || !p.started {
+			continue
+		}
+		p.killed = true
+		e.transfer(p)
+	}
+	e.procs = nil
+}
+
+// RunUntil executes events with timestamps <= t, leaving later events
+// pending. Simulated time advances to t if the run is not cut short.
+func (e *Engine) RunUntil(t Time) error {
+	err := e.run(t)
+	if err == nil && !e.stopped && e.now < t {
+		e.now = t
+	}
+	return err
+}
+
+func (e *Engine) run(limit Time) error {
+	for len(e.events) > 0 && !e.stopped {
+		if limit >= 0 && e.events[0].at > limit {
+			return e.failure
+		}
+		ev := heap.Pop(&e.events).(event)
+		if ev.at < e.now {
+			panic("sim: event time ran backwards")
+		}
+		e.now = ev.at
+		ev.fn()
+		if e.failure != nil {
+			return e.failure
+		}
+	}
+	if e.failure != nil {
+		return e.failure
+	}
+	if !e.stopped && e.live > 0 && limit < 0 {
+		return fmt.Errorf("sim: deadlock: %d process(es) blocked with no pending events at %v", e.live, e.now)
+	}
+	return nil
+}
+
+// Stop halts the run after the current event completes. Blocked processes
+// are abandoned (their goroutines are parked forever); use only at the end
+// of an experiment.
+func (e *Engine) Stop() { e.stopped = true }
+
+// transfer hands control to p and blocks until p parks or terminates.
+// It must only be called from engine context (inside an event callback).
+func (e *Engine) transfer(p *Proc) {
+	p.resume <- struct{}{}
+	<-e.parked
+}
+
+// Wake schedules p to resume at the current time (after already-scheduled
+// events at this timestamp). It pairs with Proc.Park to build custom
+// blocking structures outside this package.
+func (e *Engine) Wake(p *Proc) {
+	e.Schedule(0, func() { e.transfer(p) })
+}

@@ -1,0 +1,91 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process. A Proc's body runs on its own goroutine but
+// is only ever executing while the engine is blocked waiting for it, so the
+// simulation remains sequential and deterministic.
+type Proc struct {
+	eng     *Engine
+	name    string
+	resume  chan struct{}
+	dead    bool
+	daemon  bool
+	killed  bool
+	started bool
+}
+
+// Spawn creates a process whose body starts executing at the current
+// simulated time (after already-scheduled events at this timestamp).
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	return e.spawn(name, body, false)
+}
+
+// SpawnDaemon creates a process like Spawn, but the process does not count
+// toward deadlock detection: a daemon blocked forever (a server loop whose
+// clients are gone) is not an error. Communication agents are daemons.
+func (e *Engine) SpawnDaemon(name string, body func(p *Proc)) *Proc {
+	return e.spawn(name, body, true)
+}
+
+// procKilled is the sentinel Park panics with when the engine reaps a
+// blocked process at shutdown; the spawn wrapper swallows it.
+type procKilled struct{}
+
+func (e *Engine) spawn(name string, body func(p *Proc), daemon bool) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{}), daemon: daemon}
+	if !daemon {
+		e.live++
+	}
+	e.procs = append(e.procs, p)
+	e.Schedule(0, func() {
+		p.started = true
+		go func() {
+			<-p.resume
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(procKilled); !ok && e.failure == nil {
+						e.failure = fmt.Errorf("sim: process %q panicked at %v: %v", p.name, e.now, r)
+					}
+				}
+				p.dead = true
+				if !daemon {
+					e.live--
+				}
+				e.parked <- struct{}{}
+			}()
+			body(p)
+		}()
+		e.transfer(p)
+	})
+	return p
+}
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Park hands control back to the engine and blocks until another process
+// or event calls Engine.Wake on this process. It is the low-level primitive
+// behind Flag, Queue and Resource; external packages may use it to build
+// their own blocking structures.
+func (p *Proc) Park() {
+	p.eng.parked <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(procKilled{})
+	}
+}
+
+// Hold advances the process's local time by d: the process blocks and
+// resumes d simulated time units later. Hold(0) yields, letting other
+// events at the same timestamp run first.
+func (p *Proc) Hold(d Time) {
+	p.eng.Schedule(d, func() { p.eng.transfer(p) })
+	p.Park()
+}

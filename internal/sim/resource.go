@@ -1,0 +1,98 @@
+package sim
+
+// Resource is a single-server FIFO resource with utilization accounting.
+// It models the contended hardware agents of the paper's CSIM models: the
+// message proxy processor, the network adapter's protocol logic, the DMA
+// engine, and the NIC output port.
+type Resource struct {
+	eng     *Engine
+	name    string
+	inUse   bool
+	holder  *Proc
+	waiters []*Proc
+
+	busySince Time
+	busyTotal Time
+	served    int64
+	waitTotal Time
+}
+
+// NewResource returns an idle resource.
+func (e *Engine) NewResource(name string) *Resource {
+	return &Resource{eng: e, name: name}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Acquire blocks p until the resource is free, then seizes it.
+func (r *Resource) Acquire(p *Proc) {
+	enqueued := p.Now()
+	for r.inUse {
+		r.waiters = append(r.waiters, p)
+		p.Park()
+	}
+	r.inUse = true
+	r.holder = p
+	r.busySince = p.Now()
+	r.waitTotal += p.Now() - enqueued
+}
+
+// Release frees the resource and wakes the first waiter.
+func (r *Resource) Release() {
+	if !r.inUse {
+		panic("sim: release of idle resource " + r.name)
+	}
+	r.busyTotal += r.eng.now - r.busySince
+	r.served++
+	r.inUse = false
+	r.holder = nil
+	if len(r.waiters) > 0 {
+		p := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.eng.Wake(p)
+	}
+}
+
+// Use seizes the resource for d time units: Acquire, Hold(d), Release.
+func (r *Resource) Use(p *Proc, d Time) {
+	r.Acquire(p)
+	p.Hold(d)
+	r.Release()
+}
+
+// Busy reports whether the resource is currently held.
+func (r *Resource) Busy() bool { return r.inUse }
+
+// BusyTime returns total time the resource has been held.
+func (r *Resource) BusyTime() Time {
+	t := r.busyTotal
+	if r.inUse {
+		t += r.eng.now - r.busySince
+	}
+	return t
+}
+
+// Served returns the number of completed holds.
+func (r *Resource) Served() int64 { return r.served }
+
+// Utilization returns BusyTime divided by the elapsed interval.
+func (r *Resource) Utilization(elapsed Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(r.BusyTime()) / float64(elapsed)
+}
+
+// MeanWait returns the average time spent queued before each completed or
+// in-progress acquisition.
+func (r *Resource) MeanWait() Time {
+	n := r.served
+	if r.inUse {
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return r.waitTotal / Time(n)
+}

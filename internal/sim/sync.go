@@ -1,0 +1,99 @@
+package sim
+
+// Flag is a monotonic counter that processes can wait on. It models the
+// synchronization words the RMA/RQ primitives set on completion (lsync and
+// rsync in the paper): completion increments the counter and a waiting
+// process resumes once the count reaches its threshold.
+type Flag struct {
+	eng     *Engine
+	val     int64
+	waiters []flagWaiter
+}
+
+type flagWaiter struct {
+	p    *Proc
+	need int64
+}
+
+// NewFlag returns a flag with value zero.
+func (e *Engine) NewFlag() *Flag { return &Flag{eng: e} }
+
+// Value returns the current count.
+func (f *Flag) Value() int64 { return f.val }
+
+// Add increments the count by n and wakes satisfied waiters in FIFO order.
+func (f *Flag) Add(n int64) {
+	if n == 0 {
+		return
+	}
+	f.val += n
+	if len(f.waiters) == 0 {
+		return
+	}
+	kept := f.waiters[:0]
+	for _, w := range f.waiters {
+		if f.val >= w.need {
+			f.eng.Wake(w.p)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	f.waiters = kept
+}
+
+// Wait blocks p until the count is at least need.
+func (f *Flag) Wait(p *Proc, need int64) {
+	for f.val < need {
+		f.waiters = append(f.waiters, flagWaiter{p, need})
+		p.Park()
+	}
+}
+
+// Queue is an unbounded FIFO of items with blocking Get, used for agent
+// work queues (proxy command queues, NIC input FIFOs) and remote queues.
+type Queue struct {
+	eng     *Engine
+	items   []any
+	getters []*Proc
+}
+
+// NewQueue returns an empty queue.
+func (e *Engine) NewQueue() *Queue { return &Queue{eng: e} }
+
+// Len returns the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Put appends x and wakes the first blocked getter, if any.
+func (q *Queue) Put(x any) {
+	q.items = append(q.items, x)
+	if len(q.getters) > 0 {
+		p := q.getters[0]
+		q.getters = q.getters[1:]
+		q.eng.Wake(p)
+	}
+}
+
+// Get removes and returns the head item, blocking p while the queue is
+// empty.
+func (q *Queue) Get(p *Proc) any {
+	for len(q.items) == 0 {
+		q.getters = append(q.getters, p)
+		p.Park()
+	}
+	x := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return x
+}
+
+// TryGet removes and returns the head item without blocking. It returns
+// false if the queue is empty.
+func (q *Queue) TryGet() (any, bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	x := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return x, true
+}

@@ -1,0 +1,276 @@
+// Package splitc implements a Split-C style runtime (Culler et al.,
+// Supercomputing'93), the programming model of six of the paper's
+// applications: a global address space built from per-processor heaps,
+// global pointers, cyclically spread arrays, split-phase gets and puts with
+// sync counters, one-way stores with all_store_sync, and bulk transfers —
+// all on top of the RMA/RQ primitives.
+package splitc
+
+import (
+	"fmt"
+
+	"mproxy/internal/am"
+	"mproxy/internal/coll"
+	"mproxy/internal/comm"
+	"mproxy/internal/costmodel"
+	"mproxy/internal/memory"
+)
+
+// GPtr is a global pointer: a byte offset within a processor's global heap.
+type GPtr struct {
+	Proc int
+	Off  int
+}
+
+// Plus returns the pointer advanced by n bytes within the same heap.
+func (g GPtr) Plus(n int) GPtr { return GPtr{g.Proc, g.Off + n} }
+
+// World is the cluster-wide Split-C runtime state.
+type World struct {
+	l     *am.Layer
+	g     *coll.Group
+	heaps []*memory.Segment
+	ctxs  []*Ctx
+}
+
+// Ctx is one processor's Split-C execution context (MYPROC).
+type Ctx struct {
+	w    *World
+	rank int
+	ep   *comm.Endpoint
+	port *am.Port
+	co   *coll.Comm
+	heap *memory.Segment
+
+	heapOff int // symmetric allocation cursor
+
+	getFlag    memory.FlagRef // completion counter for split-phase gets
+	putFlag    memory.FlagRef // completion counter for split-phase puts
+	storeFlag  memory.FlagRef // incremented by arriving one-way stores
+	getsIssued int64
+	putsIssued int64
+	storesSent int64
+
+	scratch memory.Addr // 8-byte scratch for blocking scalar reads
+}
+
+// New builds the runtime with heapBytes of global heap per processor.
+func New(l *am.Layer, g *coll.Group, heapBytes int) *World {
+	w := &World{l: l, g: g}
+	reg := l.Fabric().Registry()
+	n := l.Ranks()
+	for r := 0; r < n; r++ {
+		heap := reg.NewSegment(r, heapBytes+16)
+		heap.GrantAll(n)
+		w.heaps = append(w.heaps, heap)
+		ctx := &Ctx{
+			w: w, rank: r, ep: l.Fabric().Endpoint(r), port: l.Port(r),
+			co: g.Comm(r), heap: heap,
+			getFlag:   reg.NewFlag(r),
+			putFlag:   reg.NewFlag(r),
+			storeFlag: reg.NewFlag(r),
+			scratch:   heap.Addr(heapBytes),
+			heapOff:   0,
+		}
+		w.ctxs = append(w.ctxs, ctx)
+	}
+	return w
+}
+
+// Ctx returns rank's context.
+func (w *World) Ctx(rank int) *Ctx { return w.ctxs[rank] }
+
+// Procs returns the number of processors.
+func (w *World) Procs() int { return len(w.ctxs) }
+
+// MyProc returns the context's rank.
+func (c *Ctx) MyProc() int { return c.rank }
+
+// Procs returns the number of processors.
+func (c *Ctx) Procs() int { return len(c.w.ctxs) }
+
+// Port returns the context's active-message port (for programs that use
+// am_request/am_reply directly, like the paper's Sample).
+func (c *Ctx) Port() *am.Port { return c.port }
+
+// Comm returns the collective handle (barriers, reductions, scans).
+func (c *Ctx) Comm() *coll.Comm { return c.co }
+
+// Endpoint exposes the raw RMA/RQ endpoint.
+func (c *Ctx) Endpoint() *comm.Endpoint { return c.ep }
+
+// AllAlloc symmetrically allocates n bytes on every processor's heap and
+// returns the common base offset. Every rank must call it in the same
+// order (SPMD).
+func (c *Ctx) AllAlloc(n int) int {
+	base := c.heapOff
+	c.heapOff += (n + 7) &^ 7
+	if c.heapOff > len(c.heap.Data)-16 {
+		panic(fmt.Sprintf("splitc: rank %d heap overflow (%d bytes)", c.rank, c.heapOff))
+	}
+	return base
+}
+
+// addr resolves a global pointer to a memory address.
+func (c *Ctx) addr(g GPtr) memory.Addr { return c.w.heaps[g.Proc].Addr(g.Off) }
+
+// LocalF64 returns a float64 view of count elements at a pointer into this
+// processor's own heap.
+func (c *Ctx) LocalF64(off, count int) memory.F64 {
+	return memory.Float64s(c.heap, off, count)
+}
+
+// LocalI64 returns an int64 view into this processor's own heap.
+func (c *Ctx) LocalI64(off, count int) memory.I64 {
+	return memory.Int64s(c.heap, off, count)
+}
+
+// GetBulk issues a split-phase bulk get of n bytes from src into this
+// processor's heap at localOff. Complete after Sync.
+func (c *Ctx) GetBulk(localOff int, src GPtr, n int) {
+	c.getsIssued++
+	if err := c.ep.Get(c.heap.Addr(localOff), c.addr(src), n, c.getFlag, memory.FlagRef{}); err != nil {
+		panic(fmt.Sprintf("splitc: get rank %d: %v", c.rank, err))
+	}
+}
+
+// PutBulk issues a split-phase bulk put of n bytes from this processor's
+// heap at localOff to dst. Complete (destination confirmed) after Sync.
+func (c *Ctx) PutBulk(localOff int, dst GPtr, n int) {
+	c.putsIssued++
+	if err := c.ep.Put(c.heap.Addr(localOff), c.addr(dst), n, c.putFlag, memory.FlagRef{}); err != nil {
+		panic(fmt.Sprintf("splitc: put rank %d: %v", c.rank, err))
+	}
+}
+
+// StoreBulk issues a one-way store of n bytes from localOff to dst: no
+// local completion, globally reconciled by AllStoreSync. The destination's
+// store counter is bumped when the data lands.
+func (c *Ctx) StoreBulk(localOff int, dst GPtr, n int) {
+	c.storesSent++
+	rsync := c.w.ctxs[dst.Proc].storeFlag
+	if err := c.ep.Put(c.heap.Addr(localOff), c.addr(dst), n, memory.FlagRef{}, rsync); err != nil {
+		panic(fmt.Sprintf("splitc: store rank %d: %v", c.rank, err))
+	}
+}
+
+// Sync blocks until all split-phase gets and puts issued by this processor
+// have completed.
+func (c *Ctx) Sync() {
+	c.ep.WaitFlag(c.getFlag, c.getsIssued)
+	c.ep.WaitFlag(c.putFlag, c.putsIssued)
+}
+
+// ReadF64 performs a blocking read of one global double.
+func (c *Ctx) ReadF64(g GPtr) float64 {
+	if g.Proc == c.rank {
+		c.ep.Compute(costmodel.MemRefs(2))
+		return memory.GetF64(c.heap.Data[g.Off:])
+	}
+	c.getsIssued++
+	if err := c.ep.Get(c.scratch, c.addr(g), 8, c.getFlag, memory.FlagRef{}); err != nil {
+		panic(err)
+	}
+	c.ep.WaitFlag(c.getFlag, c.getsIssued)
+	return memory.GetF64(c.heap.Data[c.scratch.Off:])
+}
+
+// WriteF64 performs a blocking write of one global double.
+func (c *Ctx) WriteF64(g GPtr, v float64) {
+	if g.Proc == c.rank {
+		c.ep.Compute(costmodel.MemRefs(2))
+		memory.PutF64(c.heap.Data[g.Off:], v)
+		return
+	}
+	var b [8]byte
+	memory.PutF64(b[:], v)
+	c.putsIssued++
+	if err := c.ep.PutBytes(b[:], c.addr(g), c.putFlag, memory.FlagRef{}); err != nil {
+		panic(err)
+	}
+	c.ep.WaitFlag(c.putFlag, c.putsIssued)
+}
+
+// StoreF64 issues a one-way store of one double ( *g :- v ).
+func (c *Ctx) StoreF64(g GPtr, v float64) {
+	c.storesSent++
+	if g.Proc == c.rank {
+		c.ep.Compute(costmodel.MemRefs(2))
+		memory.PutF64(c.heap.Data[g.Off:], v)
+		reg := c.w.l.Fabric().Registry()
+		reg.Signal(c.storeFlag)
+		return
+	}
+	var b [8]byte
+	memory.PutF64(b[:], v)
+	rsync := c.w.ctxs[g.Proc].storeFlag
+	if err := c.ep.PutBytes(b[:], c.addr(g), memory.FlagRef{}, rsync); err != nil {
+		panic(err)
+	}
+}
+
+// StoresReceived returns how many one-way stores have landed here.
+func (c *Ctx) StoresReceived() int64 { return c.ep.FlagValue(c.storeFlag) }
+
+// AllStoreSync waits until every one-way store issued anywhere has been
+// deposited (all_store_sync): iterate barrier + global sent/received
+// reconciliation until the counts match.
+func (c *Ctx) AllStoreSync() {
+	for {
+		c.co.Barrier()
+		sent := c.co.AllReduce(float64(c.storesSent), coll.Sum)
+		recv := c.co.AllReduce(float64(c.StoresReceived()), coll.Sum)
+		if sent == recv {
+			c.co.Barrier()
+			return
+		}
+		c.ep.Compute(costmodel.IntOps(50))
+	}
+}
+
+// Barrier synchronizes all processors.
+func (c *Ctx) Barrier() { c.co.Barrier() }
+
+// SpreadF64 is a cyclically spread array of float64: element i lives on
+// processor i mod PROCS at position i div PROCS.
+type SpreadF64 struct {
+	w     *World
+	base  int
+	elems int
+}
+
+// AllSpreadF64 allocates a spread array of n doubles (call on all ranks in
+// the same order).
+func (c *Ctx) AllSpreadF64(n int) SpreadF64 {
+	per := (n + c.Procs() - 1) / c.Procs()
+	base := c.AllAlloc(per * 8)
+	return SpreadF64{w: c.w, base: base, elems: n}
+}
+
+// Len returns the element count.
+func (s SpreadF64) Len() int { return s.elems }
+
+// Owner returns the processor holding element i.
+func (s SpreadF64) Owner(i int) int { return i % len(s.w.ctxs) }
+
+// Ptr returns the global pointer to element i.
+func (s SpreadF64) Ptr(i int) GPtr {
+	p := len(s.w.ctxs)
+	return GPtr{Proc: i % p, Off: s.base + (i/p)*8}
+}
+
+// MyCount returns how many elements rank owns.
+func (s SpreadF64) MyCount(rank int) int {
+	p := len(s.w.ctxs)
+	n := s.elems / p
+	if rank < s.elems%p {
+		n++
+	}
+	return n
+}
+
+// Local returns rank's local elements as a view (k-th local element is the
+// global element k*PROCS + rank).
+func (s SpreadF64) Local(c *Ctx) memory.F64 {
+	return c.LocalF64(s.base, s.MyCount(c.rank))
+}

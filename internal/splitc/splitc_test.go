@@ -1,0 +1,218 @@
+package splitc
+
+import (
+	"testing"
+
+	"mproxy/internal/am"
+	"mproxy/internal/arch"
+	"mproxy/internal/coll"
+	"mproxy/internal/comm"
+	"mproxy/internal/machine"
+	"mproxy/internal/memory"
+	"mproxy/internal/sim"
+)
+
+// world runs body on every rank of an n-processor Split-C program.
+func world(t *testing.T, n int, a arch.Params, heap int, body func(c *Ctx)) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cl := machine.New(eng, machine.Config{Nodes: n, ProcsPerNode: 1}, a)
+	f := comm.New(cl)
+	l := am.New(f)
+	g := coll.NewGroup(l)
+	w := New(l, g, heap)
+	for r := 0; r < n; r++ {
+		r := r
+		eng.Spawn("rank", func(p *sim.Proc) {
+			f.Endpoint(r).Bind(p)
+			body(w.Ctx(r))
+			w.Ctx(r).Barrier()
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadWriteF64(t *testing.T) {
+	for _, a := range arch.All {
+		t.Run(a.Name, func(t *testing.T) {
+			world(t, 2, a, 1024, func(c *Ctx) {
+				off := c.AllAlloc(8)
+				if c.MyProc() == 0 {
+					c.WriteF64(GPtr{Proc: 1, Off: off}, 6.5)
+					if got := c.ReadF64(GPtr{Proc: 1, Off: off}); got != 6.5 {
+						t.Errorf("read-after-write = %v", got)
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestLocalFastPath(t *testing.T) {
+	world(t, 2, arch.MP1, 1024, func(c *Ctx) {
+		off := c.AllAlloc(8)
+		c.WriteF64(GPtr{Proc: c.MyProc(), Off: off}, 1.25)
+		if got := c.ReadF64(GPtr{Proc: c.MyProc(), Off: off}); got != 1.25 {
+			t.Errorf("local = %v", got)
+		}
+	})
+}
+
+func TestSplitPhaseBulk(t *testing.T) {
+	world(t, 2, arch.MP1, 4096, func(c *Ctx) {
+		src := c.AllAlloc(256)
+		dst := c.AllAlloc(256)
+		if c.MyProc() == 0 {
+			v := c.LocalF64(src, 32)
+			for i := 0; i < 32; i++ {
+				v.Set(i, float64(i)*3)
+			}
+			// Push to rank 1's dst, split-phase, then sync.
+			c.PutBulk(src, GPtr{Proc: 1, Off: dst}, 256)
+			c.Sync()
+			// Pull it back into our own dst and verify.
+			c.GetBulk(dst, GPtr{Proc: 1, Off: dst}, 256)
+			c.Sync()
+			back := c.LocalF64(dst, 32)
+			for i := 0; i < 32; i++ {
+				if back.Get(i) != float64(i)*3 {
+					t.Errorf("elem %d = %v", i, back.Get(i))
+					break
+				}
+			}
+		}
+	})
+}
+
+func TestStoreAndAllStoreSync(t *testing.T) {
+	for _, n := range []int{2, 4} {
+		world(t, n, arch.MP2, 4096, func(c *Ctx) {
+			off := c.AllAlloc(8 * int64Size(c.Procs()))
+			// Everyone stores a value into everyone else's slot.
+			for p := 0; p < c.Procs(); p++ {
+				c.StoreF64(GPtr{Proc: p, Off: off + 8*c.MyProc()}, float64(100*c.MyProc()+p))
+			}
+			c.AllStoreSync()
+			for p := 0; p < c.Procs(); p++ {
+				got := c.LocalF64(off+8*p, 1).Get(0)
+				if got != float64(100*p+c.MyProc()) {
+					t.Errorf("rank %d slot %d = %v", c.MyProc(), p, got)
+				}
+			}
+		})
+	}
+}
+
+func int64Size(n int) int { return n }
+
+func TestSpreadArrayLayout(t *testing.T) {
+	world(t, 4, arch.HW1, 8192, func(c *Ctx) {
+		s := c.AllSpreadF64(10)
+		if s.Len() != 10 {
+			t.Fatalf("len = %d", s.Len())
+		}
+		// Cyclic: element 6 lives on proc 2 at local index 1.
+		if s.Owner(6) != 2 {
+			t.Errorf("owner(6) = %d", s.Owner(6))
+		}
+		if got := s.Ptr(6); got.Proc != 2 || got.Off != s.base+8 {
+			t.Errorf("ptr(6) = %+v", got)
+		}
+		// Counts: 10 elements over 4 procs = 3,3,2,2.
+		wantCounts := []int{3, 3, 2, 2}
+		if got := s.MyCount(c.MyProc()); got != wantCounts[c.MyProc()] {
+			t.Errorf("rank %d count = %d", c.MyProc(), got)
+		}
+	})
+}
+
+func TestSpreadArrayReadWriteAcrossRanks(t *testing.T) {
+	world(t, 3, arch.MP1, 8192, func(c *Ctx) {
+		s := c.AllSpreadF64(9)
+		// Rank 0 writes all elements; everyone reads them back.
+		if c.MyProc() == 0 {
+			for i := 0; i < 9; i++ {
+				c.WriteF64(s.Ptr(i), float64(i*i))
+			}
+		}
+		c.Barrier()
+		for i := 0; i < 9; i++ {
+			if got := c.ReadF64(s.Ptr(i)); got != float64(i*i) {
+				t.Errorf("rank %d elem %d = %v", c.MyProc(), i, got)
+			}
+		}
+	})
+}
+
+func TestSymmetricAllocConsistency(t *testing.T) {
+	world(t, 2, arch.MP1, 1024, func(c *Ctx) {
+		a := c.AllAlloc(24)
+		b := c.AllAlloc(8)
+		if b-a < 24 {
+			t.Errorf("overlapping allocations: %d, %d", a, b)
+		}
+		// 24 rounds to 24; next alloc of 3 rounds to 8.
+		x := c.AllAlloc(3)
+		y := c.AllAlloc(8)
+		if y-x != 8 {
+			t.Errorf("alignment: %d -> %d", x, y)
+		}
+	})
+}
+
+func TestHeapOverflowPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := machine.New(eng, machine.Config{Nodes: 1, ProcsPerNode: 1}, arch.MP1)
+	f := comm.New(cl)
+	l := am.New(f)
+	w := New(l, coll.NewGroup(l), 64)
+	eng.Spawn("rank", func(p *sim.Proc) {
+		f.Endpoint(0).Bind(p)
+		w.Ctx(0).AllAlloc(128)
+	})
+	if err := eng.Run(); err == nil {
+		t.Fatal("expected overflow failure")
+	}
+}
+
+func TestBulkStoreWithSync(t *testing.T) {
+	world(t, 2, arch.SW1, 8192, func(c *Ctx) {
+		src := c.AllAlloc(512)
+		dst := c.AllAlloc(512)
+		if c.MyProc() == 1 {
+			v := c.LocalF64(src, 64)
+			for i := 0; i < 64; i++ {
+				v.Set(i, float64(i)+0.5)
+			}
+			c.StoreBulk(src, GPtr{Proc: 0, Off: dst}, 512)
+		}
+		c.AllStoreSync()
+		if c.MyProc() == 0 {
+			v := c.LocalF64(dst, 64)
+			for i := 0; i < 64; i++ {
+				if v.Get(i) != float64(i)+0.5 {
+					t.Errorf("elem %d = %v", i, v.Get(i))
+					break
+				}
+			}
+		}
+	})
+}
+
+func TestSyncCountsSeparately(t *testing.T) {
+	// Puts and gets have independent counters; syncing with zero issued is
+	// a no-op.
+	world(t, 2, arch.MP1, 1024, func(c *Ctx) {
+		c.Sync()
+		off := c.AllAlloc(8)
+		if c.MyProc() == 0 {
+			c.PutBulk(off, GPtr{Proc: 1, Off: off}, 8)
+			c.GetBulk(off, GPtr{Proc: 1, Off: off}, 8)
+			c.Sync()
+		}
+	})
+}
+
+var _ = memory.Addr{} // keep the import for helper visibility

@@ -1,0 +1,230 @@
+// Package mproxy is a simulation library reproducing "Message Proxies for
+// Efficient, Protected Communication on SMP Clusters" (Lim, Heidelberger,
+// Pattnaik, Snir — HPCA 1997).
+//
+// A message proxy is a dedicated SMP processor running a kernel-mode
+// communication process that polls per-user shared-memory command queues
+// and the network input FIFO, giving user processes atomic, protected
+// access to the network without system calls, interrupts, or locks. This
+// package lets you build a simulated SMP cluster under any of the paper's
+// six design points — custom hardware (HW0, HW1), message proxies (MP0,
+// MP1, MP2) and system calls (SW1) — and run SPMD programs against the
+// paper's communication model: remote memory access (PUT/GET), remote
+// queues (ENQ/DEQ), active messages, collectives, CRL-style distributed
+// shared memory, and a Split-C style global address space.
+//
+// Quickstart:
+//
+//	sys := mproxy.New(mproxy.Config{Nodes: 2, ProcsPerNode: 1, Arch: "MP1"})
+//	sys.Run(func(p *mproxy.Proc) {
+//	    // SPMD body, executed by every rank inside the simulation.
+//	})
+//
+// All time is simulated, deterministic, and independent of the host.
+package mproxy
+
+import (
+	"fmt"
+
+	"mproxy/internal/am"
+	"mproxy/internal/apps"
+	"mproxy/internal/arch"
+	"mproxy/internal/coll"
+	"mproxy/internal/comm"
+	"mproxy/internal/crl"
+	"mproxy/internal/machine"
+	"mproxy/internal/memory"
+	"mproxy/internal/mpi"
+	"mproxy/internal/sim"
+	"mproxy/internal/splitc"
+)
+
+// Re-exported building blocks. The aliases expose the full documented API
+// of each layer.
+type (
+	// Time is a simulated duration in nanoseconds.
+	Time = sim.Time
+	// Arch is a communication-architecture design point (Table 3).
+	Arch = arch.Params
+	// Endpoint issues RMA/RQ operations (PUT, GET, ENQ, DEQ).
+	Endpoint = comm.Endpoint
+	// Segment is a protected, remotely accessible memory region.
+	Segment = memory.Segment
+	// Addr names a byte offset within a segment.
+	Addr = memory.Addr
+	// FlagRef refers to a synchronization flag (lsync/rsync).
+	FlagRef = memory.FlagRef
+	// QueueRef refers to a remote queue.
+	QueueRef = memory.QueueRef
+	// AMPort sends and serves active messages.
+	AMPort = am.Port
+	// Collectives provides barrier, broadcast, reduce and scan.
+	Collectives = coll.Comm
+	// Region is a CRL distributed-shared-memory region mapping.
+	Region = crl.Region
+	// RegionID names a CRL region cluster-wide.
+	RegionID = crl.RID
+	// SplitC is a Split-C style global-address-space context.
+	SplitC = splitc.Ctx
+	// GPtr is a Split-C global pointer.
+	GPtr = splitc.GPtr
+	// MPI is a tagged message-passing communicator (eager + rendezvous
+	// protocols over RMA/RQ).
+	MPI = mpi.Comm
+	// MPIStatus describes a completed MPI receive.
+	MPIStatus = mpi.Status
+	// MPIRequest is a nonblocking MPI operation handle.
+	MPIRequest = mpi.Request
+)
+
+// MPIAny matches any source or tag in MPI receives.
+const MPIAny = mpi.Any
+
+// Architectures returns the paper's six design points in Table 3 order.
+func Architectures() []Arch { return arch.All }
+
+// ArchByName looks up a design point: HW0, HW1, MP0, MP1, MP2 or SW1.
+func ArchByName(name string) (Arch, bool) { return arch.ByName(name) }
+
+// Config describes the simulated cluster.
+type Config struct {
+	// Nodes is the number of SMP nodes.
+	Nodes int
+	// ProcsPerNode is the number of compute processors per node (message
+	// proxies run on an additional dedicated processor).
+	ProcsPerNode int
+	// Arch names the design point (default "MP1").
+	Arch string
+	// HeapBytes sizes each rank's Split-C global heap (default 16 MiB).
+	HeapBytes int
+}
+
+// System is a simulated SMP cluster with the full communication stack.
+type System struct {
+	env  *apps.Env
+	arch Arch
+}
+
+// New builds a system. It panics on an unknown architecture name, since
+// that is a programming error in the caller.
+func New(cfg Config) *System {
+	if cfg.Arch == "" {
+		cfg.Arch = "MP1"
+	}
+	a, ok := arch.ByName(cfg.Arch)
+	if !ok {
+		panic(fmt.Sprintf("mproxy: unknown architecture %q", cfg.Arch))
+	}
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 2
+	}
+	if cfg.ProcsPerNode == 0 {
+		cfg.ProcsPerNode = 1
+	}
+	if cfg.HeapBytes == 0 {
+		cfg.HeapBytes = 16 << 20
+	}
+	env := apps.NewEnv(machine.Config{Nodes: cfg.Nodes, ProcsPerNode: cfg.ProcsPerNode}, a, cfg.HeapBytes)
+	return &System{env: env, arch: a}
+}
+
+// Arch returns the system's design point.
+func (s *System) Arch() Arch { return s.arch }
+
+// Procs returns the total number of compute processors.
+func (s *System) Procs() int { return s.env.Procs() }
+
+// NewSegment allocates a remotely accessible segment owned by rank.
+// Call before Run.
+func (s *System) NewSegment(rank, size int) *Segment {
+	return s.env.Fab.Registry().NewSegment(rank, size)
+}
+
+// NewFlag allocates a synchronization flag owned by rank. Call before Run.
+func (s *System) NewFlag(rank int) FlagRef {
+	return s.env.Fab.Registry().NewFlag(rank)
+}
+
+// NewRegion creates a CRL region of size bytes homed at rank. Call before
+// Run; ranks Map it from their Proc.
+func (s *System) NewRegion(rank, size int) RegionID {
+	return s.env.CRL.Create(rank, size)
+}
+
+// Proc is one rank's view of the system inside Run.
+type Proc struct {
+	sys  *System
+	rank int
+}
+
+// Rank returns this process's global rank.
+func (p *Proc) Rank() int { return p.rank }
+
+// Procs returns the total number of compute processors.
+func (p *Proc) Procs() int { return p.sys.Procs() }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.sys.env.Eng.Now() }
+
+// Compute charges d of application computation to this processor.
+func (p *Proc) Compute(d Time) { p.Endpoint().Compute(d) }
+
+// Endpoint returns the RMA/RQ endpoint (PUT, GET, ENQ, DEQ, WaitFlag).
+func (p *Proc) Endpoint() *Endpoint { return p.sys.env.Fab.Endpoint(p.rank) }
+
+// AM returns the active-message port.
+func (p *Proc) AM() *AMPort { return p.sys.env.AM.Port(p.rank) }
+
+// Coll returns the collective-communication handle.
+func (p *Proc) Coll() *Collectives { return p.sys.env.Coll.Comm(p.rank) }
+
+// Barrier synchronizes all ranks.
+func (p *Proc) Barrier() { p.Coll().Barrier() }
+
+// Map attaches this rank to a CRL region created with NewRegion.
+func (p *Proc) Map(rid RegionID) *Region { return p.sys.env.CRL.Node(p.rank).Map(rid) }
+
+// SplitC returns the Split-C context (global heap, spread arrays,
+// split-phase operations).
+func (p *Proc) SplitC() *SplitC { return p.sys.env.SC.Ctx(p.rank) }
+
+// MPI returns the message-passing communicator.
+func (p *Proc) MPI() *MPI { return p.sys.env.MPI.Comm(p.rank) }
+
+// RegisterHandler adds an active-message handler. Call before Run.
+func (s *System) RegisterHandler(h am.Handler) int { return s.env.AM.Register(h) }
+
+// Run executes body on every rank as an SPMD program and returns the
+// simulated time at completion. A final barrier keeps every rank serving
+// protocol requests until the whole program finishes.
+func (s *System) Run(body func(p *Proc)) (Time, error) {
+	n := s.Procs()
+	for r := 0; r < n; r++ {
+		r := r
+		s.env.Eng.Spawn(fmt.Sprintf("rank%d", r), func(sp *sim.Proc) {
+			s.env.Fab.Endpoint(r).Bind(sp)
+			body(&Proc{sys: s, rank: r})
+			s.env.Coll.Comm(r).Barrier()
+		})
+	}
+	if err := s.env.Eng.Run(); err != nil {
+		return 0, err
+	}
+	return s.env.Eng.Now(), nil
+}
+
+// Stats reports the run's communication statistics.
+func (s *System) Stats() comm.Stats { return s.env.Fab.Stats() }
+
+// ProxyUtilization returns each node agent's utilization over the run
+// (empty under SW1, which has no agent).
+func (s *System) ProxyUtilization() []float64 {
+	var out []float64
+	total := s.env.Eng.Now()
+	for _, nd := range s.env.Cl.Nodes {
+		for _, ag := range nd.Agents {
+			out = append(out, ag.Utilization(total))
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package mproxy_test
+
+import (
+	"strings"
+	"testing"
+
+	"mproxy"
+)
+
+func TestQuickstartPutGet(t *testing.T) {
+	sys := mproxy.New(mproxy.Config{Nodes: 2, Arch: "MP1"})
+	src := sys.NewSegment(0, 64)
+	dst := sys.NewSegment(1, 64)
+	dst.Grant(0)
+	done := sys.NewFlag(0)
+	copy(src.Data, "hello, proxy")
+
+	elapsed, err := sys.Run(func(p *mproxy.Proc) {
+		if p.Rank() != 0 {
+			return
+		}
+		ep := p.Endpoint()
+		if err := ep.Put(src.Addr(0), dst.Addr(0), 12, done, mproxy.FlagRef{}); err != nil {
+			t.Error(err)
+		}
+		ep.WaitFlag(done, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Fatal("no simulated time elapsed")
+	}
+	if string(dst.Data[:12]) != "hello, proxy" {
+		t.Fatalf("data = %q", dst.Data[:12])
+	}
+	// One PUT plus the final barrier's ENQ messages.
+	if got := sys.Stats().Ops[0]; got != 1 {
+		t.Fatalf("PUT ops = %d", got)
+	}
+	if sys.Stats().TotalOps() < 1 {
+		t.Fatal("no ops recorded")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	sys := mproxy.New(mproxy.Config{})
+	if sys.Procs() != 2 {
+		t.Fatalf("default procs = %d", sys.Procs())
+	}
+	if sys.Arch().Name != "MP1" {
+		t.Fatalf("default arch = %s", sys.Arch().Name)
+	}
+}
+
+func TestUnknownArchPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "unknown architecture") {
+			t.Fatalf("recover = %v", r)
+		}
+	}()
+	mproxy.New(mproxy.Config{Arch: "XYZ"})
+}
+
+func TestArchitectures(t *testing.T) {
+	as := mproxy.Architectures()
+	if len(as) != 6 || as[0].Name != "HW0" || as[5].Name != "SW1" {
+		t.Fatalf("architectures = %v", as)
+	}
+	if _, ok := mproxy.ArchByName("MP2"); !ok {
+		t.Fatal("MP2 missing")
+	}
+}
+
+func TestCollectivesAndAM(t *testing.T) {
+	sys := mproxy.New(mproxy.Config{Nodes: 4, Arch: "HW1"})
+	got := make([]float64, 4)
+	hits := 0
+	h := sys.RegisterHandler(func(port *mproxy.AMPort, src int, args []int64, _ []byte) {
+		hits++
+	})
+	if _, err := sys.Run(func(p *mproxy.Proc) {
+		got[p.Rank()] = p.Coll().AllReduce(float64(p.Rank()+1), 0)
+		if p.Rank() != 0 {
+			p.AM().Request(0, h, 1)
+		}
+		p.Barrier()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for r, v := range got {
+		if v != 10 {
+			t.Fatalf("rank %d allreduce = %v", r, v)
+		}
+	}
+	if hits != 3 {
+		t.Fatalf("am hits = %d", hits)
+	}
+}
+
+func TestCRLThroughFacade(t *testing.T) {
+	sys := mproxy.New(mproxy.Config{Nodes: 2, Arch: "MP2"})
+	rid := sys.NewRegion(0, 64)
+	var got float64
+	if _, err := sys.Run(func(p *mproxy.Proc) {
+		rg := p.Map(rid)
+		if p.Rank() == 0 {
+			rg.StartWrite()
+			rg.F64(0, 8).Set(0, 12.5)
+			rg.EndWrite()
+		}
+		p.Barrier()
+		if p.Rank() == 1 {
+			rg.StartRead()
+			got = rg.F64(0, 8).Get(0)
+			rg.EndRead()
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 12.5 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSplitCThroughFacade(t *testing.T) {
+	sys := mproxy.New(mproxy.Config{Nodes: 3, Arch: "MP1"})
+	var sum float64
+	if _, err := sys.Run(func(p *mproxy.Proc) {
+		c := p.SplitC()
+		s := c.AllSpreadF64(9)
+		if p.Rank() == 0 {
+			for i := 0; i < 9; i++ {
+				c.WriteF64(s.Ptr(i), float64(i))
+			}
+		}
+		p.Barrier()
+		if p.Rank() == 2 {
+			for i := 0; i < 9; i++ {
+				sum += c.ReadF64(s.Ptr(i))
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 36 {
+		t.Fatalf("sum = %v", sum)
+	}
+}
+
+func TestProxyUtilizationExposed(t *testing.T) {
+	sys := mproxy.New(mproxy.Config{Nodes: 2, Arch: "MP1"})
+	src := sys.NewSegment(0, 8)
+	dst := sys.NewSegment(1, 8)
+	dst.Grant(0)
+	done := sys.NewFlag(0)
+	if _, err := sys.Run(func(p *mproxy.Proc) {
+		if p.Rank() == 0 {
+			for i := 0; i < 10; i++ {
+				_ = p.Endpoint().Put(src.Addr(0), dst.Addr(0), 8, done, mproxy.FlagRef{})
+				p.Endpoint().WaitFlag(done, int64(i+1))
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	us := sys.ProxyUtilization()
+	if len(us) != 2 {
+		t.Fatalf("utilizations = %v", us)
+	}
+	if us[0] <= 0 || us[1] <= 0 {
+		t.Fatalf("no proxy work recorded: %v", us)
+	}
+}
