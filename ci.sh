@@ -1,0 +1,25 @@
+#!/bin/sh
+# Tier-1 verification: everything a change must keep green before merging.
+#   ./ci.sh         build + vet + tests + race
+#   ./ci.sh quick   build + tests only (what the roadmap calls tier-1)
+set -eu
+cd "$(dirname "$0")"
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+if [ "${1:-}" = "quick" ]; then
+    echo "tier-1 OK"
+    exit 0
+fi
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "CI OK"

@@ -13,6 +13,7 @@ import (
 	"mproxy/internal/apps"
 	"mproxy/internal/apps/registry"
 	"mproxy/internal/arch"
+	"mproxy/internal/trace/tracecli"
 	"mproxy/internal/workload"
 )
 
@@ -26,7 +27,14 @@ func main() {
 		archCS = flag.String("archs", "HW0,HW1,MP0,MP1,MP2,SW1", "design points for Figure 8")
 		procs  = flag.String("procs", "1,2,4,8,16", "processor counts")
 	)
+	obs := tracecli.AddFlags()
 	flag.Parse()
+	report, err := obs.Install()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer report()
 
 	sc := map[string]registry.Scale{"test": registry.Test, "small": registry.Small, "full": registry.Full}[*scale]
 	if sc == registry.Full {

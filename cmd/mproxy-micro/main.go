@@ -11,6 +11,7 @@ import (
 
 	"mproxy/internal/arch"
 	"mproxy/internal/micro"
+	"mproxy/internal/trace/tracecli"
 )
 
 var published = map[string][5]float64{
@@ -29,7 +30,14 @@ func main() {
 		csv    = flag.Bool("csv", false, "emit the sweep as CSV (with -sweep)")
 		archs  = flag.String("archs", "", "comma-separated design points (default: all)")
 	)
+	obs := tracecli.AddFlags()
 	flag.Parse()
+	report, err := obs.Install()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer report()
 
 	selected := arch.All
 	if *archs != "" {

@@ -16,6 +16,7 @@ import (
 	"mproxy/internal/apps/registry"
 	"mproxy/internal/arch"
 	"mproxy/internal/queueing"
+	"mproxy/internal/trace/tracecli"
 	"mproxy/internal/workload"
 )
 
@@ -25,7 +26,14 @@ func main() {
 		appsCS = flag.String("apps", "LU,Barnes-Hut,Water,Sample,Wator,P-Ray,Moldy", "applications")
 		ppn    = flag.Int("ppn", 4, "compute processors per node for the compute-vs-communicate rule")
 	)
+	obs := tracecli.AddFlags()
 	flag.Parse()
+	report, err := obs.Install()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer report()
 	sc := map[string]registry.Scale{"test": registry.Test, "small": registry.Small, "full": registry.Full}[*scale]
 	if sc == registry.Full {
 		workload.HeapBytes = 128 << 20

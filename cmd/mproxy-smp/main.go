@@ -17,6 +17,7 @@ import (
 	"mproxy/internal/arch"
 	"mproxy/internal/comm"
 	"mproxy/internal/machine"
+	"mproxy/internal/trace/tracecli"
 	"mproxy/internal/workload"
 )
 
@@ -29,7 +30,14 @@ func main() {
 		appsCS  = flag.String("apps", "LU,Barnes-Hut,Water,Sample,Wator", "applications")
 		archCS  = flag.String("archs", "HW1,MP1,MP2,SW1", "design points")
 	)
+	obs := tracecli.AddFlags()
 	flag.Parse()
+	report, err := obs.Install()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer report()
 	sc := map[string]registry.Scale{"test": registry.Test, "small": registry.Small, "full": registry.Full}[*scale]
 	if sc == registry.Full {
 		workload.HeapBytes = 128 << 20

@@ -1,0 +1,61 @@
+package arch
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "re-bless the golden design-point file")
+
+// renderPoints writes every Table 3 design point's parameters in a stable
+// text form. The golden copy under testdata/ locks the published (and
+// reconstructed) values; any drift fails until deliberately re-blessed.
+func renderPoints() string {
+	var b strings.Builder
+	b.WriteString("Table 3 design points (latencies in simulated time, bandwidths MB/s)\n\n")
+	for _, p := range All {
+		fmt.Fprintf(&b, "%s (%s)\n", p.Name, p.Kind)
+		fmt.Fprintf(&b, "  CacheMiss    %-10v AgentMiss    %-10v Uncached  %v\n",
+			p.CacheMiss, p.AgentMiss, p.Uncached)
+		fmt.Fprintf(&b, "  VMAtt        %-10v Speed        %-10.2f PollDelay %v\n",
+			p.VMAtt, p.Speed, p.PollDelay())
+		fmt.Fprintf(&b, "  AdapterOvh   %-10v ComputeOvh   %-10v\n", p.AdapterOvh, p.ComputeOvh)
+		fmt.Fprintf(&b, "  SyscallOvh   %-10v InterruptOvh %-10v ProtocolOvh %v\n",
+			p.SyscallOvh, p.InterruptOvh, p.ProtocolOvh)
+		fmt.Fprintf(&b, "  DMABW        %-10.0f NetBW        %-10.0f PIOBW     %-8.0f MemBW %.0f\n",
+			p.DMABW, p.NetBW, p.PIOBW, p.MemBW)
+		fmt.Fprintf(&b, "  NetLatency   %-10v PinPerPage   %-10v Prepinned %v\n",
+			p.NetLatency, p.PinPerPage, p.Prepinned)
+		fmt.Fprintf(&b, "  PageSize     %-10d PIOCutoff    %d\n\n", p.PageSize, p.PIOCutoff)
+	}
+	return b.String()
+}
+
+func TestGoldenDesignPoints(t *testing.T) {
+	got := renderPoints()
+	path := filepath.Join("testdata", "design_points.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("blessed %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to bless): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("design-point parameters diverged from testdata/design_points.golden.\n"+
+			"got:\n%s\nwant:\n%s\n"+
+			"Only re-bless (go test ./internal/arch -update) for a deliberate change.",
+			got, string(want))
+	}
+}

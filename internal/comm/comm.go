@@ -14,6 +14,7 @@ import (
 	"mproxy/internal/memory"
 	"mproxy/internal/proxy"
 	"mproxy/internal/sim"
+	"mproxy/internal/trace"
 )
 
 // HeaderSize is the network packet header size in bytes; headers count
@@ -149,7 +150,14 @@ func New(cl *machine.Cluster) *Fabric {
 		for i, nd := range cl.Nodes {
 			f.scanners[i] = make([]*proxy.Scanner, len(nd.Agents))
 			for k := range nd.Agents {
-				f.scanners[i][k] = proxy.NewScanner()
+				s := proxy.NewScanner()
+				// Scan passes feed the trace stream under the serving
+				// agent's name; Emit is a no-op without a tracer.
+				name := nd.Agents[k].Name + ".scan"
+				s.SetObserver(func(probes, headChecks int64, found bool) {
+					cl.Eng.Emit(trace.KScan, name, trace.ScanArg(probes, headChecks, found))
+				})
+				f.scanners[i][k] = s
 			}
 		}
 	}
@@ -190,7 +198,9 @@ func (f *Fabric) LatencyStats() map[OpKind]LatencyStat {
 
 // opDone records one completed operation's latency.
 func (f *Fabric) opDone(kind OpKind, issued sim.Time) {
-	f.lat[kind].add(f.Cl.Eng.Now() - issued)
+	d := f.Cl.Eng.Now() - issued
+	f.lat[kind].add(d)
+	f.Cl.Eng.Emit(trace.KOpDone, kind.String(), int64(d))
 }
 
 // Registry returns the cluster's address-space registry.
@@ -403,6 +413,7 @@ func (ep *Endpoint) record(kind OpKind, n int) {
 	ep.bytes += int64(n)
 	ep.f.stats.Ops[kind]++
 	ep.f.stats.Bytes[kind] += int64(n)
+	ep.f.Cl.Eng.Emit(trace.KOpSubmit, kind.String(), int64(n))
 }
 
 // submit hands the request to the architecture-specific send path after

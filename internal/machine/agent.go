@@ -1,6 +1,9 @@
 package machine
 
-import "mproxy/internal/sim"
+import (
+	"mproxy/internal/sim"
+	"mproxy/internal/trace"
+)
 
 // Agent is a node's communication agent: a server process that executes
 // work items one at a time in FIFO order. For a message proxy the agent is
@@ -32,7 +35,7 @@ type agentWork struct {
 
 // NewAgent spawns an agent server process.
 func NewAgent(eng *sim.Engine, name string, notice sim.Time) *Agent {
-	a := &Agent{Name: name, eng: eng, queue: eng.NewQueue(), notice: notice}
+	a := &Agent{Name: name, eng: eng, queue: eng.NewNamedQueue(name + ".q"), notice: notice}
 	eng.SpawnDaemon(name, a.loop)
 	return a
 }
@@ -51,6 +54,7 @@ func (a *Agent) loop(p *sim.Proc) {
 			p.Hold(a.notice)
 		}
 		a.waitTotal += p.Now() - w.at
+		a.eng.Emit(trace.KPoll, a.Name, int64(p.Now()-w.at))
 		start := p.Now()
 		w.fn(p)
 		a.busyTotal += p.Now() - start

@@ -1,0 +1,77 @@
+package model
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "re-bless the golden table files")
+
+// renderTables writes the published constants of Section 4 — Table 1's
+// machine primitives, Table 2's component-by-component GET trace, the PUT
+// trace, the closed-form latency equations and the protection-cost
+// decomposition — in a stable text form. The golden copy under testdata/
+// locks the latency model: any edit to a coefficient fails this test until
+// deliberately re-blessed.
+func renderTables() string {
+	var b strings.Builder
+	m := G30()
+	fmt.Fprintf(&b, "Table 1: primitive operations on the IBM G30 (us)\n")
+	fmt.Fprintf(&b, "  C (cache miss)        %.3f\n", m.C)
+	fmt.Fprintf(&b, "  U (uncached access)   %.3f\n", m.U)
+	fmt.Fprintf(&b, "  V (vm_att/vm_det)     %.3f\n", m.V)
+	fmt.Fprintf(&b, "  S (processor speed)   %.3f\n", m.S)
+	fmt.Fprintf(&b, "  P (polling delay)     %.3f\n", m.P)
+	fmt.Fprintf(&b, "  L (network transit)   %.3f\n", m.L)
+	b.WriteString("\n")
+	for _, tr := range []struct {
+		name string
+		t    Trace
+		lat  float64
+		prot float64
+	}{
+		{"Table 2: one-word GET", GETTrace(), m.GETLatency(), m.GETProtectionCost()},
+		{"one-word PUT", PUTTrace(), m.PUTLatency(), m.PUTProtectionCost()},
+	} {
+		fmt.Fprintf(&b, "%s\n", tr.name)
+		for _, s := range tr.t {
+			fmt.Fprintf(&b, "  %-22s %-42s %-18s %6.2f\n",
+				s.Agent, s.Op, s.Symbolic(), s.Cost(m))
+		}
+		tot := tr.t.Totals()
+		fmt.Fprintf(&b, "  %-22s %-42s %-18s %6.2f\n", "", "total", tot.Symbolic(), tr.t.Total(m))
+		fmt.Fprintf(&b, "  closed form        %6.2f us\n", tr.lat)
+		fmt.Fprintf(&b, "  protection cost    %6.2f us (syscall: %.1f GET / %.1f PUT)\n\n",
+			tr.prot, SyscallGETProtectionCost, SyscallPUTProtectionCost)
+	}
+	return b.String()
+}
+
+func TestGoldenTables(t *testing.T) {
+	got := renderTables()
+	path := filepath.Join("testdata", "tables.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("blessed %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to bless): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("published model constants diverged from testdata/tables.golden.\n"+
+			"got:\n%s\nwant:\n%s\n"+
+			"Only re-bless (go test ./internal/model -update) for a deliberate model change.",
+			got, string(want))
+	}
+}

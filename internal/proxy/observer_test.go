@@ -1,0 +1,72 @@
+package proxy
+
+import "testing"
+
+// TestScannerObserver checks the per-pass observer hook the trace layer
+// hangs off the scanner: one notification per Next call, with pass-local
+// (not cumulative) probe and head-check counts and the found flag.
+func TestScannerObserver(t *testing.T) {
+	s := NewScanner()
+	type pass struct {
+		probes, headChecks int64
+		found              bool
+	}
+	var passes []pass
+	s.SetObserver(func(probes, headChecks int64, found bool) {
+		passes = append(passes, pass{probes, headChecks, found})
+	})
+
+	// Empty scan set: a pass is still observed.
+	if _, _, ok := s.Next(); ok {
+		t.Fatal("Next on empty scanner found a command")
+	}
+	if len(passes) != 1 || passes[0] != (pass{0, 0, false}) {
+		t.Fatalf("empty-set pass = %+v", passes)
+	}
+
+	qa := NewCommandQueue(0, 4)
+	qb := NewCommandQueue(1, 4)
+	ia := s.Register(qa)
+	ib := s.Register(qb)
+	if err := qa.Enqueue(0, "a"); err != nil {
+		t.Fatal(err)
+	}
+	s.MarkNonEmpty(ia)
+	if err := qb.Enqueue(1, "b"); err != nil {
+		t.Fatal(err)
+	}
+	s.MarkNonEmpty(ib)
+
+	for i := 0; i < 2; i++ {
+		if _, _, ok := s.Next(); !ok {
+			t.Fatalf("Next %d found nothing", i)
+		}
+	}
+	if _, _, ok := s.Next(); ok {
+		t.Fatal("drained scanner still found a command")
+	}
+	if len(passes) != 4 {
+		t.Fatalf("observed %d passes, want 4", len(passes))
+	}
+	for i, p := range passes[1:3] {
+		if !p.found {
+			t.Errorf("pass %d: found = false, want true", i+1)
+		}
+		if p.headChecks != 1 {
+			t.Errorf("pass %d: headChecks = %d, want 1 (per-pass, not cumulative)", i+1, p.headChecks)
+		}
+		if p.probes < 1 {
+			t.Errorf("pass %d: probes = %d, want >= 1", i+1, p.probes)
+		}
+	}
+	if last := passes[3]; last.found || last.probes < 1 {
+		t.Errorf("drained pass = %+v, want found=false with >=1 probe", last)
+	}
+
+	// Removing the observer stops notifications.
+	s.SetObserver(nil)
+	s.Next()
+	if len(passes) != 4 {
+		t.Fatalf("observer fired after removal: %d passes", len(passes))
+	}
+}

@@ -118,7 +118,20 @@ type Scanner struct {
 
 	probes     int64 // word probes of the bit vector
 	headChecks int64 // queue-head reads (cache-miss-prone)
+
+	// observer, when non-nil, is notified after every scan pass with the
+	// pass's probe and head-check counts and whether it found a command.
+	// The communication fabric uses it to feed the trace stream.
+	observer Observer
 }
+
+// Observer receives one notification per completed scan pass (one Next
+// call): the number of bit-vector word probes and queue-head reads the
+// pass performed, and whether it dequeued a command.
+type Observer func(probes, headChecks int64, found bool)
+
+// SetObserver installs (or, with nil, removes) the scan observer.
+func (s *Scanner) SetObserver(o Observer) { s.observer = o }
 
 // NewScanner returns an empty scanner.
 func NewScanner() *Scanner { return &Scanner{} }
@@ -151,8 +164,10 @@ func (s *Scanner) MarkNonEmpty(idx int) {
 func (s *Scanner) Next() (any, int, bool) {
 	n := len(s.queues)
 	if n == 0 {
+		s.observe(0, 0, false)
 		return nil, -1, false
 	}
+	p0, h0 := s.probes, s.headChecks
 	pos := s.pos % n
 	// Visit each position at most twice (one full wrap past the start),
 	// skipping empty stretches a bit-vector word at a time.
@@ -190,12 +205,20 @@ func (s *Scanner) Next() (any, int, bool) {
 		pos = (idx + 1) % n
 		if ok {
 			s.pos = pos
+			s.observe(s.probes-p0, s.headChecks-h0, true)
 			return cmd, idx, true
 		}
 		// Stale bit (command consumed earlier): keep scanning.
 	}
 	s.pos = pos
+	s.observe(s.probes-p0, s.headChecks-h0, false)
 	return nil, -1, false
+}
+
+func (s *Scanner) observe(probes, headChecks int64, found bool) {
+	if s.observer != nil {
+		s.observer(probes, headChecks, found)
+	}
 }
 
 // Suspend removes a queue from the scan set without deregistering it:

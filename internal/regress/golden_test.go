@@ -1,0 +1,89 @@
+package regress
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mproxy/internal/trace"
+)
+
+var update = flag.Bool("update", false, "re-bless the golden trace files")
+
+// goldenLine renders the scenario fingerprint stored under testdata/:
+// the stream digest plus the event count and final simulated timestamp,
+// so a diff on a failing golden file is immediately informative.
+func goldenLine(d *trace.Digest) string {
+	return fmt.Sprintf("digest sha256:%s\nevents %d\nlast_at_ns %d\n",
+		d.Sum(), d.Count(), d.LastAt())
+}
+
+func runScenario(t *testing.T, sc Scenario) *trace.Digest {
+	t.Helper()
+	d := trace.NewDigest()
+	sc.Run(d)
+	if d.Count() == 0 {
+		t.Fatalf("%s: scenario produced no trace events", sc.Name)
+	}
+	return d
+}
+
+// TestGoldenTraces replays every canonical scenario twice, asserts the two
+// runs produce bit-identical digests (the engine's end-to-end determinism
+// guarantee), and then compares against the blessed golden file. Run with
+// -update to re-bless after an intentional model change.
+func TestGoldenTraces(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			first := runScenario(t, sc)
+			second := runScenario(t, sc)
+			if first.Sum() != second.Sum() || first.Count() != second.Count() {
+				t.Fatalf("non-deterministic trace: run 1 %s over %d events, run 2 %s over %d events",
+					first.Sum(), first.Count(), second.Sum(), second.Count())
+			}
+
+			got := goldenLine(first)
+			path := filepath.Join("testdata", sc.Name+".golden")
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("blessed %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to bless): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s: trace diverged from golden file.\n  got:\n%s  want:\n%s"+
+					"  If the latency model or engine changed intentionally, re-bless with:\n"+
+					"    go test ./internal/regress -run TestGoldenTraces -update",
+					sc.Name, indent(got), indent(string(want)))
+			}
+		})
+	}
+}
+
+// TestScenarioNamesUnique guards the testdata layout: each scenario must
+// map to a distinct golden file.
+func TestScenarioNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, sc := range Scenarios() {
+		if sc.Name == "" || strings.ContainsAny(sc.Name, "/\\ ") {
+			t.Errorf("scenario name %q is not a clean file basename", sc.Name)
+		}
+		if seen[sc.Name] {
+			t.Errorf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+	}
+}
+
+func indent(s string) string {
+	return "    " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n    ") + "\n"
+}

@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDeadlockReportsAndReaps builds a classic deadlock — a ring of
+// processes each waiting on a flag only its neighbor would set — and checks
+// both halves of the contract: Run returns the documented
+// "sim: deadlock: N process(es) blocked..." error naming every stuck
+// process, and afterwards all process goroutines have been reaped so a
+// long-lived caller (a sweep over many configurations) does not leak.
+func TestDeadlockReportsAndReaps(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	const ring = 4
+	for iter := 0; iter < 25; iter++ {
+		e := NewEngine()
+		flags := make([]*Flag, ring)
+		for i := range flags {
+			flags[i] = e.NewFlag()
+		}
+		for i := 0; i < ring; i++ {
+			i := i
+			e.Spawn(fmt.Sprintf("ring%d", i), func(p *Proc) {
+				p.Hold(Micros(float64(i + 1)))
+				flags[i].Wait(p, 1) // neighbor (i+1)%ring would set it, but it is waiting too
+			})
+		}
+		err := e.Run()
+		if err == nil {
+			t.Fatal("deadlocked ring returned nil error")
+		}
+		want := fmt.Sprintf("sim: deadlock: %d process(es) blocked", ring)
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("err = %q, want it to contain %q", err, want)
+		}
+	}
+	// Reaping happens via Engine.Shutdown inside Run; give the runtime a
+	// moment to retire the exiting goroutines before counting.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+2 || time.Now().After(deadline) {
+			if n > baseline+2 {
+				t.Fatalf("goroutines not reaped after deadlock: baseline %d, now %d", baseline, n)
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -3,6 +3,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+
+	"mproxy/internal/trace"
 )
 
 // event is a scheduled callback. Ties on time are broken by insertion
@@ -48,11 +50,43 @@ type Engine struct {
 	failure error // first panic captured from a process body
 	stopped bool
 	procs   []*Proc
+
+	// tracer, when non-nil, receives one trace.Event per engine
+	// occurrence. The nil check is the entire disabled-tracer cost.
+	tracer trace.Tracer
 }
+
+// globalTracer, when set, is attached to every engine built by NewEngine.
+// It exists for the cmd/mproxy-* binaries, whose experiment drivers create
+// engines internally; tests and library users should prefer SetTracer.
+var globalTracer trace.Tracer
+
+// SetGlobalTracer installs (or, with nil, removes) a tracer attached to
+// all subsequently created engines. The tracer is shared: it must only be
+// used when engines run sequentially, as the experiment drivers do.
+func SetGlobalTracer(t trace.Tracer) { globalTracer = t }
 
 // NewEngine returns an engine at time zero with no pending events.
 func NewEngine() *Engine {
-	return &Engine{parked: make(chan struct{})}
+	return &Engine{parked: make(chan struct{}), tracer: globalTracer}
+}
+
+// SetTracer installs (or, with nil, removes) the engine's tracer. Install
+// before Run for a complete event stream; the golden-trace harness hashes
+// everything from the first Schedule on.
+func (e *Engine) SetTracer(t trace.Tracer) { e.tracer = t }
+
+// Tracer returns the installed tracer, or nil.
+func (e *Engine) Tracer() trace.Tracer { return e.tracer }
+
+// Emit records an event against the engine's tracer, if one is installed.
+// Model layers (machine agents, the communication fabric) use it to extend
+// the trace stream with their own component events.
+func (e *Engine) Emit(kind trace.Kind, comp string, arg int64) {
+	if e.tracer == nil {
+		return
+	}
+	e.tracer.Record(trace.Event{At: int64(e.now), Seq: e.seq, Kind: kind, Comp: comp, Arg: arg})
 }
 
 // Now returns the current simulated time.
@@ -67,6 +101,9 @@ func (e *Engine) Schedule(d Time, fn func()) {
 		panic(fmt.Sprintf("sim: schedule in the past (delay %v)", d))
 	}
 	e.seq++
+	if e.tracer != nil {
+		e.tracer.Record(trace.Event{At: int64(e.now), Seq: e.seq, Kind: trace.KSchedule, Arg: int64(d)})
+	}
 	heap.Push(&e.events, event{at: e.now + d, seq: e.seq, fn: fn})
 }
 
@@ -118,6 +155,9 @@ func (e *Engine) run(limit Time) error {
 			panic("sim: event time ran backwards")
 		}
 		e.now = ev.at
+		if e.tracer != nil {
+			e.tracer.Record(trace.Event{At: int64(ev.at), Seq: ev.seq, Kind: trace.KFire})
+		}
 		ev.fn()
 		if e.failure != nil {
 			return e.failure

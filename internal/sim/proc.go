@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"mproxy/internal/trace"
+)
 
 // Proc is a simulated process. A Proc's body runs on its own goroutine but
 // is only ever executing while the engine is blocked waiting for it, so the
@@ -40,6 +44,7 @@ func (e *Engine) spawn(name string, body func(p *Proc), daemon bool) *Proc {
 	e.procs = append(e.procs, p)
 	e.Schedule(0, func() {
 		p.started = true
+		e.Emit(trace.KSpawn, p.name, 0)
 		go func() {
 			<-p.resume
 			defer func() {
@@ -52,6 +57,11 @@ func (e *Engine) spawn(name string, body func(p *Proc), daemon bool) *Proc {
 				if !daemon {
 					e.live--
 				}
+				var killed int64
+				if p.killed {
+					killed = 1
+				}
+				e.Emit(trace.KProcEnd, p.name, killed)
 				e.parked <- struct{}{}
 			}()
 			body(p)
@@ -75,11 +85,13 @@ func (p *Proc) Now() Time { return p.eng.now }
 // behind Flag, Queue and Resource; external packages may use it to build
 // their own blocking structures.
 func (p *Proc) Park() {
+	p.eng.Emit(trace.KPark, p.name, 0)
 	p.eng.parked <- struct{}{}
 	<-p.resume
 	if p.killed {
 		panic(procKilled{})
 	}
+	p.eng.Emit(trace.KUnpark, p.name, 0)
 }
 
 // Hold advances the process's local time by d: the process blocks and

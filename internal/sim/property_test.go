@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyMonotonicTime drives the engine with randomized schedules —
+// including events that schedule further events — and asserts the core DES
+// invariant: observed fire times never decrease.
+func TestPropertyMonotonicTime(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%64 + 1
+		e := NewEngine()
+		var fired []Time
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			d := Time(rng.Intn(1000))
+			e.Schedule(d, func() {
+				fired = append(fired, e.Now())
+				if depth > 0 && rng.Intn(2) == 0 {
+					schedule(depth - 1)
+				}
+			})
+		}
+		for i := 0; i < n; i++ {
+			schedule(3)
+		}
+		if err := e.Run(); err != nil {
+			t.Logf("run: %v", err)
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			t.Logf("fire times not monotonic: %v", fired)
+			return false
+		}
+		return len(fired) >= n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyFIFOTieBreak schedules random batches where many events share
+// a timestamp and asserts same-time events fire in scheduling (seq) order.
+func TestPropertyFIFOTieBreak(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%100 + 2
+		e := NewEngine()
+		type obs struct {
+			at  Time
+			idx int
+		}
+		var fired []obs
+		for i := 0; i < n; i++ {
+			i := i
+			// Few distinct delays, so ties are common.
+			d := Time(rng.Intn(4) * 100)
+			e.Schedule(d, func() { fired = append(fired, obs{e.Now(), i}) })
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i].at == fired[i-1].at && fired[i].idx < fired[i-1].idx {
+				t.Logf("tie at %v broken out of order: idx %d before %d",
+					fired[i].at, fired[i-1].idx, fired[i].idx)
+				return false
+			}
+		}
+		return len(fired) == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyNegativeDelayPanics asserts Schedule panics for every
+// negative delay, never silently clamping.
+func TestPropertyNegativeDelayPanics(t *testing.T) {
+	prop := func(dRaw int64) bool {
+		d := dRaw
+		if d > 0 {
+			d = -d
+		}
+		if d == 0 {
+			d = -1
+		}
+		e := NewEngine()
+		panicked := false
+		func() {
+			defer func() { panicked = recover() != nil }()
+			e.Schedule(Time(d), func() {})
+		}()
+		return panicked
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzEventHeap feeds arbitrary (delay, seq-gap) streams to the event heap
+// and asserts pops come out sorted by (time, seq) — the ordering that makes
+// every simulation replayable.
+func FuzzEventHeap(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{255, 255, 0, 0, 1, 1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var h eventHeap
+		var seq uint64
+		for len(data) >= 2 {
+			at := Time(binary.LittleEndian.Uint16(data))
+			data = data[2:]
+			seq++
+			heap.Push(&h, event{at: at, seq: seq, fn: func() {}})
+		}
+		var prev event
+		for i := 0; h.Len() > 0; i++ {
+			ev := heap.Pop(&h).(event)
+			if i > 0 {
+				if ev.at < prev.at {
+					t.Fatalf("pop %d: time ran backwards: %v after %v", i, ev.at, prev.at)
+				}
+				if ev.at == prev.at && ev.seq < prev.seq {
+					t.Fatalf("pop %d: FIFO tie-break violated at %v: seq %d after %d",
+						i, ev.at, ev.seq, prev.seq)
+				}
+			}
+			prev = ev
+		}
+	})
+}

@@ -1,5 +1,7 @@
 package sim
 
+import "mproxy/internal/trace"
+
 // Resource is a single-server FIFO resource with utilization accounting.
 // It models the contended hardware agents of the paper's CSIM models: the
 // message proxy processor, the network adapter's protocol logic, the DMA
@@ -36,6 +38,7 @@ func (r *Resource) Acquire(p *Proc) {
 	r.holder = p
 	r.busySince = p.Now()
 	r.waitTotal += p.Now() - enqueued
+	r.eng.Emit(trace.KAcquire, r.name, int64(p.Now()-enqueued))
 }
 
 // Release frees the resource and wakes the first waiter.
@@ -45,6 +48,7 @@ func (r *Resource) Release() {
 	}
 	r.busyTotal += r.eng.now - r.busySince
 	r.served++
+	r.eng.Emit(trace.KRelease, r.name, int64(r.eng.now-r.busySince))
 	r.inUse = false
 	r.holder = nil
 	if len(r.waiters) > 0 {

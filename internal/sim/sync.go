@@ -1,5 +1,7 @@
 package sim
 
+import "mproxy/internal/trace"
+
 // Flag is a monotonic counter that processes can wait on. It models the
 // synchronization words the RMA/RQ primitives set on completion (lsync and
 // rsync in the paper): completion increments the counter and a waiting
@@ -53,12 +55,20 @@ func (f *Flag) Wait(p *Proc, need int64) {
 // work queues (proxy command queues, NIC input FIFOs) and remote queues.
 type Queue struct {
 	eng     *Engine
+	name    string
 	items   []any
 	getters []*Proc
 }
 
 // NewQueue returns an empty queue.
-func (e *Engine) NewQueue() *Queue { return &Queue{eng: e} }
+func (e *Engine) NewQueue() *Queue { return &Queue{eng: e, name: "queue"} }
+
+// NewNamedQueue returns an empty queue whose enqueue/dequeue operations
+// appear in the trace stream under the given name.
+func (e *Engine) NewNamedQueue(name string) *Queue { return &Queue{eng: e, name: name} }
+
+// Name returns the queue's trace name.
+func (q *Queue) Name() string { return q.name }
 
 // Len returns the number of queued items.
 func (q *Queue) Len() int { return len(q.items) }
@@ -66,6 +76,7 @@ func (q *Queue) Len() int { return len(q.items) }
 // Put appends x and wakes the first blocked getter, if any.
 func (q *Queue) Put(x any) {
 	q.items = append(q.items, x)
+	q.eng.Emit(trace.KEnqueue, q.name, int64(len(q.items)))
 	if len(q.getters) > 0 {
 		p := q.getters[0]
 		q.getters = q.getters[1:]
@@ -83,6 +94,7 @@ func (q *Queue) Get(p *Proc) any {
 	x := q.items[0]
 	q.items[0] = nil
 	q.items = q.items[1:]
+	q.eng.Emit(trace.KDequeue, q.name, int64(len(q.items)))
 	return x
 }
 
@@ -95,5 +107,6 @@ func (q *Queue) TryGet() (any, bool) {
 	x := q.items[0]
 	q.items[0] = nil
 	q.items = q.items[1:]
+	q.eng.Emit(trace.KDequeue, q.name, int64(len(q.items)))
 	return x, true
 }

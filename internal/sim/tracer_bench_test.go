@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"testing"
+
+	"mproxy/internal/trace"
+)
+
+// benchWorkload is a representative engine run: two processes ping-pong
+// through a flag (park/unpark traffic) while timer events fire (schedule/
+// fire traffic). It exercises every emit site on the engine hot path.
+func benchWorkload(tr trace.Tracer, rounds int) {
+	e := NewEngine()
+	e.SetTracer(tr)
+	a := e.NewFlag()
+	b := e.NewFlag()
+	e.Spawn("left", func(p *Proc) {
+		for i := 1; i <= rounds; i++ {
+			b.Add(1)
+			a.Wait(p, int64(i))
+		}
+	})
+	e.Spawn("right", func(p *Proc) {
+		for i := 1; i <= rounds; i++ {
+			b.Wait(p, int64(i))
+			p.Hold(10)
+			a.Add(1)
+		}
+	})
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+}
+
+// BenchmarkNilTracer measures the disabled-tracer engine: the entire
+// observability cost must be one nil check per emit site.
+func BenchmarkNilTracer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchWorkload(nil, 100)
+	}
+}
+
+// BenchmarkRecordingTracer measures the same workload with every event
+// appended to an in-memory trace.Recorder.
+func BenchmarkRecordingTracer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := &trace.Recorder{}
+		benchWorkload(r, 100)
+	}
+}
+
+// BenchmarkDigestTracer measures the golden-trace configuration: every
+// event folded into the streaming SHA-256 digest.
+func BenchmarkDigestTracer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchWorkload(trace.NewDigest(), 100)
+	}
+}

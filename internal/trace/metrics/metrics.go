@@ -1,0 +1,249 @@
+// Package metrics turns the simulator's trace stream into per-component
+// counters and histograms: how many events of each kind every resource,
+// queue, agent and operation type produced, plus latency distributions for
+// the kinds whose Arg carries a duration (resource waits, agent work-item
+// waits, operation completions). A Collector is a trace.Tracer, so it can
+// be installed alone or fanned out next to a digest via trace.Multi.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"mproxy/internal/trace"
+)
+
+// durationKinds are the kinds whose Arg is a duration in nanoseconds.
+var durationKinds = map[trace.Kind]bool{
+	trace.KAcquire: true, // queue wait before seizing a resource
+	trace.KRelease: true, // hold time
+	trace.KPoll:    true, // agent work-item wait (notice + queueing)
+	trace.KOpDone:  true, // one-way operation latency
+}
+
+// Hist is a power-of-two bucket histogram of nanosecond durations.
+// Bucket i counts values v with 2^(i-1) <= v < 2^i (bucket 0 counts v=0).
+type Hist struct {
+	Buckets [65]uint64
+	N       uint64
+	Sum     int64
+	Min     int64
+	Max     int64
+}
+
+// Add folds a value into the histogram. Negative values clamp to zero.
+func (h *Hist) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.N == 0 || v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	h.N++
+	h.Sum += v
+	h.Buckets[bits.Len64(uint64(v))]++
+}
+
+// Mean returns the average value.
+func (h *Hist) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1), at
+// power-of-two resolution.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.N == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.N))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.Buckets {
+		seen += c
+		if seen >= target {
+			if i == 0 {
+				return 0
+			}
+			hi := int64(1)<<i - 1
+			if hi > h.Max {
+				hi = h.Max
+			}
+			return hi
+		}
+	}
+	return h.Max
+}
+
+// HistSnapshot is the JSON-friendly summary of a histogram, in
+// microseconds (the paper's unit).
+type HistSnapshot struct {
+	Count  uint64  `json:"count"`
+	MeanUs float64 `json:"mean_us"`
+	MinUs  float64 `json:"min_us"`
+	MaxUs  float64 `json:"max_us"`
+	P50Us  float64 `json:"p50_us"`
+	P99Us  float64 `json:"p99_us"`
+}
+
+func (h *Hist) snapshot() HistSnapshot {
+	return HistSnapshot{
+		Count:  h.N,
+		MeanUs: h.Mean() / 1e3,
+		MinUs:  float64(h.Min) / 1e3,
+		MaxUs:  float64(h.Max) / 1e3,
+		P50Us:  float64(h.Quantile(0.50)) / 1e3,
+		P99Us:  float64(h.Quantile(0.99)) / 1e3,
+	}
+}
+
+// comp accumulates per-component statistics.
+type comp struct {
+	byKind [trace.NumKinds]uint64
+	durs   map[trace.Kind]*Hist
+}
+
+// Collector accumulates counters and histograms from a trace stream. It is
+// not safe for concurrent use across simultaneously running engines; the
+// experiment drivers run their simulations sequentially.
+type Collector struct {
+	total  uint64
+	byKind [trace.NumKinds]uint64
+	comps  map[string]*comp
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{comps: make(map[string]*comp)} }
+
+// Record implements trace.Tracer.
+func (c *Collector) Record(ev trace.Event) {
+	c.total++
+	c.byKind[ev.Kind]++
+	// Engine-level schedule/fire events carry no component; counting them
+	// globally is enough and keeps the per-component map small.
+	if ev.Comp == "" {
+		return
+	}
+	cp := c.comps[ev.Comp]
+	if cp == nil {
+		cp = &comp{}
+		c.comps[ev.Comp] = cp
+	}
+	cp.byKind[ev.Kind]++
+	if durationKinds[ev.Kind] {
+		if cp.durs == nil {
+			cp.durs = make(map[trace.Kind]*Hist)
+		}
+		h := cp.durs[ev.Kind]
+		if h == nil {
+			h = &Hist{}
+			cp.durs[ev.Kind] = h
+		}
+		h.Add(ev.Arg)
+	}
+}
+
+// Total returns the number of events seen.
+func (c *Collector) Total() uint64 { return c.total }
+
+// CompSnapshot summarizes one component.
+type CompSnapshot struct {
+	Name      string                  `json:"name"`
+	Events    uint64                  `json:"events"`
+	ByKind    map[string]uint64       `json:"by_kind"`
+	Durations map[string]HistSnapshot `json:"durations,omitempty"`
+}
+
+// Snapshot is the collector's full state, ready for JSON encoding.
+type Snapshot struct {
+	TotalEvents uint64            `json:"total_events"`
+	ByKind      map[string]uint64 `json:"by_kind"`
+	Components  []CompSnapshot    `json:"components"`
+}
+
+// Snapshot captures the current counters, components sorted by name.
+func (c *Collector) Snapshot() Snapshot {
+	s := Snapshot{TotalEvents: c.total, ByKind: make(map[string]uint64)}
+	for k, n := range c.byKind {
+		if n > 0 {
+			s.ByKind[trace.Kind(k).String()] = n
+		}
+	}
+	names := make([]string, 0, len(c.comps))
+	for name := range c.comps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cp := c.comps[name]
+		cs := CompSnapshot{Name: name, ByKind: make(map[string]uint64)}
+		for k, n := range cp.byKind {
+			if n > 0 {
+				cs.ByKind[trace.Kind(k).String()] = n
+				cs.Events += n
+			}
+		}
+		if len(cp.durs) > 0 {
+			cs.Durations = make(map[string]HistSnapshot, len(cp.durs))
+			for k, h := range cp.durs {
+				cs.Durations[k.String()] = h.snapshot()
+			}
+		}
+		s.Components = append(s.Components, cs)
+	}
+	return s
+}
+
+// JSON renders the snapshot as indented JSON.
+func (c *Collector) JSON() (string, error) {
+	b, err := json.MarshalIndent(c.Snapshot(), "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// Summary renders a human-readable report: global kind counts, then one
+// block per component with its counters and duration statistics.
+func (c *Collector) Summary() string {
+	s := c.Snapshot()
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace metrics: %d events\n", s.TotalEvents)
+	for _, k := range kindOrder(s.ByKind) {
+		fmt.Fprintf(&b, "  %-10s %12d\n", k, s.ByKind[k])
+	}
+	for _, cs := range s.Components {
+		fmt.Fprintf(&b, "%s: %d events\n", cs.Name, cs.Events)
+		for _, k := range kindOrder(cs.ByKind) {
+			fmt.Fprintf(&b, "  %-10s %12d", k, cs.ByKind[k])
+			if d, ok := cs.Durations[k]; ok {
+				fmt.Fprintf(&b, "   mean %.2fus  p50 %.2fus  p99 %.2fus  max %.2fus",
+					d.MeanUs, d.P50Us, d.P99Us, d.MaxUs)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// kindOrder returns the map's kind names in Kind declaration order.
+func kindOrder(m map[string]uint64) []string {
+	out := make([]string, 0, len(m))
+	for k := 0; k < trace.NumKinds; k++ {
+		name := trace.Kind(k).String()
+		if _, ok := m[name]; ok {
+			out = append(out, name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"mproxy/internal/trace"
+)
+
+func TestHistBasics(t *testing.T) {
+	var h Hist
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for _, v := range []int64{0, 1, 2, 1000, 1_000_000, -5} {
+		h.Add(v)
+	}
+	if h.N != 6 {
+		t.Fatalf("N = %d, want 6", h.N)
+	}
+	if h.Min != 0 {
+		t.Errorf("Min = %d, want 0 (negative clamps)", h.Min)
+	}
+	if h.Max != 1_000_000 {
+		t.Errorf("Max = %d", h.Max)
+	}
+	if h.Quantile(1.0) != h.Max {
+		t.Errorf("Quantile(1.0) = %d, want Max %d", h.Quantile(1.0), h.Max)
+	}
+}
+
+// TestHistQuantileBounds checks the power-of-two quantile against the
+// exact order statistic on random data: the estimate must be an upper
+// bound no more than 2x above it (one bucket of slack).
+func TestHistQuantileBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		var h Hist
+		vals := make([]int64, 500)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(1 << uint(4+rng.Intn(20))))
+			h.Add(vals[i])
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			idx := int(q*float64(len(vals))) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			exact := vals[idx]
+			got := h.Quantile(q)
+			if got < exact {
+				t.Fatalf("trial %d: Quantile(%.2f) = %d below exact %d", trial, q, got, exact)
+			}
+			if exact > 0 && got > 2*exact {
+				t.Fatalf("trial %d: Quantile(%.2f) = %d more than 2x exact %d", trial, q, got, exact)
+			}
+		}
+	}
+}
+
+func TestCollectorSnapshot(t *testing.T) {
+	c := NewCollector()
+	c.Record(trace.Event{Kind: trace.KSchedule})         // global only: no comp
+	c.Record(trace.Event{Kind: trace.KFire})             // global only
+	c.Record(trace.Event{Kind: trace.KAcquire, Comp: "node0.agent", Arg: 1500})
+	c.Record(trace.Event{Kind: trace.KAcquire, Comp: "node0.agent", Arg: 2500})
+	c.Record(trace.Event{Kind: trace.KSpawn, Comp: "worker"})
+	if c.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", c.Total())
+	}
+	s := c.Snapshot()
+	if s.TotalEvents != 5 || s.ByKind["acquire"] != 2 || s.ByKind["schedule"] != 1 {
+		t.Fatalf("snapshot counters wrong: %+v", s)
+	}
+	if len(s.Components) != 2 || s.Components[0].Name != "node0.agent" || s.Components[1].Name != "worker" {
+		t.Fatalf("components not sorted by name: %+v", s.Components)
+	}
+	d, ok := s.Components[0].Durations["acquire"]
+	if !ok {
+		t.Fatal("acquire duration histogram missing")
+	}
+	if d.Count != 2 || d.MeanUs != 2.0 {
+		t.Errorf("acquire stats = %+v, want count 2 mean 2.0us", d)
+	}
+	if _, ok := s.Components[1].Durations["spawn"]; ok {
+		t.Error("spawn is not a duration kind")
+	}
+}
+
+func TestCollectorJSONAndSummary(t *testing.T) {
+	c := NewCollector()
+	c.Record(trace.Event{Kind: trace.KOpDone, Comp: "PUT", Arg: 24_700})
+	out, err := c.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(out), &s); err != nil {
+		t.Fatalf("JSON output does not round-trip: %v", err)
+	}
+	if s.Components[0].Durations["op-done"].MeanUs != 24.7 {
+		t.Errorf("mean = %v us, want 24.7", s.Components[0].Durations["op-done"].MeanUs)
+	}
+	sum := c.Summary()
+	for _, want := range []string{"1 events", "PUT", "op-done", "24.70us"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "Kind(") {
+			t.Errorf("Kind %d has no name", k)
+		}
+	}
+	if got := Kind(200).String(); !strings.HasPrefix(got, "Kind(") {
+		t.Errorf("out-of-range kind stringified as %q", got)
+	}
+}
+
+func TestScanArgRoundTrip(t *testing.T) {
+	prop := func(probesRaw, checksRaw uint16, found bool) bool {
+		probes, checks := int64(probesRaw), int64(checksRaw)
+		p, c, f := ScanStats(ScanArg(probes, checks, found))
+		return p == probes && c == checks && f == found
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDigestSensitivity checks the digest distinguishes streams that
+// differ in any field, order, or length — the property that makes it a
+// sound regression oracle.
+func TestDigestSensitivity(t *testing.T) {
+	base := []Event{
+		{At: 10, Seq: 1, Kind: KSchedule, Arg: 5},
+		{At: 10, Seq: 2, Kind: KFire, Comp: "x"},
+	}
+	sum := func(evs []Event) string {
+		d := NewDigest()
+		for _, ev := range evs {
+			d.Record(ev)
+		}
+		return d.Sum()
+	}
+	ref := sum(base)
+	if got := sum(base); got != ref {
+		t.Fatal("identical streams digest differently")
+	}
+	variants := [][]Event{
+		{base[1], base[0]}, // order
+		{base[0]},          // length
+		{{At: 11, Seq: 1, Kind: KSchedule, Arg: 5}, base[1]},            // At
+		{{At: 10, Seq: 3, Kind: KSchedule, Arg: 5}, base[1]},            // Seq
+		{{At: 10, Seq: 1, Kind: KFire, Arg: 5}, base[1]},                // Kind
+		{{At: 10, Seq: 1, Kind: KSchedule, Arg: 6}, base[1]},            // Arg
+		{base[0], {At: 10, Seq: 2, Kind: KFire, Comp: "y"}},             // Comp
+		{base[0], {At: 10, Seq: 2, Kind: KFire, Comp: "x", Arg: 1}},     // extra field
+		{base[0], base[1], {At: 10, Seq: 3, Kind: KFire, Comp: "tail"}}, // suffix
+	}
+	for i, v := range variants {
+		if sum(v) == ref {
+			t.Errorf("variant %d digests identically to the base stream", i)
+		}
+	}
+	d := NewDigest()
+	for _, ev := range base {
+		d.Record(ev)
+	}
+	if d.Count() != 2 || d.LastAt() != 10 {
+		t.Errorf("Count/LastAt = %d/%d, want 2/10", d.Count(), d.LastAt())
+	}
+}
+
+func TestWriterFormatsAndSticksOnError(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b)
+	w.Record(Event{At: 100, Seq: 7, Kind: KPoll, Comp: "node0.agent0", Arg: 42})
+	if got := b.String(); got != "100ns #7 poll node0.agent0 42\n" {
+		t.Errorf("line = %q", got)
+	}
+	fw := NewWriter(failWriter{})
+	fw.Record(Event{})
+	fw.Record(Event{})
+	if fw.Err() == nil {
+		t.Fatal("write error not surfaced")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("closed") }
+
+// TestMultiNilHandling covers the fan-out edge cases. Note Multi filters
+// nil interface values only; callers must not wrap nil concrete pointers
+// in the Tracer interface (tracecli builds its tracer list accordingly).
+func TestMultiNilHandling(t *testing.T) {
+	if Multi() != nil {
+		t.Error("Multi() != nil")
+	}
+	if Multi(nil, nil) != nil {
+		t.Error("Multi(nil, nil) != nil")
+	}
+	r := &Recorder{}
+	if got := Multi(nil, r, nil); got != Tracer(r) {
+		t.Error("single live tracer should be returned unwrapped")
+	}
+	r2 := &Recorder{}
+	m := Multi(r, r2)
+	m.Record(Event{Kind: KFire})
+	if len(r.Events()) != 1 || len(r2.Events()) != 1 {
+		t.Errorf("fan-out reached %d/%d tracers, want 1/1", len(r.Events()), len(r2.Events()))
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	r := &Recorder{Limit: 1}
+	r.Record(Event{})
+	r.Record(Event{})
+	if len(r.Events()) != 1 || r.Dropped() != 1 {
+		t.Fatalf("events/dropped = %d/%d, want 1/1", len(r.Events()), r.Dropped())
+	}
+	r.Reset()
+	if len(r.Events()) != 0 || r.Dropped() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}

@@ -1,0 +1,77 @@
+// Package tracecli wires the trace/metrics observability layer into the
+// cmd/mproxy-* binaries. The experiment drivers construct their engines
+// internally, so the binaries install a process-wide tracer via
+// sim.SetGlobalTracer; every engine the driver builds then feeds the same
+// collectors, and a single report summarizes the whole invocation.
+package tracecli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mproxy/internal/sim"
+	"mproxy/internal/trace"
+	"mproxy/internal/trace/metrics"
+)
+
+// Flags holds the observability command-line options.
+type Flags struct {
+	Trace   *bool
+	Metrics *string
+}
+
+// AddFlags registers -trace and -metrics on the default flag set. Call
+// before flag.Parse.
+func AddFlags() *Flags {
+	return &Flags{
+		Trace: flag.Bool("trace", false,
+			"trace all simulation events; print the stream digest and event count at exit"),
+		Metrics: flag.String("metrics", "",
+			`collect per-component counters/histograms and print them at exit: "text" or "json"`),
+	}
+}
+
+// Install activates the requested collectors. It returns a report function
+// to run once the experiment is done (a no-op when nothing was enabled)
+// and any flag-usage error.
+func (f *Flags) Install() (report func(), err error) {
+	var digest *trace.Digest
+	var coll *metrics.Collector
+	var tracers []trace.Tracer
+	if *f.Trace {
+		digest = trace.NewDigest()
+		tracers = append(tracers, digest)
+	}
+	switch *f.Metrics {
+	case "":
+	case "text", "json":
+		coll = metrics.NewCollector()
+		tracers = append(tracers, coll)
+	default:
+		return nil, fmt.Errorf("-metrics must be \"text\" or \"json\", got %q", *f.Metrics)
+	}
+	if t := trace.Multi(tracers...); t != nil {
+		sim.SetGlobalTracer(t)
+	}
+	mode := *f.Metrics
+	return func() {
+		if coll != nil {
+			switch mode {
+			case "json":
+				out, err := coll.JSON()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "metrics:", err)
+					return
+				}
+				fmt.Println(out)
+			default:
+				fmt.Print(coll.Summary())
+			}
+		}
+		if digest != nil {
+			fmt.Printf("trace digest: sha256:%s over %d events (last at %v)\n",
+				digest.Sum(), digest.Count(), sim.Time(digest.LastAt()))
+		}
+	}, nil
+}

@@ -37,6 +37,7 @@ import (
 	"mproxy/internal/mpi"
 	"mproxy/internal/sim"
 	"mproxy/internal/splitc"
+	"mproxy/internal/trace"
 )
 
 // Re-exported building blocks. The aliases expose the full documented API
@@ -75,6 +76,10 @@ type (
 	MPIStatus = mpi.Status
 	// MPIRequest is a nonblocking MPI operation handle.
 	MPIRequest = mpi.Request
+	// Tracer receives simulator trace events (see internal/trace).
+	Tracer = trace.Tracer
+	// TraceEvent is one simulator trace event.
+	TraceEvent = trace.Event
 )
 
 // MPIAny matches any source or tag in MPI receives.
@@ -130,6 +135,12 @@ func New(cfg Config) *System {
 
 // Arch returns the system's design point.
 func (s *System) Arch() Arch { return s.arch }
+
+// SetTracer installs a trace.Tracer on the system's event engine. Install
+// before Run for a complete event stream; a nil tracer disables tracing at
+// ~zero hot-path cost. See internal/trace for the available tracers
+// (recorder, digest, writer, metrics collector).
+func (s *System) SetTracer(t Tracer) { s.env.Eng.SetTracer(t) }
 
 // Procs returns the total number of compute processors.
 func (s *System) Procs() int { return s.env.Procs() }
