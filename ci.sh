@@ -1,9 +1,19 @@
 #!/bin/sh
 # Tier-1 verification: everything a change must keep green before merging.
-#   ./ci.sh         build + vet + tests + race
+#   ./ci.sh         gofmt + build + vet + tests (shuffled) + race
 #   ./ci.sh quick   build + tests only (what the roadmap calls tier-1)
 set -eu
 cd "$(dirname "$0")"
+
+if [ "${1:-}" != "quick" ]; then
+    echo "== gofmt"
+    unformatted=$(gofmt -l .)
+    if [ -n "$unformatted" ]; then
+        echo "gofmt needed on:"
+        echo "$unformatted"
+        exit 1
+    fi
+fi
 
 echo "== go build ./..."
 go build ./...
@@ -18,6 +28,9 @@ fi
 
 echo "== go vet ./..."
 go vet ./...
+
+echo "== go test -shuffle=on ./..."
+go test -shuffle=on ./...
 
 echo "== go test -race ./..."
 go test -race ./...

@@ -6,28 +6,34 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 
 	"mproxy/internal/apps"
 	"mproxy/internal/apps/registry"
 	"mproxy/internal/arch"
+	"mproxy/internal/fault/faultcli"
 	"mproxy/internal/trace/tracecli"
 	"mproxy/internal/workload"
 )
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "print Table 5 (applications and inputs)")
-		csv    = flag.Bool("csv", false, "emit Figure 8 as CSV")
-		table6 = flag.Bool("table6", false, "print Table 6 (message statistics at 16 procs)")
-		scale  = flag.String("scale", "small", "problem scale: test, small, full")
-		appsCS = flag.String("apps", "", "comma-separated applications (default: all)")
-		archCS = flag.String("archs", "HW0,HW1,MP0,MP1,MP2,SW1", "design points for Figure 8")
-		procs  = flag.String("procs", "1,2,4,8,16", "processor counts")
+		list      = flag.Bool("list", false, "print Table 5 (applications and inputs)")
+		csv       = flag.Bool("csv", false, "emit Figure 8 as CSV")
+		table6    = flag.Bool("table6", false, "print Table 6 (message statistics at 16 procs)")
+		scale     = flag.String("scale", "small", "problem scale: test, small, full")
+		appsCS    = flag.String("apps", "", "comma-separated applications (default: all)")
+		archCS    = flag.String("archs", "HW0,HW1,MP0,MP1,MP2,SW1", "design points for Figure 8")
+		procs     = flag.String("procs", "1,2,4,8,16", "processor counts")
+		jobs      = flag.Int("j", 1, "worker goroutines for the Figure 8 matrix (0 = all CPUs); results are bit-identical to -j 1")
+		benchJSON = flag.String("bench-json", "", "also write the Figure 8 cells as JSON to this file")
 	)
 	obs := tracecli.AddFlags()
+	flt := faultcli.AddFlags()
 	flag.Parse()
 	report, err := obs.Install()
 	if err != nil {
@@ -35,6 +41,14 @@ func main() {
 		return
 	}
 	defer report()
+	faults, err := flt.Install()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if faults != "" {
+		fmt.Println(faults)
+	}
 
 	sc := map[string]registry.Scale{"test": registry.Test, "small": registry.Small, "full": registry.Full}[*scale]
 	if sc == registry.Full {
@@ -54,7 +68,7 @@ func main() {
 		printTable6(specs, sc)
 		return
 	}
-	printFigure8(specs, sc, parseArchs(*archCS), parseInts(*procs), *csv)
+	printFigure8(specs, sc, parseArchs(*archCS), parseInts(*procs), *csv, *jobs, *benchJSON)
 }
 
 func pickApps(cs string) []registry.Spec {
@@ -94,19 +108,34 @@ func parseInts(cs string) []int {
 	return out
 }
 
-func printFigure8(specs []registry.Spec, sc registry.Scale, archs []arch.Params, procs []int, csv bool) {
+// figure8Cell is one matrix entry of the JSON emission.
+type figure8Cell struct {
+	App     string  `json:"app"`
+	Arch    string  `json:"arch"`
+	Procs   int     `json:"procs"`
+	TimeMs  float64 `json:"time_ms"`
+	Speedup float64 `json:"speedup"`
+}
+
+func printFigure8(specs []registry.Spec, sc registry.Scale, archs []arch.Params, procs []int, csv bool, jobs int, benchJSON string) {
 	if csv {
 		fmt.Println("app,arch,procs,time_ms,speedup")
 	} else {
 		fmt.Println("Figure 8: application speedups relative to T(1) on HW1")
 	}
+	var cells []figure8Cell
 	for _, spec := range specs {
 		spec := spec
 		factory := func() apps.App { return spec.New(sc) }
-		curves, err := workload.Speedups(factory, archs, procs, "HW1")
+		curves, err := workload.SpeedupsJ(factory, archs, procs, "HW1", jobs)
 		if err != nil {
 			fmt.Printf("%s: ERROR: %v\n", spec.Name, err)
 			continue
+		}
+		for _, c := range curves {
+			for i, p := range c.Procs {
+				cells = append(cells, figure8Cell{c.App, c.Arch, p, c.Times[i].Millis(), c.Speedup[i]})
+			}
 		}
 		if csv {
 			for _, c := range curves {
@@ -129,6 +158,22 @@ func printFigure8(specs []registry.Spec, sc registry.Scale, archs []arch.Params,
 			}
 			fmt.Println()
 		}
+	}
+	if benchJSON == "" {
+		return
+	}
+	doc := struct {
+		Benchmark string        `json:"benchmark"`
+		Scale     string        `json:"scale"`
+		Cells     []figure8Cell `json:"cells"`
+	}{"figure8", sc.String(), cells}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Println("bench-json:", err)
+		return
+	}
+	if err := os.WriteFile(benchJSON, append(out, '\n'), 0o644); err != nil {
+		fmt.Println("bench-json:", err)
 	}
 }
 

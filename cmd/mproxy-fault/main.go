@@ -1,0 +1,97 @@
+// Command mproxy-fault sweeps the reliable transport across packet-loss
+// rates: for each design point it reports small-PUT ping-pong latency and
+// streamed large-PUT bandwidth over a seeded lossy wire, plus the recovery
+// traffic (retransmissions, standalone acks) the transport spent hiding
+// the loss. Rate 0 runs the same protocol on a clean wire, so the first
+// row is the pure protocol-overhead baseline the degradation is measured
+// against. Everything is deterministic in (-archs, -seed).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mproxy/internal/arch"
+	"mproxy/internal/micro"
+)
+
+func main() {
+	var (
+		archCS    = flag.String("archs", "HW1,MP1,SW1", "comma-separated design points")
+		rateCS    = flag.String("rates", "0,1e-4,1e-3,1e-2", "comma-separated packet drop rates")
+		seed      = flag.Uint64("seed", 1, "fault plane PRNG seed")
+		csv       = flag.Bool("csv", false, "emit the sweep as CSV")
+		benchJSON = flag.String("bench-json", "", "also write the sweep as JSON to this file")
+	)
+	flag.Parse()
+
+	var archs []arch.Params
+	for _, name := range strings.Split(*archCS, ",") {
+		a, ok := arch.ByName(strings.TrimSpace(name))
+		if !ok {
+			fmt.Printf("unknown architecture %q\n", name)
+			return
+		}
+		archs = append(archs, a)
+	}
+	var rates []float64
+	for _, s := range strings.Split(*rateCS, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || r < 0 || r > 1 {
+			fmt.Printf("bad drop rate %q\n", s)
+			return
+		}
+		rates = append(rates, r)
+	}
+
+	type row struct {
+		Arch string `json:"arch"`
+		micro.LossPoint
+	}
+	var rows []row
+	for _, a := range archs {
+		for _, pt := range micro.LossSweep(a, rates, *seed) {
+			rows = append(rows, row{a.Name, pt})
+		}
+	}
+
+	if *csv {
+		fmt.Println("arch,drop_rate,latency_us,bandwidth_mbs,retransmits,acks,lost,failed")
+		for _, r := range rows {
+			fmt.Printf("%s,%g,%.2f,%.1f,%d,%d,%d,%t\n",
+				r.Arch, r.Rate, r.LatencyUs, r.BWMBs, r.Retransmits, r.AcksSent, r.LinkLost, r.Failed)
+		}
+	} else {
+		fmt.Printf("Loss sweep: 64B PUT ping-pong latency and 64KiB streamed-PUT bandwidth\n")
+		fmt.Printf("over the reliable transport (seed %d); rate 0 is the clean-wire baseline\n\n", *seed)
+		fmt.Printf("%-6s %10s %12s %10s %8s %8s %6s %s\n",
+			"arch", "drop", "latency us", "BW MB/s", "retrans", "acks", "lost", "status")
+		for _, r := range rows {
+			status := "ok"
+			if r.Failed {
+				status = "FLOW FAILED"
+			}
+			fmt.Printf("%-6s %10g %12.2f %10.1f %8d %8d %6d %s\n",
+				r.Arch, r.Rate, r.LatencyUs, r.BWMBs, r.Retransmits, r.AcksSent, r.LinkLost, status)
+		}
+	}
+
+	if *benchJSON != "" {
+		doc := struct {
+			Benchmark string `json:"benchmark"`
+			Seed      uint64 `json:"seed"`
+			Rows      []row  `json:"rows"`
+		}{"loss-sweep", *seed, rows}
+		out, err := json.MarshalIndent(doc, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*benchJSON, append(out, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Println("bench-json:", err)
+		}
+	}
+}

@@ -5,11 +5,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 
 	"mproxy/internal/arch"
+	"mproxy/internal/fault/faultcli"
 	"mproxy/internal/micro"
 	"mproxy/internal/trace/tracecli"
 )
@@ -25,12 +28,14 @@ var published = map[string][5]float64{
 
 func main() {
 	var (
-		params = flag.Bool("params", false, "print Table 3 design-point parameters")
-		sweep  = flag.Bool("sweep", false, "print Figure 7 ping-pong sweeps")
-		csv    = flag.Bool("csv", false, "emit the sweep as CSV (with -sweep)")
-		archs  = flag.String("archs", "", "comma-separated design points (default: all)")
+		params    = flag.Bool("params", false, "print Table 3 design-point parameters")
+		sweep     = flag.Bool("sweep", false, "print Figure 7 ping-pong sweeps")
+		csv       = flag.Bool("csv", false, "emit the sweep as CSV (with -sweep)")
+		archs     = flag.String("archs", "", "comma-separated design points (default: all)")
+		benchJSON = flag.String("bench-json", "", "also write the benchmark results as JSON to this file")
 	)
 	obs := tracecli.AddFlags()
+	flt := faultcli.AddFlags()
 	flag.Parse()
 	report, err := obs.Install()
 	if err != nil {
@@ -38,6 +43,14 @@ func main() {
 		return
 	}
 	defer report()
+	faults, err := flt.Install()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if faults != "" {
+		fmt.Println(faults)
+	}
 
 	selected := arch.All
 	if *archs != "" {
@@ -57,14 +70,86 @@ func main() {
 		return
 	}
 	if *sweep {
+		sd := runSweep(selected)
 		if *csv {
-			printFigure7CSV(selected)
+			printFigure7CSV(selected, sd)
 		} else {
-			printFigure7(selected)
+			printFigure7(selected, sd)
+		}
+		if *benchJSON != "" {
+			if err := writeJSON(*benchJSON, sweepJSON(selected, sd)); err != nil {
+				fmt.Println("bench-json:", err)
+			}
 		}
 		return
 	}
-	printTable4(selected)
+	rows := make([]micro.Table4Row, len(selected))
+	for i, a := range selected {
+		rows[i] = micro.Table4(a)
+	}
+	printTable4(rows)
+	if *benchJSON != "" {
+		if err := writeJSON(*benchJSON, table4JSON(rows)); err != nil {
+			fmt.Println("bench-json:", err)
+		}
+	}
+}
+
+// writeJSON emits machine-readable benchmark results so sweeps can be
+// archived and diffed across revisions without scraping the tables.
+func writeJSON(path string, v any) error {
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+type table4JSONRow struct {
+	Arch       string  `json:"arch"`
+	PutLatency float64 `json:"put_latency_us"`
+	GetLatency float64 `json:"get_latency_us"`
+	PutSyncOvh float64 `json:"put_sync_overhead_us"`
+	AMLatency  float64 `json:"am_latency_us"`
+	PeakBW     float64 `json:"peak_bw_mbs"`
+}
+
+func table4JSON(rows []micro.Table4Row) any {
+	out := struct {
+		Benchmark string          `json:"benchmark"`
+		Rows      []table4JSONRow `json:"rows"`
+	}{Benchmark: "table4"}
+	for _, r := range rows {
+		out.Rows = append(out.Rows, table4JSONRow{
+			Arch: r.Arch, PutLatency: r.PutLatency, GetLatency: r.GetLatency,
+			PutSyncOvh: r.PutSyncOvh, AMLatency: r.AMLatency, PeakBW: r.PeakBW,
+		})
+	}
+	return out
+}
+
+type sweepJSONPoint struct {
+	Benchmark string  `json:"benchmark"`
+	Arch      string  `json:"arch"`
+	Bytes     int     `json:"bytes"`
+	LatencyUs float64 `json:"latency_us"`
+	BWMBs     float64 `json:"bandwidth_mbs"`
+}
+
+func sweepJSON(archs []arch.Params, sd sweepData) any {
+	var pts []sweepJSONPoint
+	for i, a := range archs {
+		for _, pt := range sd.put[i] {
+			pts = append(pts, sweepJSONPoint{"put", a.Name, pt.Bytes, pt.Latency, pt.BW})
+		}
+		for _, pt := range sd.store[i] {
+			pts = append(pts, sweepJSONPoint{"amstore", a.Name, pt.Bytes, pt.Latency, pt.BW})
+		}
+	}
+	return struct {
+		Benchmark string           `json:"benchmark"`
+		Points    []sweepJSONPoint `json:"points"`
+	}{"figure7", pts}
 }
 
 func printTable3(archs []arch.Params) {
@@ -113,17 +198,13 @@ func printTable3(archs []arch.Params) {
 	})
 }
 
-func printTable4(archs []arch.Params) {
+func printTable4(rows []micro.Table4Row) {
 	fmt.Println("Table 4: micro-benchmark measurements (simulated / published)")
 	fmt.Printf("%-16s", "Measurement")
-	for _, a := range archs {
-		fmt.Printf(" %15s", a.Name)
+	for _, r := range rows {
+		fmt.Printf(" %15s", r.Arch)
 	}
 	fmt.Println()
-	rows := make([]micro.Table4Row, len(archs))
-	for i, a := range archs {
-		rows[i] = micro.Table4(a)
-	}
 	print := func(name string, idx int, get func(micro.Table4Row) float64) {
 		fmt.Printf("%-16s", name)
 		for i := range rows {
@@ -139,54 +220,56 @@ func printTable4(archs []arch.Params) {
 	print("Peak BW MB/s", 4, func(r micro.Table4Row) float64 { return r.PeakBW })
 }
 
-func printFigure7CSV(archs []arch.Params) {
-	sizes := []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536}
+// sweepData holds one Figure 7 sweep, computed once and shared by the
+// table, CSV and JSON emitters.
+type sweepData struct {
+	sizes []int
+	put   [][]micro.Point // indexed [arch][size]
+	store [][]micro.Point
+}
+
+func runSweep(archs []arch.Params) sweepData {
+	sd := sweepData{
+		sizes: []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536},
+		put:   make([][]micro.Point, len(archs)),
+		store: make([][]micro.Point, len(archs)),
+	}
+	for i, a := range archs {
+		sd.put[i] = micro.PingPongPut(a, sd.sizes)
+		sd.store[i] = micro.PingPongStore(a, sd.sizes)
+	}
+	return sd
+}
+
+func printFigure7CSV(archs []arch.Params, sd sweepData) {
 	fmt.Println("benchmark,arch,bytes,latency_us,bandwidth_mbs")
-	for _, a := range archs {
-		for _, pt := range micro.PingPongPut(a, sizes) {
+	for i, a := range archs {
+		for _, pt := range sd.put[i] {
 			fmt.Printf("put,%s,%d,%.3f,%.3f\n", a.Name, pt.Bytes, pt.Latency, pt.BW)
 		}
-		for _, pt := range micro.PingPongStore(a, sizes) {
+		for _, pt := range sd.store[i] {
 			fmt.Printf("amstore,%s,%d,%.3f,%.3f\n", a.Name, pt.Bytes, pt.Latency, pt.BW)
 		}
 	}
 }
 
-func printFigure7(archs []arch.Params) {
-	sizes := []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536}
-	fmt.Println("Figure 7: PUT ping-pong one-way latency (us) and stream bandwidth (MB/s)")
-	fmt.Printf("%8s", "bytes")
-	for _, a := range archs {
-		fmt.Printf(" %9s-lat %9s-bw", a.Name, a.Name)
-	}
-	fmt.Println()
-	curves := make([][]micro.Point, len(archs))
-	for i, a := range archs {
-		curves[i] = micro.PingPongPut(a, sizes)
-	}
-	for si, n := range sizes {
-		fmt.Printf("%8d", n)
-		for i := range archs {
-			fmt.Printf(" %13.1f %12.1f", curves[i][si].Latency, curves[i][si].BW)
+func printFigure7(archs []arch.Params, sd sweepData) {
+	half := func(title string, curves [][]micro.Point) {
+		fmt.Println(title)
+		fmt.Printf("%8s", "bytes")
+		for _, a := range archs {
+			fmt.Printf(" %9s-lat %9s-bw", a.Name, a.Name)
 		}
 		fmt.Println()
-	}
-	fmt.Println()
-	fmt.Println("Figure 7: AM bulk-store ping-pong one-way latency (us) and bandwidth (MB/s)")
-	fmt.Printf("%8s", "bytes")
-	for _, a := range archs {
-		fmt.Printf(" %9s-lat %9s-bw", a.Name, a.Name)
-	}
-	fmt.Println()
-	for i, a := range archs {
-		curves[i] = micro.PingPongStore(a, sizes)
-		_ = a
-	}
-	for si, n := range sizes {
-		fmt.Printf("%8d", n)
-		for i := range archs {
-			fmt.Printf(" %13.1f %12.1f", curves[i][si].Latency, curves[i][si].BW)
+		for si, n := range sd.sizes {
+			fmt.Printf("%8d", n)
+			for i := range archs {
+				fmt.Printf(" %13.1f %12.1f", curves[i][si].Latency, curves[i][si].BW)
+			}
+			fmt.Println()
 		}
-		fmt.Println()
 	}
+	half("Figure 7: PUT ping-pong one-way latency (us) and stream bandwidth (MB/s)", sd.put)
+	fmt.Println()
+	half("Figure 7: AM bulk-store ping-pong one-way latency (us) and bandwidth (MB/s)", sd.store)
 }

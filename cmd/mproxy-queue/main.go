@@ -15,6 +15,7 @@ import (
 	"mproxy/internal/apps"
 	"mproxy/internal/apps/registry"
 	"mproxy/internal/arch"
+	"mproxy/internal/fault/faultcli"
 	"mproxy/internal/queueing"
 	"mproxy/internal/trace/tracecli"
 	"mproxy/internal/workload"
@@ -27,6 +28,7 @@ func main() {
 		ppn    = flag.Int("ppn", 4, "compute processors per node for the compute-vs-communicate rule")
 	)
 	obs := tracecli.AddFlags()
+	flt := faultcli.AddFlags()
 	flag.Parse()
 	report, err := obs.Install()
 	if err != nil {
@@ -34,6 +36,14 @@ func main() {
 		return
 	}
 	defer report()
+	faults, err := flt.Install()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if faults != "" {
+		fmt.Println(faults)
+	}
 	sc := map[string]registry.Scale{"test": registry.Test, "small": registry.Small, "full": registry.Full}[*scale]
 	if sc == registry.Full {
 		workload.HeapBytes = 128 << 20

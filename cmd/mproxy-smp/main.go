@@ -16,6 +16,7 @@ import (
 	"mproxy/internal/apps/registry"
 	"mproxy/internal/arch"
 	"mproxy/internal/comm"
+	"mproxy/internal/fault/faultcli"
 	"mproxy/internal/machine"
 	"mproxy/internal/trace/tracecli"
 	"mproxy/internal/workload"
@@ -31,6 +32,7 @@ func main() {
 		archCS  = flag.String("archs", "HW1,MP1,MP2,SW1", "design points")
 	)
 	obs := tracecli.AddFlags()
+	flt := faultcli.AddFlags()
 	flag.Parse()
 	report, err := obs.Install()
 	if err != nil {
@@ -38,6 +40,14 @@ func main() {
 		return
 	}
 	defer report()
+	faults, err := flt.Install()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if faults != "" {
+		fmt.Println(faults)
+	}
 	sc := map[string]registry.Scale{"test": registry.Test, "small": registry.Small, "full": registry.Full}[*scale]
 	if sc == registry.Full {
 		workload.HeapBytes = 128 << 20

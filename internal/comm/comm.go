@@ -13,6 +13,7 @@ import (
 	"mproxy/internal/machine"
 	"mproxy/internal/memory"
 	"mproxy/internal/proxy"
+	"mproxy/internal/rel"
 	"mproxy/internal/sim"
 	"mproxy/internal/trace"
 )
@@ -137,6 +138,10 @@ type Fabric struct {
 	// proxy?).
 	forceRemote bool
 
+	// relE, when non-nil, carries all inter-node packets over the
+	// reliable transport (see rel.go).
+	relE *rel.Engine
+
 	lat [opKinds]latAccum
 }
 
@@ -158,8 +163,14 @@ func New(cl *machine.Cluster) *Fabric {
 					cl.Eng.Emit(trace.KScan, name, trace.ScanArg(probes, headChecks, found))
 				})
 				f.scanners[i][k] = s
+				// A proxy crash (fault plane) wipes the scanner's volatile
+				// state; on restart it reprobes every registered queue head.
+				nd.Agents[k].OnRestart(s.Restart)
 			}
 		}
+	}
+	if globalRel != nil {
+		f.EnableRel(*globalRel)
 	}
 	for _, cpu := range cl.CPUs {
 		ep := &Endpoint{f: f, cpu: cpu, rank: cpu.Rank}

@@ -7,6 +7,7 @@ import (
 	"mproxy/internal/machine"
 	"mproxy/internal/memory"
 	"mproxy/internal/sim"
+	"mproxy/internal/trace"
 )
 
 // pktKind enumerates wire packet types.
@@ -57,17 +58,40 @@ func (f *Fabric) targetRank(r request) int {
 // nodeOf returns the node hosting a rank.
 func (f *Fabric) nodeOf(rank int) *machine.Node { return f.Cl.CPUs[rank].Node }
 
-// ship serializes a PIO packet onto the sending node's output link.
+// ship serializes a PIO packet onto the sending node's output link,
+// through the reliable transport when one is enabled. Without it, faults
+// are terminal: a corrupted packet is discarded at the receiver (the
+// integrity check) and nothing retransmits it.
 func (f *Fabric) ship(node *machine.Node, pkt *packet) {
+	if f.relE != nil {
+		f.relShip(pkt, false)
+		return
+	}
 	dest := f.nodeOf(pkt.to)
-	node.OutLink.Send(HeaderSize+len(pkt.data), func() { f.deliver(dest, pkt) })
+	node.OutLink.SendPacket(HeaderSize+len(pkt.data), func(fate machine.PacketFate) {
+		if fate.Corrupt {
+			f.Cl.Eng.Emit(trace.KCorrupt, node.OutLink.Name(), int64(pkt.n))
+			return
+		}
+		f.deliver(dest, pkt)
+	})
 }
 
 // shipOverlapped ships a DMA-fed page whose serialization was already paid
 // at the (slower) DMA engine.
 func (f *Fabric) shipOverlapped(node *machine.Node, pkt *packet) {
+	if f.relE != nil {
+		f.relShip(pkt, true)
+		return
+	}
 	dest := f.nodeOf(pkt.to)
-	node.OutLink.SendOverlapped(HeaderSize+len(pkt.data), func() { f.deliver(dest, pkt) })
+	node.OutLink.SendPacketOverlapped(HeaderSize+len(pkt.data), func(fate machine.PacketFate) {
+		if fate.Corrupt {
+			f.Cl.Eng.Emit(trace.KCorrupt, node.OutLink.Name(), int64(pkt.n))
+			return
+		}
+		f.deliver(dest, pkt)
+	})
 }
 
 // deliver dispatches an arriving packet to the receiving node's agent

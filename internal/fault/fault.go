@@ -1,0 +1,276 @@
+// Package fault is the simulator's deterministic fault plane: a seeded
+// model of the failure modes a production cluster fabric exhibits but the
+// paper's SP2 switch was assumed not to — packet drop, payload corruption
+// (CRC-detectable), duplication, bounded reordering, link-down windows,
+// and communication-agent stalls and crashes.
+//
+// Every decision is drawn from a splitmix64 stream keyed by (seed,
+// component, sequence number), so fault schedules are pure functions of
+// the configuration: runs are bit-reproducible, golden-traceable, and
+// safe to consult from concurrently running engines. A Plane implements
+// machine.FaultPlane; install it with Cluster.SetFaultPlane (or
+// machine.SetGlobalFaultPlane for the cmd binaries).
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mproxy/internal/machine"
+	"mproxy/internal/sim"
+)
+
+// Window is a time interval during which a node's output link is down.
+type Window struct {
+	Node     int // node whose output link is down; -1 for every node
+	From, To sim.Time
+}
+
+// Config parameterizes a fault plane. Probabilities are per packet (or
+// per agent work item); zero values inject nothing.
+type Config struct {
+	// Seed keys every PRNG stream.
+	Seed uint64
+
+	// Drop is the probability a packet vanishes in flight.
+	Drop float64
+	// Corrupt is the probability a packet arrives with a flipped payload
+	// bit (detected and discarded by the receiver's CRC check).
+	Corrupt float64
+	// Dup is the probability a packet is delivered twice.
+	Dup float64
+	// DupDelay separates the duplicate from the original (default 5us).
+	DupDelay sim.Time
+	// Reorder is the probability a packet is held back by a uniform
+	// extra delay in (0, ReorderMax], letting later packets overtake it.
+	Reorder float64
+	// ReorderMax bounds the reordering delay (default 20us).
+	ReorderMax sim.Time
+
+	// Down lists link-down windows.
+	Down []Window
+
+	// Stall is the per-work-item probability that an agent pauses for a
+	// uniform duration in (0, StallMax] (default StallMax 50us).
+	Stall float64
+	// StallMax bounds stall durations.
+	StallMax sim.Time
+	// Crash is the per-work-item probability that an agent crashes: it
+	// stalls for CrashDowntime (default 200us) and then restarts its
+	// dispatch loop from scratch.
+	Crash float64
+	// CrashDowntime is the restart latency after a crash.
+	CrashDowntime sim.Time
+}
+
+// withDefaults fills the duration knobs left at zero.
+func (c Config) withDefaults() Config {
+	if c.DupDelay == 0 {
+		c.DupDelay = 5 * sim.Microsecond
+	}
+	if c.ReorderMax == 0 {
+		c.ReorderMax = 20 * sim.Microsecond
+	}
+	if c.StallMax == 0 {
+		c.StallMax = 50 * sim.Microsecond
+	}
+	if c.CrashDowntime == 0 {
+		c.CrashDowntime = 200 * sim.Microsecond
+	}
+	return c
+}
+
+// Active reports whether the configuration injects any fault at all.
+func (c Config) Active() bool {
+	return c.Drop > 0 || c.Corrupt > 0 || c.Dup > 0 || c.Reorder > 0 ||
+		len(c.Down) > 0 || c.Stall > 0 || c.Crash > 0
+}
+
+// Plane is a deterministic fault injector. It is immutable after
+// construction and therefore safe to share across engines.
+type Plane struct {
+	cfg Config
+}
+
+// NewPlane returns a plane for cfg.
+func NewPlane(cfg Config) *Plane {
+	cfg = cfg.withDefaults()
+	sort.SliceStable(cfg.Down, func(i, j int) bool { return cfg.Down[i].From < cfg.Down[j].From })
+	return &Plane{cfg: cfg}
+}
+
+// Config returns the plane's (defaulted) configuration.
+func (p *Plane) Config() Config { return p.cfg }
+
+// PacketFate implements machine.FaultPlane. The decision stream for a
+// packet is keyed by (seed, node, seq); draws are consumed in a fixed
+// order (drop, corrupt, dup, reorder) so adding a fault kind to a config
+// does not reshuffle the others' schedules beyond the necessary.
+func (p *Plane) PacketFate(link string, node int, seq uint64, now sim.Time) machine.PacketFate {
+	for _, w := range p.cfg.Down {
+		if (w.Node < 0 || w.Node == node) && now >= w.From && now < w.To {
+			return machine.PacketFate{Down: true}
+		}
+	}
+	if !p.cfg.Active() {
+		return machine.PacketFate{}
+	}
+	s := newStream(p.cfg.Seed, uint64(node), seq)
+	var fate machine.PacketFate
+	if s.float64() < p.cfg.Drop {
+		fate.Drop = true
+		return fate
+	}
+	if s.float64() < p.cfg.Corrupt {
+		fate.Corrupt = true
+		fate.CorruptBit = s.uint32()
+	}
+	if s.float64() < p.cfg.Dup {
+		fate.Dup = true
+		fate.DupDelay = p.cfg.DupDelay
+	}
+	if s.float64() < p.cfg.Reorder {
+		fate.Delay = 1 + sim.Time(s.float64()*float64(p.cfg.ReorderMax))
+	}
+	return fate
+}
+
+// AgentFault implements machine.FaultPlane, keyed by (seed, agent, item).
+func (p *Plane) AgentFault(agent string, item int64, now sim.Time) machine.AgentFate {
+	if p.cfg.Stall == 0 && p.cfg.Crash == 0 {
+		return machine.AgentFate{}
+	}
+	s := newStream(p.cfg.Seed, fnv1a(agent), uint64(item))
+	if s.float64() < p.cfg.Crash {
+		return machine.AgentFate{Stall: p.cfg.CrashDowntime, Restart: true}
+	}
+	if s.float64() < p.cfg.Stall {
+		return machine.AgentFate{Stall: 1 + sim.Time(s.float64()*float64(p.cfg.StallMax))}
+	}
+	return machine.AgentFate{}
+}
+
+// Parse builds a Config from a comma-separated spec like
+//
+//	drop=1e-3,corrupt=1e-4,dup=1e-4,reorder=0.01,reordermax=20us,
+//	stall=1e-3,crash=1e-4,down=0@100us-300us,down=-1@1ms-1.5ms
+//
+// Probabilities are bare floats; durations take a us/ms/s suffix. A bare
+// float with no key is shorthand for drop=<p>. Seed comes from the -seed
+// flag, not the spec.
+func Parse(spec string, seed uint64) (Config, error) {
+	cfg := Config{Seed: seed}
+	if strings.TrimSpace(spec) == "" {
+		return cfg, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, found := strings.Cut(field, "=")
+		if !found {
+			p, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("fault: bad spec field %q", field)
+			}
+			cfg.Drop = p
+			continue
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "drop":
+			cfg.Drop, err = parseProb(val)
+		case "corrupt":
+			cfg.Corrupt, err = parseProb(val)
+		case "dup":
+			cfg.Dup, err = parseProb(val)
+		case "dupdelay":
+			cfg.DupDelay, err = parseDur(val)
+		case "reorder":
+			cfg.Reorder, err = parseProb(val)
+		case "reordermax":
+			cfg.ReorderMax, err = parseDur(val)
+		case "stall":
+			cfg.Stall, err = parseProb(val)
+		case "stallmax":
+			cfg.StallMax, err = parseDur(val)
+		case "crash":
+			cfg.Crash, err = parseProb(val)
+		case "crashdowntime":
+			cfg.CrashDowntime, err = parseDur(val)
+		case "down":
+			var w Window
+			w, err = parseWindow(val)
+			cfg.Down = append(cfg.Down, w)
+		default:
+			return cfg, fmt.Errorf("fault: unknown spec key %q", key)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("fault: %s=%s: %w", key, val, err)
+		}
+	}
+	return cfg, nil
+}
+
+func parseProb(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %v outside [0,1]", p)
+	}
+	return p, nil
+}
+
+func parseDur(s string) (sim.Time, error) {
+	for _, u := range []struct {
+		suffix string
+		unit   sim.Time
+	}{{"us", sim.Microsecond}, {"ms", sim.Millisecond}, {"ns", sim.Nanosecond}, {"s", sim.Second}} {
+		if v, ok := strings.CutSuffix(s, u.suffix); ok {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return 0, err
+			}
+			if f < 0 {
+				return 0, fmt.Errorf("negative duration %q", s)
+			}
+			return sim.Time(f * float64(u.unit)), nil
+		}
+	}
+	return 0, fmt.Errorf("duration %q needs a ns/us/ms/s suffix", s)
+}
+
+// parseWindow parses node@from-to, e.g. 0@100us-300us or -1@1ms-2ms.
+func parseWindow(s string) (Window, error) {
+	nodeS, span, found := strings.Cut(s, "@")
+	if !found {
+		return Window{}, fmt.Errorf("window %q needs node@from-to", s)
+	}
+	node, err := strconv.Atoi(nodeS)
+	if err != nil {
+		return Window{}, err
+	}
+	fromS, toS, found := strings.Cut(span, "-")
+	if !found {
+		return Window{}, fmt.Errorf("window span %q needs from-to", span)
+	}
+	from, err := parseDur(fromS)
+	if err != nil {
+		return Window{}, err
+	}
+	to, err := parseDur(toS)
+	if err != nil {
+		return Window{}, err
+	}
+	if to <= from {
+		return Window{}, fmt.Errorf("window %q is empty", s)
+	}
+	return Window{Node: node, From: from, To: to}, nil
+}

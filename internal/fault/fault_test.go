@@ -1,0 +1,197 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"mproxy/internal/machine"
+	"mproxy/internal/sim"
+)
+
+func TestStreamsAreDeterministicAndKeyed(t *testing.T) {
+	a := newStream(1, 2, 3)
+	b := newStream(1, 2, 3)
+	for i := 0; i < 16; i++ {
+		if x, y := a.next(), b.next(); x != y {
+			t.Fatalf("draw %d diverged: %x vs %x", i, x, y)
+		}
+	}
+	// Adjacent keys must give unrelated streams.
+	keys := []stream{newStream(1, 2, 3), newStream(2, 2, 3), newStream(1, 3, 3), newStream(1, 2, 4)}
+	seen := map[uint64]int{}
+	for i := range keys {
+		seen[keys[i].next()] = i
+	}
+	if len(seen) != len(keys) {
+		t.Fatalf("adjacent keys collided: %v", seen)
+	}
+}
+
+func TestFloat64InRange(t *testing.T) {
+	s := newStream(7, 0, 0)
+	for i := 0; i < 1000; i++ {
+		v := s.float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("draw %d out of [0,1): %v", i, v)
+		}
+	}
+}
+
+func TestPacketFateRates(t *testing.T) {
+	p := NewPlane(Config{Seed: 42, Drop: 0.1, Corrupt: 0.05, Dup: 0.05, Reorder: 0.2})
+	const n = 20000
+	var drops, corrupts, dups, delays int
+	for seq := uint64(0); seq < n; seq++ {
+		f := p.PacketFate("node0.out", 0, seq, 0)
+		if f.Drop {
+			drops++
+		}
+		if f.Corrupt {
+			corrupts++
+		}
+		if f.Dup {
+			dups++
+		}
+		if f.Delay > 0 {
+			delays++
+			if f.Delay > p.Config().ReorderMax+1 {
+				t.Fatalf("seq %d: delay %v exceeds bound %v", seq, f.Delay, p.Config().ReorderMax)
+			}
+		}
+	}
+	check := func(name string, got int, want float64) {
+		t.Helper()
+		ratio := float64(got) / n
+		if math.Abs(ratio-want) > want*0.25 {
+			t.Errorf("%s rate = %.4f, want ~%.4f", name, ratio, want)
+		}
+	}
+	check("drop", drops, 0.1)
+	// Corrupt/dup/reorder are drawn only for undropped packets.
+	check("corrupt", corrupts, 0.05*0.9)
+	check("dup", dups, 0.05*0.9)
+	check("reorder", delays, 0.2*0.9)
+}
+
+func TestPacketFateIsPure(t *testing.T) {
+	p := NewPlane(Config{Seed: 9, Drop: 0.3, Corrupt: 0.3, Dup: 0.3, Reorder: 0.3})
+	for seq := uint64(0); seq < 200; seq++ {
+		a := p.PacketFate("l", 3, seq, 100)
+		b := p.PacketFate("l", 3, seq, 100)
+		if a != b {
+			t.Fatalf("seq %d: fate not pure: %+v vs %+v", seq, a, b)
+		}
+	}
+	// Different nodes see different schedules.
+	same := 0
+	for seq := uint64(0); seq < 200; seq++ {
+		if p.PacketFate("l", 0, seq, 0) == p.PacketFate("l", 1, seq, 0) {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Error("node 0 and node 1 share an identical fault schedule")
+	}
+}
+
+func TestLinkDownWindows(t *testing.T) {
+	p := NewPlane(Config{Seed: 1, Down: []Window{
+		{Node: 0, From: 100, To: 200},
+		{Node: -1, From: 500, To: 600},
+	}})
+	cases := []struct {
+		node int
+		now  sim.Time
+		down bool
+	}{
+		{0, 50, false}, {0, 100, true}, {0, 199, true}, {0, 200, false},
+		{1, 150, false}, {1, 550, true}, {0, 550, true}, {2, 650, false},
+	}
+	for _, c := range cases {
+		f := p.PacketFate("l", c.node, 0, c.now)
+		if f.Down != c.down {
+			t.Errorf("node %d at %v: down = %v, want %v", c.node, c.now, f.Down, c.down)
+		}
+	}
+}
+
+func TestAgentFaults(t *testing.T) {
+	p := NewPlane(Config{Seed: 3, Stall: 0.2, Crash: 0.05})
+	var stalls, crashes int
+	const n = 5000
+	for item := int64(0); item < n; item++ {
+		f := p.AgentFault("node0.proxy0", item, 0)
+		if f.Restart {
+			crashes++
+			if f.Stall != p.Config().CrashDowntime {
+				t.Fatalf("crash without downtime: %+v", f)
+			}
+		} else if f.Stall > 0 {
+			stalls++
+			if f.Stall > p.Config().StallMax+1 {
+				t.Fatalf("stall %v exceeds bound", f.Stall)
+			}
+		}
+		if g := p.AgentFault("node0.proxy0", item, 0); g != f {
+			t.Fatalf("agent fate not pure at item %d", item)
+		}
+	}
+	if crashes == 0 || stalls == 0 {
+		t.Fatalf("expected both stalls and crashes, got %d/%d", stalls, crashes)
+	}
+	if math.Abs(float64(crashes)/n-0.05) > 0.02 {
+		t.Errorf("crash rate %.3f, want ~0.05", float64(crashes)/n)
+	}
+}
+
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	p := NewPlane(Config{Seed: 99})
+	for seq := uint64(0); seq < 100; seq++ {
+		if f := p.PacketFate("l", 0, seq, sim.Time(seq)); f != (machine.PacketFate{}) {
+			t.Fatalf("zero config produced fate %+v", f)
+		}
+		if f := p.AgentFault("a", int64(seq), 0); f != (machine.AgentFate{}) {
+			t.Fatalf("zero config produced agent fate %+v", f)
+		}
+	}
+	if NewPlane(Config{}).Config().Active() {
+		t.Error("zero config reports Active")
+	}
+	if !NewPlane(Config{Drop: 0.1}).Config().Active() {
+		t.Error("drop config not Active")
+	}
+}
+
+func TestParse(t *testing.T) {
+	cfg, err := Parse("drop=1e-3,corrupt=1e-4,dup=2e-4,reorder=0.01,reordermax=30us,stall=1e-3,crash=1e-5,down=0@100us-300us,down=-1@1ms-1.5ms", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 7 || cfg.Drop != 1e-3 || cfg.Corrupt != 1e-4 || cfg.Dup != 2e-4 {
+		t.Errorf("probabilities wrong: %+v", cfg)
+	}
+	if cfg.ReorderMax != 30*sim.Microsecond {
+		t.Errorf("reordermax = %v", cfg.ReorderMax)
+	}
+	if len(cfg.Down) != 2 || cfg.Down[0] != (Window{Node: 0, From: 100 * sim.Microsecond, To: 300 * sim.Microsecond}) {
+		t.Errorf("down windows wrong: %+v", cfg.Down)
+	}
+	if cfg.Down[1].Node != -1 || cfg.Down[1].To != sim.Time(1.5*float64(sim.Millisecond)) {
+		t.Errorf("wildcard window wrong: %+v", cfg.Down[1])
+	}
+
+	// Bare float shorthand for drop.
+	cfg, err = Parse("1e-2", 1)
+	if err != nil || cfg.Drop != 1e-2 {
+		t.Errorf("shorthand: cfg=%+v err=%v", cfg, err)
+	}
+	// Empty spec is a no-fault config.
+	if cfg, err := Parse("  ", 0); err != nil || cfg.Active() {
+		t.Errorf("empty spec: %+v %v", cfg, err)
+	}
+	for _, bad := range []string{"drop=2", "nope=1", "down=100us-300us", "down=0@300us-100us", "reordermax=10", "drop=x"} {
+		if _, err := Parse(bad, 0); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Package faultcli wires the fault plane and reliable transport into the
+// cmd/mproxy-* binaries. Like tracecli, it works through process-wide
+// installation (machine.SetGlobalFaultPlane, comm.SetGlobalRel): the
+// experiment drivers construct clusters and fabrics internally, so the
+// binaries configure faults once and every simulation the driver builds
+// inherits them.
+package faultcli
+
+import (
+	"flag"
+	"fmt"
+
+	"mproxy/internal/comm"
+	"mproxy/internal/fault"
+	"mproxy/internal/machine"
+	"mproxy/internal/rel"
+)
+
+// Flags holds the fault-injection command-line options.
+type Flags struct {
+	Fault *string
+	Seed  *uint64
+	Rel   *bool
+}
+
+// AddFlags registers -fault, -seed and -rel on the default flag set. Call
+// before flag.Parse.
+func AddFlags() *Flags {
+	return &Flags{
+		Fault: flag.String("fault", "",
+			`fault-injection spec, e.g. "drop=1e-3,corrupt=1e-4,down=0@1ms-2ms" (see internal/fault.Parse)`),
+		Seed: flag.Uint64("seed", 1,
+			"fault plane PRNG seed; schedules are pure functions of (seed, spec)"),
+		Rel: flag.Bool("rel", true,
+			"run inter-node traffic over the reliable transport when faults are active"),
+	}
+}
+
+// Install parses the spec and installs the fault plane (and, unless
+// disabled, the reliable transport) process-wide. With an empty spec it
+// installs nothing and the simulation runs the exact zero-fault event
+// schedule. It returns a one-line description of what was installed, or
+// "" when nothing was.
+func (f *Flags) Install() (string, error) {
+	cfg, err := fault.Parse(*f.Fault, *f.Seed)
+	if err != nil {
+		return "", err
+	}
+	if !cfg.Active() {
+		return "", nil
+	}
+	machine.SetGlobalFaultPlane(fault.NewPlane(cfg))
+	if *f.Rel {
+		relCfg := rel.DefaultConfig()
+		comm.SetGlobalRel(&relCfg)
+		return fmt.Sprintf("faults: %s (seed %d), reliable transport on", *f.Fault, *f.Seed), nil
+	}
+	return fmt.Sprintf("faults: %s (seed %d), reliable transport OFF (operations may hang or lose data)", *f.Fault, *f.Seed), nil
+}

@@ -1,0 +1,63 @@
+package fault
+
+// splitmix64 is the PRNG underlying the fault plane. Every decision stream
+// is keyed by (seed, component, seq): the key is mixed into a splitmix64
+// state and successive outputs drive the per-packet (or per-work-item)
+// draws. Because the stream depends only on the key — never on call order,
+// wall time, or global state — fault schedules are bit-reproducible across
+// runs, across GOMAXPROCS settings, and across concurrently running
+// engines, which is what lets faulty runs be golden-traced.
+
+// mix64 advances a splitmix64 state and returns the next output.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// stream is a deterministic sequence of uniform draws for one keyed
+// decision point.
+type stream struct {
+	state uint64
+}
+
+// newStream derives the stream for (seed, component, seq). The three key
+// words are folded through the mixer so that adjacent keys (node 0 vs node
+// 1, seq n vs n+1) produce unrelated streams.
+func newStream(seed, component, seq uint64) stream {
+	s := mix64(seed)
+	s = mix64(s ^ mix64(component+0x632be59bd9b4e019))
+	s = mix64(s ^ mix64(seq+0x9e6c63d0876a9a47))
+	return stream{state: s}
+}
+
+// next returns the next raw 64-bit output.
+func (s *stream) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (s *stream) float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// uint32 returns a uniform 32-bit draw.
+func (s *stream) uint32() uint32 {
+	return uint32(s.next() >> 32)
+}
+
+// fnv1a hashes a name to a component key (agent names are strings).
+func fnv1a(name string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 0x100000001b3
+	}
+	return h
+}

@@ -26,6 +26,14 @@ type Agent struct {
 	busyTotal sim.Time
 	served    int64
 	waitTotal sim.Time
+
+	// plane, when non-nil, is consulted before each work item for
+	// stall/crash faults; onRestart runs after a crash window so the
+	// owner can rebuild volatile state (a proxy restarts its scan loop).
+	plane     FaultPlane
+	onRestart func()
+	stalls    int64
+	restarts  int64
 }
 
 type agentWork struct {
@@ -45,6 +53,20 @@ func (a *Agent) loop(p *sim.Proc) {
 		w, ok := a.queue.Get(p).(agentWork)
 		if !ok {
 			return // poison pill from Shutdown
+		}
+		if a.plane != nil {
+			fate := a.plane.AgentFault(a.Name, a.served, p.Now())
+			if fate.Stall > 0 {
+				a.eng.Emit(trace.KStall, a.Name, int64(fate.Stall))
+				a.stalls++
+				p.Hold(fate.Stall)
+			}
+			if fate.Restart {
+				a.restarts++
+				if a.onRestart != nil {
+					a.onRestart()
+				}
+			}
 		}
 		if p.Now() == w.at && a.notice > 0 {
 			// The agent was idle (blocked in Get) when this item arrived:
@@ -66,6 +88,21 @@ func (a *Agent) loop(p *sim.Proc) {
 func (a *Agent) Submit(fn func(p *sim.Proc)) {
 	a.queue.Put(agentWork{fn: fn, at: a.eng.Now()})
 }
+
+// SetFaultPlane installs (or, with nil, removes) the agent's fault plane.
+func (a *Agent) SetFaultPlane(p FaultPlane) { a.plane = p }
+
+// OnRestart installs the hook run after a crash-and-restart fault. The
+// communication fabric uses it to restart the proxy's scan loop: queued
+// commands survive (they live in user memory) but the scanner's position
+// and non-empty summary are rebuilt from scratch.
+func (a *Agent) OnRestart(fn func()) { a.onRestart = fn }
+
+// Stalls returns the number of stall faults the agent absorbed.
+func (a *Agent) Stalls() int64 { return a.stalls }
+
+// Restarts returns the number of crash-and-restart faults absorbed.
+func (a *Agent) Restarts() int64 { return a.restarts }
 
 // Shutdown terminates the agent process once queued work drains.
 func (a *Agent) Shutdown() { a.queue.Put(nil) }

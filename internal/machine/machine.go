@@ -13,7 +13,64 @@ import (
 	"mproxy/internal/arch"
 	"mproxy/internal/memory"
 	"mproxy/internal/sim"
+	"mproxy/internal/trace"
 )
+
+// PacketFate is the fault plane's verdict on one packet crossing a link.
+// The zero value is a clean delivery.
+type PacketFate struct {
+	// Down marks the packet lost to a link-down window (traced as
+	// link-down rather than drop).
+	Down bool
+	// Drop discards the packet in flight.
+	Drop bool
+	// Corrupt delivers the packet with payload damage; the receiver is
+	// expected to detect it by CRC and discard. CorruptBit selects which
+	// payload bit the fault flips.
+	Corrupt    bool
+	CorruptBit uint32
+	// Dup delivers a second, clean copy DupDelay after the first.
+	Dup      bool
+	DupDelay sim.Time
+	// Delay postpones delivery (bounded reordering: delayed packets are
+	// overtaken by later ones).
+	Delay sim.Time
+}
+
+// AgentFate is the fault plane's verdict on a communication agent between
+// work items. The zero value is fault-free operation.
+type AgentFate struct {
+	// Stall suspends the agent for the duration (a hiccup, or the
+	// downtime of a crash).
+	Stall sim.Time
+	// Restart models a crash-and-restart: after the stall the agent's
+	// restart hook runs (for a message proxy, the dispatch loop starts
+	// over and rebuilds its scan state from the surviving user queues).
+	Restart bool
+}
+
+// FaultPlane decides packet and agent fates. Implementations must be
+// pure functions of their arguments (plus their own immutable
+// configuration) so that simulations stay deterministic and planes can be
+// shared across concurrently running engines.
+type FaultPlane interface {
+	// PacketFate is consulted once per packet leaving a node's output
+	// link; seq is the link-local packet sequence number.
+	PacketFate(link string, node int, seq uint64, now sim.Time) PacketFate
+	// AgentFault is consulted by a communication agent before each work
+	// item; item is the agent-local serial number of the item.
+	AgentFault(agent string, item int64, now sim.Time) AgentFate
+}
+
+// globalFaultPlane, when set, is installed on every cluster built by New.
+// It exists for the cmd/mproxy-* binaries, whose experiment drivers create
+// clusters internally; tests and library users should prefer
+// Cluster.SetFaultPlane.
+var globalFaultPlane FaultPlane
+
+// SetGlobalFaultPlane installs (or, with nil, removes) a fault plane
+// attached to all subsequently created clusters.
+func SetGlobalFaultPlane(p FaultPlane) { globalFaultPlane = p }
 
 // Config describes a cluster topology.
 type Config struct {
@@ -73,7 +130,23 @@ func New(eng *sim.Engine, cfg Config, a arch.Params) *Cluster {
 		}
 		c.Nodes = append(c.Nodes, node)
 	}
+	if globalFaultPlane != nil {
+		c.SetFaultPlane(globalFaultPlane)
+	}
 	return c
+}
+
+// SetFaultPlane installs a fault plane on every node's output link and
+// communication agent (or removes it, with nil). Install before any
+// traffic flows; without a plane the hooks cost nothing and the cluster
+// behaves exactly as the fault-free simulator.
+func (c *Cluster) SetFaultPlane(p FaultPlane) {
+	for _, nd := range c.Nodes {
+		nd.OutLink.SetFaultPlane(p, nd.ID)
+		for _, ag := range nd.Agents {
+			ag.SetFaultPlane(p)
+		}
+	}
 }
 
 // Node is one SMP in the cluster.
@@ -163,6 +236,12 @@ type Link struct {
 	busy     sim.Time
 	packets  int64
 	sentByte int64
+
+	// plane, when non-nil, decides the fate of every packet sent on this
+	// link; node keys the fault PRNG. Perfect delivery otherwise.
+	plane FaultPlane
+	node  int
+	lost  int64 // packets dropped, corrupted-in-flight or lost to down windows
 }
 
 // NewLink returns a link of mbps MB/s bandwidth and the given wire latency.
@@ -170,10 +249,21 @@ func NewLink(eng *sim.Engine, name string, mbps float64, latency sim.Time) *Link
 	return &Link{eng: eng, name: name, mbps: mbps, latency: latency}
 }
 
+// SetFaultPlane installs (or, with nil, removes) the link's fault plane.
+func (l *Link) SetFaultPlane(p FaultPlane, node int) { l.plane, l.node = p, node }
+
 // Send serializes n bytes onto the link and schedules deliver at the
 // arrival time. Headers count toward serialization, so callers pass the
 // full packet size.
 func (l *Link) Send(n int, deliver func()) {
+	l.SendPacket(n, func(PacketFate) { deliver() })
+}
+
+// SendPacket is Send for callers that participate in fault injection: the
+// fate the fault plane chose for the packet (corruption, in particular)
+// is passed to deliver. Dropped packets never invoke deliver; duplicated
+// packets invoke it twice.
+func (l *Link) SendPacket(n int, deliver func(fate PacketFate)) {
 	xfer := arch.XferTime(n, l.mbps)
 	start := l.freeAt
 	if now := l.eng.Now(); start < now {
@@ -182,9 +272,7 @@ func (l *Link) Send(n int, deliver func()) {
 	depart := start + xfer
 	l.freeAt = depart
 	l.busy += xfer
-	l.packets++
-	l.sentByte += int64(n)
-	l.eng.Schedule(depart+l.latency-l.eng.Now(), deliver)
+	l.dispatch(n, depart-l.eng.Now(), deliver)
 }
 
 // SendOverlapped accounts n bytes on the link but charges no serialization
@@ -192,9 +280,47 @@ func (l *Link) Send(n int, deliver func()) {
 // DMA-fed transfers, where cut-through overlaps wire serialization with the
 // (slower) DMA stream that the caller has already paid for.
 func (l *Link) SendOverlapped(n int, deliver func()) {
+	l.SendPacketOverlapped(n, func(PacketFate) { deliver() })
+}
+
+// SendPacketOverlapped is SendOverlapped with fault participation.
+func (l *Link) SendPacketOverlapped(n int, deliver func(fate PacketFate)) {
+	l.dispatch(n, 0, deliver)
+}
+
+// dispatch accounts the packet, consults the fault plane, and schedules
+// delivery depart+latency from now. The plane-free path is byte-for-byte
+// the original simulator: one schedule at the arrival time.
+func (l *Link) dispatch(n int, depart sim.Time, deliver func(fate PacketFate)) {
+	seq := uint64(l.packets)
 	l.packets++
 	l.sentByte += int64(n)
-	l.eng.Schedule(l.latency, deliver)
+	if l.plane == nil {
+		l.eng.Schedule(depart+l.latency, func() { deliver(PacketFate{}) })
+		return
+	}
+	fate := l.plane.PacketFate(l.name, l.node, seq, l.eng.Now())
+	switch {
+	case fate.Down:
+		l.lost++
+		l.eng.Emit(trace.KLinkDown, l.name, int64(seq))
+		return
+	case fate.Drop:
+		l.lost++
+		l.eng.Emit(trace.KDrop, l.name, int64(seq))
+		return
+	}
+	if fate.Corrupt {
+		l.lost++
+	}
+	arrive := depart + l.latency + fate.Delay
+	l.eng.Schedule(arrive, func() { deliver(fate) })
+	if fate.Dup {
+		// The duplicate is a clean copy: corruption happened to one
+		// physical packet, duplication re-delivers the original.
+		dup := PacketFate{}
+		l.eng.Schedule(arrive+fate.DupDelay, func() { deliver(dup) })
+	}
 }
 
 // Occupy serializes n bytes through the link on behalf of p, blocking p
@@ -206,8 +332,15 @@ func (l *Link) Occupy(p *sim.Proc, n int) {
 	f.Wait(p, 1)
 }
 
+// Name returns the link's trace component name.
+func (l *Link) Name() string { return l.name }
+
 // Packets returns the number of packets sent.
 func (l *Link) Packets() int64 { return l.packets }
+
+// Lost returns the number of packets the fault plane destroyed in flight
+// (drops, link-down windows, and corruptions the receiver will discard).
+func (l *Link) Lost() int64 { return l.lost }
 
 // Bytes returns the number of bytes sent.
 func (l *Link) Bytes() int64 { return l.sentByte }

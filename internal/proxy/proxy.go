@@ -245,6 +245,27 @@ func (s *Scanner) Resume(idx int) {
 // Suspended reports whether a queue is currently out of the scan set.
 func (s *Scanner) Suspended(idx int) bool { return s.suspended[idx] }
 
+// Restart rebuilds the scanner after a proxy crash-and-restart: the scan
+// position returns to queue zero and the shared non-empty bit vector is
+// reconstructed by probing every registered queue head. Command queues
+// themselves survive a proxy crash — they live in user memory — so
+// pending commands are rediscovered rather than lost; suspended queues
+// stay suspended (the scheduler state that suspended them outlives the
+// proxy process). The head probes are charged to HeadChecks, which is the
+// restart's honest cost: one cache-miss-prone read per registered queue.
+func (s *Scanner) Restart() {
+	s.pos = 0
+	for i := range s.bitvec {
+		s.bitvec[i] = 0
+	}
+	for idx, q := range s.queues {
+		s.headChecks++
+		if !s.suspended[idx] && !q.Empty() {
+			s.bitvec[idx/64] |= 1 << (idx % 64)
+		}
+	}
+}
+
 // Probes returns the number of bit-vector word probes performed.
 func (s *Scanner) Probes() int64 { return s.probes }
 

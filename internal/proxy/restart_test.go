@@ -1,0 +1,53 @@
+package proxy
+
+import "testing"
+
+func TestScannerRestartRediscoversPendingCommands(t *testing.T) {
+	s := NewScanner()
+	var qs []*CommandQueue
+	for i := 0; i < 70; i++ { // span two bit-vector words
+		q := NewCommandQueue(i, 4)
+		qs = append(qs, q)
+		s.Register(q)
+	}
+	// Commands enqueued but the non-empty marks lost in the "crash".
+	for _, idx := range []int{3, 64, 69} {
+		if err := qs[idx].Enqueue(idx, idx); err != nil {
+			t.Fatal(err)
+		}
+		s.MarkNonEmpty(idx)
+	}
+	s.Suspend(69)
+
+	// Simulate the crash wiping the scanner's volatile state.
+	s.bitvec[0], s.bitvec[1] = 0, 0
+	s.pos = 37
+
+	checksBefore := s.HeadChecks()
+	s.Restart()
+	if s.HeadChecks()-checksBefore != 70 {
+		t.Errorf("restart probed %d heads, want 70", s.HeadChecks()-checksBefore)
+	}
+
+	// The two live queues are rediscovered in order; the suspended one is
+	// not scanned.
+	var got []int
+	for {
+		cmd, idx, ok := s.Next()
+		if !ok {
+			break
+		}
+		if cmd.(int) != idx {
+			t.Errorf("queue %d yielded command %v", idx, cmd)
+		}
+		got = append(got, idx)
+	}
+	if len(got) != 2 || got[0] != 3 || got[1] != 64 {
+		t.Errorf("rediscovered queues %v, want [3 64]", got)
+	}
+	// Resume surfaces the suspended queue's pending command.
+	s.Resume(69)
+	if _, idx, ok := s.Next(); !ok || idx != 69 {
+		t.Errorf("resumed queue not scanned: idx=%d ok=%v", idx, ok)
+	}
+}

@@ -1,0 +1,68 @@
+package regress
+
+import (
+	"testing"
+
+	"mproxy/internal/trace"
+)
+
+// TestFaultyScenarioProperties replays the faulty-pingpong scenario with
+// a full event recorder and checks the causal structure of its fault
+// pipeline rather than just the digest:
+//
+//   - the seeded wire actually lost packets (the scenario is meaningfully
+//     faulty, not a zero-drop fluke), and
+//   - every retransmission is preceded by a loss — a drop, corruption or
+//     link-down event earlier in the trace. A retransmit with no prior
+//     loss would mean a spurious timeout (an RTO shorter than the loaded
+//     round trip), which wastes bandwidth and corrupts the latency story.
+func TestFaultyScenarioProperties(t *testing.T) {
+	var sc *Scenario
+	for i := range Scenarios() {
+		if s := Scenarios()[i]; s.Name == "faulty-pingpong-mp1" {
+			sc = &s
+			break
+		}
+	}
+	if sc == nil {
+		t.Fatal("faulty-pingpong-mp1 scenario not registered")
+	}
+	rec := &trace.Recorder{}
+	sc.Run(rec)
+
+	var losses []int64 // timestamps of drop/corrupt/link-down events
+	var retransmits, acks, drops int
+	for _, ev := range rec.Events() {
+		switch ev.Kind {
+		case trace.KDrop, trace.KCorrupt, trace.KLinkDown:
+			losses = append(losses, ev.At)
+			if ev.Kind == trace.KDrop {
+				drops++
+			}
+		case trace.KRetransmit:
+			retransmits++
+			ok := false
+			for _, at := range losses {
+				if at < ev.At {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Errorf("retransmit of %s seq %d at %dns has no preceding loss event (spurious timeout)",
+					ev.Comp, ev.Arg, ev.At)
+			}
+		case trace.KAck:
+			acks++
+		}
+	}
+	if drops == 0 {
+		t.Error("scenario dropped no packets; raise reps or the drop rate so the golden trace exercises recovery")
+	}
+	if retransmits == 0 {
+		t.Error("scenario recovered no drops via retransmission")
+	}
+	if acks == 0 {
+		t.Error("scenario sent no standalone acks")
+	}
+}

@@ -19,8 +19,10 @@ import (
 	"mproxy/internal/apps/registry"
 	"mproxy/internal/arch"
 	"mproxy/internal/comm"
+	"mproxy/internal/fault"
 	"mproxy/internal/machine"
 	"mproxy/internal/memory"
+	"mproxy/internal/rel"
 	"mproxy/internal/sim"
 	"mproxy/internal/trace"
 )
@@ -53,6 +55,11 @@ func Scenarios() []Scenario {
 			Name: "app-mm-mp1",
 			Desc: "MM application at test scale, 2 nodes x 2 procs, MP1 (full stack: Split-C, collectives, AM)",
 			Run:  appMM,
+		},
+		{
+			Name: "faulty-pingpong-mp1",
+			Desc: "64B PUT ping-pong over a lossy wire (seed=1, drop=1e-3) with reliable transport, MP1",
+			Run:  faultyPingPong,
 		},
 	}
 }
@@ -105,6 +112,58 @@ func pingPong(t trace.Tracer) {
 	})
 	if err := eng.Run(); err != nil {
 		panic("regress: pingpong: " + err.Error())
+	}
+}
+
+// faultyPingPong is pingPong over a deterministic lossy wire: a seeded
+// fault plane drops one packet in a thousand and the reliable transport
+// recovers them. The blessed digest covers the whole fault pipeline —
+// PRNG draws, drop events, retransmission timers, ack traffic — so a
+// change to any of them is caught byte-for-byte, exactly like a latency
+// model change.
+func faultyPingPong(t trace.Tracer) {
+	const n, reps = 64, 400
+	a := mustArch("MP1")
+	eng := sim.NewEngine()
+	eng.SetTracer(t)
+	cl := machine.New(eng, machine.Config{Nodes: 2, ProcsPerNode: 1}, a)
+	cl.SetFaultPlane(fault.NewPlane(fault.Config{Seed: 1, Drop: 1e-3}))
+	f := comm.New(cl)
+	f.EnableRel(rel.Config{})
+	reg := f.Registry()
+	b0 := reg.NewSegment(0, n)
+	b1 := reg.NewSegment(1, n)
+	b0.Grant(1)
+	b1.Grant(0)
+	ping := reg.NewFlag(1)
+	pong := reg.NewFlag(0)
+	pingF, _ := reg.Flag(ping)
+	pongF, _ := reg.Flag(pong)
+	eng.Spawn("pinger", func(p *sim.Proc) {
+		ep := f.Endpoint(0)
+		ep.Bind(p)
+		for i := 0; i < reps; i++ {
+			if err := ep.Put(b0.Addr(0), b1.Addr(0), n, memory.FlagRef{}, ping); err != nil {
+				panic(err)
+			}
+			pongF.Wait(p, int64(i+1))
+		}
+	})
+	eng.Spawn("ponger", func(p *sim.Proc) {
+		ep := f.Endpoint(1)
+		ep.Bind(p)
+		for i := 0; i < reps; i++ {
+			pingF.Wait(p, int64(i+1))
+			if err := ep.Put(b1.Addr(0), b0.Addr(0), n, memory.FlagRef{}, pong); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err := eng.Run(); err != nil {
+		panic("regress: faulty-pingpong: " + err.Error())
+	}
+	if err := f.RelErr(); err != nil {
+		panic("regress: faulty-pingpong transport: " + err.Error())
 	}
 }
 

@@ -1,0 +1,431 @@
+// Package rel is a reliable delivery layer for the simulated cluster
+// fabric: a per-node-pair sliding window with sequence numbers, cumulative
+// and selective acknowledgments piggybacked on reverse traffic,
+// retransmission timers with exponential backoff and a retry budget,
+// duplicate suppression, and graceful degradation to an error when a link
+// stays down past the budget.
+//
+// The paper's stack assumes the SP2 switch delivers every packet intact
+// and in order; rel is what that stack needs once the fabric is allowed to
+// misbehave (see internal/fault). The protocol is go-back-N with a
+// selective-repeat refinement: on timeout the sender retransmits every
+// outstanding frame from the window base except those the receiver has
+// selectively acknowledged.
+//
+// The package is transport-agnostic: the owner supplies a send function
+// that puts a frame on the wire and a deliver function that accepts
+// in-order frames. internal/comm wires these to the machine links (with
+// CRC verification against fault-plane corruption); tests and the fuzz
+// harness wire them to scripted lossy wires.
+package rel
+
+import (
+	"fmt"
+
+	"mproxy/internal/sim"
+	"mproxy/internal/trace"
+)
+
+// Config parameterizes the protocol.
+type Config struct {
+	// Window is the maximum number of unacknowledged frames per flow
+	// (at most 64, the span of the selective-ack bitmap).
+	Window int
+	// RTO is the initial retransmission timeout.
+	RTO sim.Time
+	// Backoff multiplies the timeout after each unsuccessful round.
+	Backoff float64
+	// MaxRetries bounds consecutive timeout rounds without progress on a
+	// flow; exceeding it fails the flow (the link is declared dead).
+	MaxRetries int
+	// AckDelay is how long a receiver waits for reverse traffic to
+	// piggyback an acknowledgment before sending a standalone ack.
+	AckDelay sim.Time
+	// HeaderBytes is the wire overhead per frame: sequence number,
+	// cumulative ack, selective-ack bitmap and payload CRC.
+	HeaderBytes int
+}
+
+// DefaultConfig returns the configuration used by the loss-sweep
+// experiments: a 64-frame window, 150us initial timeout (several times
+// the quiescent round trip of the slowest design point), doubling
+// backoff, and a 12-round budget.
+func DefaultConfig() Config {
+	return Config{
+		Window:      64,
+		RTO:         150 * sim.Microsecond,
+		Backoff:     2,
+		MaxRetries:  12,
+		AckDelay:    10 * sim.Microsecond,
+		HeaderBytes: 20,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Window <= 0 {
+		c.Window = d.Window
+	}
+	if c.Window > 64 {
+		c.Window = 64
+	}
+	if c.RTO <= 0 {
+		c.RTO = d.RTO
+	}
+	if c.Backoff < 1 {
+		c.Backoff = d.Backoff
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = d.MaxRetries
+	}
+	if c.AckDelay <= 0 {
+		c.AckDelay = d.AckDelay
+	}
+	if c.HeaderBytes <= 0 {
+		c.HeaderBytes = d.HeaderBytes
+	}
+	return c
+}
+
+// FlowID identifies a directed node pair.
+type FlowID struct{ Src, Dst int }
+
+func (f FlowID) String() string { return fmt.Sprintf("rel.%d>%d", f.Src, f.Dst) }
+
+// reverse returns the flow carrying this flow's acknowledgments.
+func (f FlowID) reverse() FlowID { return FlowID{Src: f.Dst, Dst: f.Src} }
+
+// Frame is one protocol data unit. Data frames carry a payload and a
+// sequence number; every frame (data or standalone ack) piggybacks the
+// sender's cumulative and selective acknowledgment state for the reverse
+// flow.
+type Frame struct {
+	Flow    FlowID
+	HasData bool
+	Seq     uint64 // data sequence, valid when HasData
+	Payload any
+	Bytes   int // payload wire size (excludes HeaderBytes)
+	// Overlapped marks a frame whose first transmission may cut through
+	// (its serialization was paid at the DMA engine); retransmissions
+	// are never overlapped.
+	Overlapped bool
+	Retrans    bool
+
+	// Ack acknowledges every reverse-flow sequence < Ack.
+	Ack uint64
+	// Sack bit i acknowledges reverse-flow sequence Ack+1+i.
+	Sack uint64
+	// CRC is the payload checksum, set by the transport owner at first
+	// transmission and verified at receipt.
+	CRC uint32
+}
+
+// Stats counts protocol activity across all flows.
+type Stats struct {
+	DataSent    int64 // first transmissions
+	Retransmits int64
+	AcksSent    int64 // standalone acks (piggybacks are free)
+	Delivered   int64 // frames handed up, exactly once, in order
+	Duplicates  int64 // arrivals suppressed as already received
+	Buffered    int64 // out-of-order arrivals parked for reassembly
+	Timeouts    int64 // timer expiries that triggered a retransmit round
+	FlowsFailed int64
+}
+
+// Engine runs the protocol for every flow in one simulation.
+type Engine struct {
+	eng     *sim.Engine
+	cfg     Config
+	send    func(*Frame)
+	deliver func(*Frame)
+	onFail  func(FlowID, error)
+
+	tx  map[FlowID]*txState
+	rx  map[FlowID]*rxState
+	err error
+
+	stats Stats
+}
+
+type txState struct {
+	flow    FlowID
+	name    string
+	next    uint64 // next sequence to assign
+	base    uint64 // oldest unacknowledged sequence
+	out     map[uint64]*Frame
+	sacked  map[uint64]bool
+	pending []*Frame // assigned but outside the window
+	rto     sim.Time
+	retries int
+	gen     uint64 // timer generation; bumping it disarms the armed timer
+	failed  bool
+}
+
+type rxState struct {
+	flow     FlowID
+	expected uint64 // next in-order sequence to deliver
+	buf      map[uint64]*Frame
+	ackOwed  bool
+}
+
+// New returns an engine over the given wire functions. send puts a frame
+// on the wire (applying whatever loss model the wire has); deliver
+// receives data frames exactly once, in per-flow order.
+func New(eng *sim.Engine, cfg Config, send func(*Frame), deliver func(*Frame)) *Engine {
+	return &Engine{
+		eng: eng, cfg: cfg.withDefaults(), send: send, deliver: deliver,
+		tx: make(map[FlowID]*txState), rx: make(map[FlowID]*rxState),
+	}
+}
+
+// Config returns the engine's (defaulted) configuration.
+func (r *Engine) Config() Config { return r.cfg }
+
+// OnFail installs a callback invoked once per failed flow (after the
+// retry budget is exhausted). The first failure is also retained in Err.
+func (r *Engine) OnFail(fn func(FlowID, error)) { r.onFail = fn }
+
+// Err returns the first flow failure, or nil.
+func (r *Engine) Err() error { return r.err }
+
+// Stats returns a snapshot of the protocol counters.
+func (r *Engine) Stats() Stats { return r.stats }
+
+func (r *Engine) txFor(flow FlowID) *txState {
+	t, ok := r.tx[flow]
+	if !ok {
+		t = &txState{
+			flow: flow, name: flow.String(),
+			out: make(map[uint64]*Frame), sacked: make(map[uint64]bool),
+			rto: r.cfg.RTO,
+		}
+		r.tx[flow] = t
+	}
+	return t
+}
+
+func (r *Engine) rxFor(flow FlowID) *rxState {
+	s, ok := r.rx[flow]
+	if !ok {
+		s = &rxState{flow: flow, buf: make(map[uint64]*Frame)}
+		r.rx[flow] = s
+	}
+	return s
+}
+
+// Send submits a payload on a flow. Frames beyond the window are queued
+// and transmitted as acknowledgments open it.
+func (r *Engine) Send(flow FlowID, payload any, bytes int, overlapped bool) {
+	t := r.txFor(flow)
+	fr := &Frame{
+		Flow: flow, HasData: true, Seq: t.next,
+		Payload: payload, Bytes: bytes, Overlapped: overlapped,
+	}
+	t.next++
+	if t.failed || len(t.out) >= r.cfg.Window {
+		t.pending = append(t.pending, fr)
+		return
+	}
+	r.transmit(t, fr)
+}
+
+// transmit stamps piggyback acks and puts a frame on the wire, arming the
+// flow's timer if it was idle.
+func (r *Engine) transmit(t *txState, fr *Frame) {
+	wasIdle := len(t.out) == 0
+	t.out[fr.Seq] = fr
+	r.stampAcks(fr)
+	r.stats.DataSent++
+	r.send(fr)
+	if wasIdle {
+		r.arm(t, t.rto)
+	}
+}
+
+// stampAcks fills a frame's Ack/Sack from the receive state of the
+// reverse flow and settles any ack debt (the piggyback).
+func (r *Engine) stampAcks(fr *Frame) {
+	s, ok := r.rx[fr.Flow.reverse()]
+	if !ok {
+		return
+	}
+	fr.Ack = s.expected
+	fr.Sack = 0
+	for seq := range s.buf {
+		if off := seq - s.expected - 1; off < 64 {
+			fr.Sack |= 1 << off
+		}
+	}
+	s.ackOwed = false
+}
+
+// arm schedules a timeout d from now for the flow's current generation.
+func (r *Engine) arm(t *txState, d sim.Time) {
+	t.gen++
+	gen := t.gen
+	r.eng.Schedule(d, func() {
+		if t.gen == gen {
+			r.timeout(t)
+		}
+	})
+}
+
+// timeout retransmits every outstanding unsacked frame and backs off, or
+// fails the flow once the budget is spent.
+func (r *Engine) timeout(t *txState) {
+	if len(t.out) == 0 || t.failed {
+		return
+	}
+	t.retries++
+	if t.retries > r.cfg.MaxRetries {
+		r.fail(t)
+		return
+	}
+	r.stats.Timeouts++
+	for seq := t.base; seq < t.next; seq++ {
+		fr, ok := t.out[seq]
+		if !ok || t.sacked[seq] {
+			continue
+		}
+		fr.Retrans = true
+		r.stampAcks(fr)
+		r.stats.Retransmits++
+		r.eng.Emit(trace.KRetransmit, t.name, int64(seq))
+		r.send(fr)
+	}
+	t.rto = sim.Time(float64(t.rto) * r.cfg.Backoff)
+	r.arm(t, t.rto)
+}
+
+// fail marks a flow dead and reports the error once.
+func (r *Engine) fail(t *txState) {
+	t.failed = true
+	t.gen++ // disarm
+	r.stats.FlowsFailed++
+	err := fmt.Errorf("rel: flow %d->%d failed: %d frames unacknowledged after %d retransmission rounds (seq %d..)",
+		t.flow.Src, t.flow.Dst, len(t.out), r.cfg.MaxRetries, t.base)
+	if r.err == nil {
+		r.err = err
+	}
+	if r.onFail != nil {
+		r.onFail(t.flow, err)
+	}
+}
+
+// Receive processes a frame that survived the wire (CRC already checked
+// by the owner; corrupted frames must not reach here).
+func (r *Engine) Receive(fr *Frame) {
+	// Piggybacked acknowledgment first: a frame from A to B acknowledges
+	// the reverse flow B to A.
+	r.handleAck(r.txFor(fr.Flow.reverse()), fr.Ack, fr.Sack)
+	if !fr.HasData {
+		return
+	}
+	s := r.rxFor(fr.Flow)
+	switch {
+	case fr.Seq < s.expected:
+		// Already delivered: a duplicate (wire dup, or a retransmission
+		// racing the ack). Re-ack so the sender's window advances.
+		r.stats.Duplicates++
+		r.scheduleAck(s)
+	case fr.Seq == s.expected:
+		// Mark the ack debt before delivering: reverse traffic sent from
+		// inside the deliver callback then piggybacks the ack and the
+		// standalone timer finds the debt already settled.
+		r.scheduleAck(s)
+		r.deliverInOrder(s, fr)
+	default:
+		if _, dup := s.buf[fr.Seq]; dup {
+			r.stats.Duplicates++
+		} else {
+			s.buf[fr.Seq] = fr
+			r.stats.Buffered++
+		}
+		r.scheduleAck(s)
+	}
+}
+
+// deliverInOrder hands the frame up and flushes any buffered successors.
+func (r *Engine) deliverInOrder(s *rxState, fr *Frame) {
+	r.stats.Delivered++
+	s.expected++
+	r.deliver(fr)
+	for {
+		next, ok := s.buf[s.expected]
+		if !ok {
+			return
+		}
+		delete(s.buf, s.expected)
+		r.stats.Delivered++
+		s.expected++
+		r.deliver(next)
+	}
+}
+
+// scheduleAck owes the flow an acknowledgment: if reverse data departs
+// within AckDelay the ack rides along for free; otherwise a standalone
+// ack frame is sent.
+func (r *Engine) scheduleAck(s *rxState) {
+	if s.ackOwed {
+		return // a check is already scheduled
+	}
+	s.ackOwed = true
+	r.eng.Schedule(r.cfg.AckDelay, func() {
+		if !s.ackOwed {
+			return // piggybacked in the meantime
+		}
+		ack := &Frame{Flow: s.flow.reverse()}
+		r.stampAcks(ack)
+		r.stats.AcksSent++
+		r.eng.Emit(trace.KAck, s.flow.String(), int64(ack.Ack))
+		r.send(ack)
+	})
+}
+
+// handleAck retires acknowledged frames, marks selectively acknowledged
+// ones, resets the backoff on progress, and opens the window.
+func (r *Engine) handleAck(t *txState, ack, sack uint64) {
+	advanced := false
+	for t.base < ack {
+		if _, ok := t.out[t.base]; ok {
+			delete(t.out, t.base)
+			delete(t.sacked, t.base)
+			advanced = true
+		}
+		t.base++
+	}
+	for i := uint64(0); i < 64; i++ {
+		if sack&(1<<i) == 0 {
+			continue
+		}
+		seq := ack + 1 + i
+		if _, ok := t.out[seq]; ok && !t.sacked[seq] {
+			t.sacked[seq] = true
+			advanced = true
+		}
+	}
+	if advanced {
+		t.retries = 0
+		t.rto = r.cfg.RTO
+	}
+	for len(t.pending) > 0 && len(t.out) < r.cfg.Window && !t.failed {
+		fr := t.pending[0]
+		t.pending = t.pending[1:]
+		r.transmit(t, fr)
+	}
+	if len(t.out) == 0 {
+		t.gen++ // all acknowledged: disarm the timer
+	} else if advanced {
+		r.arm(t, t.rto)
+	}
+}
+
+// Outstanding returns the number of unacknowledged frames across all
+// flows (pending window-blocked frames included).
+func (r *Engine) Outstanding() int {
+	n := 0
+	for _, t := range r.tx {
+		n += len(t.out) + len(t.pending)
+	}
+	return n
+}

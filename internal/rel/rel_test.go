@@ -1,0 +1,321 @@
+package rel
+
+import (
+	"strings"
+	"testing"
+
+	"mproxy/internal/sim"
+	"mproxy/internal/trace"
+)
+
+// harness wires an Engine to a scripted wire: every frame crosses with a
+// fixed latency, except that the script may drop or duplicate specific
+// data transmissions (counted per transmission attempt, so attempt 0 is
+// the first send of any frame, attempt 1 the second transmission on the
+// wire, and so on).
+type harness struct {
+	t   *testing.T
+	eng *sim.Engine
+	rel *Engine
+
+	latency sim.Time
+	attempt int
+	drop    map[int]bool // drop wire transmission n (data frames only)
+	dup     map[int]bool // deliver transmission n twice
+	dropAck bool         // drop every standalone ack
+
+	delivered []uint64 // sequence numbers handed up, in order
+	payloads  []any
+}
+
+func newHarness(t *testing.T, cfg Config) *harness {
+	h := &harness{
+		t: t, eng: sim.NewEngine(), latency: 5 * sim.Microsecond,
+		drop: map[int]bool{}, dup: map[int]bool{},
+	}
+	h.rel = New(h.eng, cfg, h.send, h.deliver)
+	return h
+}
+
+func (h *harness) send(fr *Frame) {
+	if fr.HasData {
+		n := h.attempt
+		h.attempt++
+		if h.drop[n] {
+			return
+		}
+		cp := *fr // the wire sees a snapshot; later ack stamps must not alias
+		h.eng.Schedule(h.latency, func() { h.rel.Receive(&cp) })
+		if h.dup[n] {
+			cp2 := *fr
+			h.eng.Schedule(h.latency+2*sim.Microsecond, func() { h.rel.Receive(&cp2) })
+		}
+		return
+	}
+	if h.dropAck {
+		return
+	}
+	cp := *fr
+	h.eng.Schedule(h.latency, func() { h.rel.Receive(&cp) })
+}
+
+func (h *harness) deliver(fr *Frame) {
+	h.delivered = append(h.delivered, fr.Seq)
+	h.payloads = append(h.payloads, fr.Payload)
+}
+
+func (h *harness) run() {
+	h.t.Helper()
+	if err := h.eng.Run(); err != nil {
+		h.t.Fatal(err)
+	}
+}
+
+var flowAB = FlowID{Src: 0, Dst: 1}
+
+func wantInOrder(t *testing.T, got []uint64, n int) {
+	t.Helper()
+	if len(got) != n {
+		t.Fatalf("delivered %d frames (%v), want %d", len(got), got, n)
+	}
+	for i, seq := range got {
+		if seq != uint64(i) {
+			t.Fatalf("delivery %d has seq %d: %v", i, seq, got)
+		}
+	}
+}
+
+func TestCleanWireDeliversWithoutRetransmits(t *testing.T) {
+	h := newHarness(t, Config{})
+	for i := 0; i < 10; i++ {
+		h.rel.Send(flowAB, i, 64, false)
+	}
+	h.run()
+	wantInOrder(t, h.delivered, 10)
+	for i, p := range h.payloads {
+		if p.(int) != i {
+			t.Errorf("payload %d = %v", i, p)
+		}
+	}
+	st := h.rel.Stats()
+	if st.Retransmits != 0 || st.Duplicates != 0 || st.FlowsFailed != 0 {
+		t.Errorf("clean wire stats: %+v", st)
+	}
+	if h.rel.Outstanding() != 0 {
+		t.Errorf("outstanding = %d after full ack", h.rel.Outstanding())
+	}
+}
+
+func TestDroppedFrameIsRetransmitted(t *testing.T) {
+	h := newHarness(t, Config{})
+	h.drop[1] = true // second data transmission: frame seq 1's first send
+	rec := &trace.Recorder{}
+	h.eng.SetTracer(rec)
+	for i := 0; i < 4; i++ {
+		h.rel.Send(flowAB, i, 64, false)
+	}
+	h.run()
+	wantInOrder(t, h.delivered, 4)
+	st := h.rel.Stats()
+	if st.Retransmits == 0 || st.Timeouts == 0 {
+		t.Errorf("expected a timeout-driven retransmit: %+v", st)
+	}
+	// Frames 2 and 3 were selectively acked, so only seq 1 goes again.
+	if st.Retransmits != 1 {
+		t.Errorf("retransmits = %d, want 1 (SACK should spare 2 and 3)", st.Retransmits)
+	}
+	found := false
+	for _, ev := range rec.Events() {
+		if ev.Kind == trace.KRetransmit {
+			found = true
+			if ev.Comp != "rel.0>1" || ev.Arg != 1 {
+				t.Errorf("retransmit event = %+v", ev)
+			}
+		}
+	}
+	if !found {
+		t.Error("no KRetransmit event recorded")
+	}
+}
+
+func TestDuplicateAndReorderSuppression(t *testing.T) {
+	h := newHarness(t, Config{})
+	h.dup[0] = true
+	h.dup[2] = true
+	for i := 0; i < 4; i++ {
+		h.rel.Send(flowAB, i, 64, false)
+	}
+	h.run()
+	wantInOrder(t, h.delivered, 4)
+	if st := h.rel.Stats(); st.Duplicates != 2 {
+		t.Errorf("duplicates suppressed = %d, want 2 (%+v)", st.Duplicates, st)
+	}
+}
+
+func TestLostAckTriggersRetransmitNotDuplicateDelivery(t *testing.T) {
+	h := newHarness(t, Config{})
+	h.dropAck = true // receiver's standalone acks all vanish
+	h.rel.Send(flowAB, "only", 64, false)
+	// With every standalone ack lost and no reverse data, the sender
+	// retransmits until reverse traffic carries the ack. Send reverse
+	// data later so a piggyback eventually settles the flow.
+	h.eng.Schedule(400*sim.Microsecond, func() {
+		h.dropAck = false
+		h.rel.Send(FlowID{Src: 1, Dst: 0}, "reverse", 64, false)
+	})
+	h.run()
+	if len(h.delivered) != 2 {
+		t.Fatalf("delivered %d frames, want 2 (one per direction)", len(h.delivered))
+	}
+	st := h.rel.Stats()
+	if st.Retransmits == 0 {
+		t.Error("ack loss caused no retransmit")
+	}
+	if st.Duplicates == 0 {
+		t.Error("retransmitted frame should have been suppressed as duplicate")
+	}
+	if st.FlowsFailed != 0 {
+		t.Errorf("flow failed despite eventual ack: %+v", st)
+	}
+}
+
+func TestWindowBackpressure(t *testing.T) {
+	h := newHarness(t, Config{Window: 4})
+	const total = 32
+	inFlight, maxInFlight := 0, 0
+	baseSend := h.send
+	h.rel.send = func(fr *Frame) {
+		if fr.HasData && !fr.Retrans {
+			inFlight++
+			if inFlight > maxInFlight {
+				maxInFlight = inFlight
+			}
+		}
+		baseSend(fr)
+	}
+	h.rel.deliver = func(fr *Frame) {
+		inFlight--
+		h.deliver(fr)
+	}
+	for i := 0; i < total; i++ {
+		h.rel.Send(flowAB, i, 64, false)
+	}
+	if h.rel.Outstanding() != total {
+		t.Fatalf("outstanding = %d before run", h.rel.Outstanding())
+	}
+	h.run()
+	wantInOrder(t, h.delivered, total)
+	if maxInFlight > 4 {
+		t.Errorf("window of 4 allowed %d frames in flight", maxInFlight)
+	}
+}
+
+func TestPiggybackSuppressesStandaloneAcks(t *testing.T) {
+	h := newHarness(t, Config{AckDelay: 50 * sim.Microsecond})
+	// Ping-pong: each delivery triggers a reverse send well inside
+	// AckDelay, so every ack should ride on data.
+	const rounds = 8
+	h.rel.deliver = func(fr *Frame) {
+		h.deliver(fr)
+		if len(h.delivered) < 2*rounds {
+			h.rel.Send(fr.Flow.reverse(), nil, 64, false)
+		}
+	}
+	h.rel.Send(flowAB, nil, 64, false)
+	h.run()
+	if len(h.delivered) != 2*rounds {
+		t.Fatalf("delivered %d, want %d", len(h.delivered), 2*rounds)
+	}
+	st := h.rel.Stats()
+	// The final frame has no reverse traffic, so exactly one standalone
+	// ack closes the conversation.
+	if st.AcksSent != 1 {
+		t.Errorf("standalone acks = %d, want 1 (piggybacking failed): %+v", st.AcksSent, st)
+	}
+}
+
+func TestDeadLinkFailsFlowGracefully(t *testing.T) {
+	h := newHarness(t, Config{MaxRetries: 3, RTO: 20 * sim.Microsecond})
+	for n := 0; n < 64; n++ {
+		h.drop[n] = true // the wire eats everything
+	}
+	var failed []FlowID
+	h.rel.OnFail(func(f FlowID, err error) {
+		failed = append(failed, f)
+		if !strings.Contains(err.Error(), "0->1") {
+			t.Errorf("error lacks flow: %v", err)
+		}
+	})
+	h.rel.Send(flowAB, "doomed", 64, false)
+	h.run()
+	if len(h.delivered) != 0 {
+		t.Errorf("dead link delivered %v", h.delivered)
+	}
+	if len(failed) != 1 || failed[0] != flowAB {
+		t.Fatalf("OnFail calls = %v, want one for %v", failed, flowAB)
+	}
+	if h.rel.Err() == nil {
+		t.Error("Err() is nil after failure")
+	}
+	st := h.rel.Stats()
+	if st.FlowsFailed != 1 || st.Timeouts != 3 {
+		t.Errorf("stats = %+v, want 1 failure after 3 timeout rounds", st)
+	}
+	// Later sends on the failed flow queue without spinning the timer.
+	h.rel.Send(flowAB, "after", 64, false)
+	if h.rel.Outstanding() == 0 {
+		t.Error("post-failure send vanished instead of queueing")
+	}
+}
+
+func TestBackoffDoublesAndResetsOnProgress(t *testing.T) {
+	h := newHarness(t, Config{RTO: 10 * sim.Microsecond, Backoff: 2, MaxRetries: 10})
+	var sendTimes []sim.Time
+	baseSend := h.send
+	h.rel.send = func(fr *Frame) {
+		if fr.HasData {
+			sendTimes = append(sendTimes, h.eng.Now())
+		}
+		baseSend(fr)
+	}
+	h.drop[0] = true
+	h.drop[1] = true // first two transmissions of seq 0 lost
+	h.rel.Send(flowAB, nil, 64, false)
+	h.run()
+	wantInOrder(t, h.delivered, 1)
+	if len(sendTimes) != 3 {
+		t.Fatalf("transmissions = %d, want 3", len(sendTimes))
+	}
+	gap1, gap2 := sendTimes[1]-sendTimes[0], sendTimes[2]-sendTimes[1]
+	if gap1 != 10*sim.Microsecond || gap2 != 20*sim.Microsecond {
+		t.Errorf("timeout gaps %v, %v; want 10us then 20us (backoff)", gap1, gap2)
+	}
+	// Progress resets the budget: a fresh frame after recovery starts at
+	// the base RTO again.
+	if tx := h.rel.tx[flowAB]; tx.rto != 10*sim.Microsecond || tx.retries != 0 {
+		t.Errorf("rto/retries = %v/%d after ack, want reset", tx.rto, tx.retries)
+	}
+}
+
+func TestManyFlowsAreIndependent(t *testing.T) {
+	h := newHarness(t, Config{})
+	h.drop[1] = true // second data transmission overall
+	flows := []FlowID{{0, 1}, {0, 2}, {2, 1}, {3, 0}}
+	perFlow := map[FlowID][]uint64{}
+	h.rel.deliver = func(fr *Frame) { perFlow[fr.Flow] = append(perFlow[fr.Flow], fr.Seq) }
+	for i := 0; i < 3; i++ {
+		for _, f := range flows {
+			h.rel.Send(f, i, 32, false)
+		}
+	}
+	h.run()
+	for _, f := range flows {
+		got := perFlow[f]
+		if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+			t.Errorf("flow %v delivered %v", f, got)
+		}
+	}
+	if st := h.rel.Stats(); st.FlowsFailed != 0 || st.Delivered != 12 {
+		t.Errorf("stats = %+v", st)
+	}
+}

@@ -66,6 +66,11 @@ var globalTracer trace.Tracer
 // used when engines run sequentially, as the experiment drivers do.
 func SetGlobalTracer(t trace.Tracer) { globalTracer = t }
 
+// GlobalTracerInstalled reports whether a process-wide tracer is active.
+// Drivers that run engines concurrently must check it and fall back to
+// sequential execution: the shared tracer is not synchronized.
+func GlobalTracerInstalled() bool { return globalTracer != nil }
+
 // NewEngine returns an engine at time zero with no pending events.
 func NewEngine() *Engine {
 	return &Engine{parked: make(chan struct{}), tracer: globalTracer}

@@ -64,8 +64,8 @@ func TestHistQuantileBounds(t *testing.T) {
 
 func TestCollectorSnapshot(t *testing.T) {
 	c := NewCollector()
-	c.Record(trace.Event{Kind: trace.KSchedule})         // global only: no comp
-	c.Record(trace.Event{Kind: trace.KFire})             // global only
+	c.Record(trace.Event{Kind: trace.KSchedule}) // global only: no comp
+	c.Record(trace.Event{Kind: trace.KFire})     // global only
 	c.Record(trace.Event{Kind: trace.KAcquire, Comp: "node0.agent", Arg: 1500})
 	c.Record(trace.Event{Kind: trace.KAcquire, Comp: "node0.agent", Arg: 2500})
 	c.Record(trace.Event{Kind: trace.KSpawn, Comp: "worker"})

@@ -73,15 +73,38 @@ const (
 	// destination. Comp is the operation kind; Arg is the one-way
 	// latency in nanoseconds.
 	KOpDone
+	// KDrop: the fault plane discarded a packet in flight. Comp is the
+	// link name; Arg is the link-local packet sequence number.
+	KDrop
+	// KCorrupt: a packet arrived with payload damage and failed its CRC
+	// check, so the receiver discarded it. Comp is the flow or link
+	// name; Arg is the frame sequence (or link packet sequence).
+	KCorrupt
+	// KRetransmit: the reliable transport re-sent an unacknowledged
+	// frame after a timeout. Comp is the flow name; Arg is the frame
+	// sequence number.
+	KRetransmit
+	// KAck: the reliable transport sent a standalone acknowledgment
+	// (piggybacked acks do not produce events). Comp is the flow name;
+	// Arg is the cumulative ack sequence.
+	KAck
+	// KLinkDown: a packet was lost to a link-down window. Comp is the
+	// link name; Arg is the link-local packet sequence number.
+	KLinkDown
+	// KStall: the fault plane stalled a communication agent (a proxy
+	// hiccup or crash/restart window). Comp is the agent name; Arg is
+	// the stall duration in nanoseconds.
+	KStall
 
 	// NumKinds is the number of event kinds.
-	NumKinds = int(KOpDone) + 1
+	NumKinds = int(KStall) + 1
 )
 
 var kindNames = [NumKinds]string{
 	"schedule", "fire", "spawn", "park", "unpark", "proc-end",
 	"acquire", "release", "enqueue", "dequeue", "poll", "scan",
-	"op-submit", "op-done",
+	"op-submit", "op-done", "drop", "corrupt", "retransmit", "ack",
+	"link-down", "stall",
 }
 
 func (k Kind) String() string {
