@@ -28,6 +28,18 @@ fi
 
 echo "== go vet ./..."
 go vet ./...
+go vet ./internal/trace/span ./internal/trace/timeline ./internal/prof ./cmd/mproxy-prof
+
+echo "== mproxy-prof chrome golden"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+go build -o "$tmpdir/mproxy-prof" ./cmd/mproxy-prof
+"$tmpdir/mproxy-prof" -archs MP1 -op PUT -breakdown=false -chrome "$tmpdir/chrome.json" >/dev/null
+if ! cmp -s "$tmpdir/chrome.json" internal/prof/testdata/pingpong-mp1-chrome.json; then
+    echo "mproxy-prof Chrome trace deviates from internal/prof/testdata/pingpong-mp1-chrome.json"
+    echo "re-bless with: go test ./internal/prof -run TestChromeDeterminism -update"
+    exit 1
+fi
 
 echo "== go test -shuffle=on ./..."
 go test -shuffle=on ./...

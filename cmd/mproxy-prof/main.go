@@ -1,0 +1,135 @@
+// mproxy-prof runs the profiled latency scenarios: a serialized PUT or
+// GET ping-pong per design point with the span assembler and timeline
+// sampler attached, printing the measured per-phase latency breakdown
+// next to the analytic model's phase predictions with a delta column —
+// the Table 2 decomposition, measured and checked against the closed
+// form in one table.
+//
+//	mproxy-prof                         # PUT+GET breakdown, all points
+//	mproxy-prof -archs MP1 -op PUT      # one scenario
+//	mproxy-prof -archs MP1 -op PUT -chrome trace.json  # open in Perfetto
+//	mproxy-prof -prof profile.json      # spans + windows + critical path
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mproxy/internal/prof"
+	"mproxy/internal/trace/timeline"
+)
+
+func main() {
+	var (
+		archs = flag.String("archs", "MP0,MP1,MP2,HW0,HW1,SW1",
+			"comma-separated design points to profile")
+		ops       = flag.String("op", "PUT,GET", "comma-separated operations (PUT, GET)")
+		n         = flag.Int("n", 64, "payload bytes per message")
+		reps      = flag.Int("reps", 8, "round trips per scenario")
+		period    = flag.Int64("period", 0, "timeline window length in ns (0 = default)")
+		breakdown = flag.Bool("breakdown", true, "print the measured-vs-model breakdown tables")
+		profOut   = flag.String("prof", "", "write the combined profile JSON to this file")
+		chromeOut = flag.String("chrome", "",
+			"write Chrome trace-event JSON to this file (arch/op inserted into the name when the matrix has several scenarios)")
+		benchJSON = flag.String("bench-json", "", "also write the breakdown rows as JSON to this file")
+	)
+	flag.Parse()
+
+	var cfgs []prof.Config
+	for _, a := range split(*archs) {
+		for _, op := range split(*ops) {
+			cfgs = append(cfgs, prof.Config{Arch: a, Op: op, Bytes: *n, Reps: *reps, PeriodNs: *period})
+		}
+	}
+	var allRows []prof.Row
+	var profiles []timeline.Profile
+	for _, cfg := range cfgs {
+		r, err := prof.PingPong(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rows := r.BreakdownRows()
+		allRows = append(allRows, rows...)
+		if *breakdown {
+			printTable(cfg, rows, r.Asm.Stats().Completed)
+		}
+		if *profOut != "" {
+			profiles = append(profiles, r.Profile())
+		}
+		if *chromeOut != "" {
+			path := *chromeOut
+			if len(cfgs) > 1 {
+				path = insertSuffix(path, fmt.Sprintf("-%s-%s", cfg.Arch, cfg.Op))
+			}
+			b, err := timeline.ChromeTrace(r.Asm.Spans(), r.Smp.Windows())
+			if err == nil {
+				err = os.WriteFile(path, b, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "chrome:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if *profOut != "" {
+		if err := writeJSON(*profOut, struct {
+			Profiles []timeline.Profile `json:"profiles"`
+		}{profiles}); err != nil {
+			fmt.Fprintln(os.Stderr, "prof:", err)
+			os.Exit(1)
+		}
+	}
+	if *benchJSON != "" {
+		if err := writeJSON(*benchJSON, struct {
+			Benchmark string     `json:"benchmark"`
+			Rows      []prof.Row `json:"rows"`
+		}{"phase-breakdown", allRows}); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-json:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func printTable(cfg prof.Config, rows []prof.Row, spans int) {
+	fmt.Printf("%s %dB on %s (%d spans, %d reps)\n", cfg.Op, cfg.Bytes, cfg.Arch, spans, cfg.Reps)
+	fmt.Printf("  %-14s %5s %13s %13s %9s\n", "phase", "n", "measured(us)", "model(us)", "delta%")
+	for _, r := range rows {
+		fmt.Printf("  %-14s %5d %13.3f", r.Phase, r.Count, r.MeasuredUs)
+		if r.Model {
+			fmt.Printf(" %13.3f %+9.2f\n", r.ModelUs, r.DeltaPct)
+		} else {
+			fmt.Printf(" %13s %9s\n", "-", "-")
+		}
+	}
+	fmt.Println()
+}
+
+func split(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// insertSuffix turns "trace.json" + "-MP1-PUT" into "trace-MP1-PUT.json".
+func insertSuffix(path, suffix string) string {
+	if i := strings.LastIndex(path, "."); i > strings.LastIndex(path, "/") {
+		return path[:i] + suffix + path[i:]
+	}
+	return path + suffix
+}
+
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -182,8 +182,27 @@ func New(cl *machine.Cluster) *Fabric {
 		}
 		f.eps = append(f.eps, ep)
 	}
+	if fabricHook != nil {
+		fabricHook(f)
+	}
 	return f
 }
+
+// fabricHook, when set, observes every fabric built by New. It mirrors
+// machine.OnNewCluster for the cmd/mproxy-* binaries: the timeline sampler
+// uses it to attach command-queue depth probes to each fresh fabric.
+var fabricHook func(*Fabric)
+
+// OnNewFabric installs (or, with nil, removes) a hook invoked with every
+// subsequently built fabric, after its endpoints and command queues exist.
+func OnNewFabric(fn func(*Fabric)) { fabricHook = fn }
+
+// Endpoints returns all endpoints, indexed by global rank.
+func (f *Fabric) Endpoints() []*Endpoint { return f.eps }
+
+// CommandQueue returns the endpoint's proxy command queue (nil on design
+// points without one).
+func (ep *Endpoint) CommandQueue() *proxy.CommandQueue { return ep.cmdq }
 
 // Endpoint returns the endpoint of a global rank.
 func (f *Fabric) Endpoint(rank int) *Endpoint { return f.eps[rank] }

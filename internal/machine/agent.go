@@ -27,6 +27,11 @@ type Agent struct {
 	served    int64
 	waitTotal sim.Time
 
+	// inService/serviceAt track the work item currently executing, so
+	// BusyTime is exact at any snapshot instant, not only between items.
+	inService bool
+	serviceAt sim.Time
+
 	// plane, when non-nil, is consulted before each work item for
 	// stall/crash faults; onRestart runs after a crash window so the
 	// owner can rebuild volatile state (a proxy restarts its scan loop).
@@ -77,9 +82,11 @@ func (a *Agent) loop(p *sim.Proc) {
 		}
 		a.waitTotal += p.Now() - w.at
 		a.eng.Emit(trace.KPoll, a.Name, int64(p.Now()-w.at))
-		start := p.Now()
+		a.inService = true
+		a.serviceAt = p.Now()
 		w.fn(p)
-		a.busyTotal += p.Now() - start
+		a.inService = false
+		a.busyTotal += p.Now() - a.serviceAt
 		a.served++
 	}
 }
@@ -111,8 +118,15 @@ func (a *Agent) Shutdown() { a.queue.Put(nil) }
 func (a *Agent) QueueLen() int { return a.queue.Len() }
 
 // BusyTime returns the total time spent executing work items (excluding
-// idle polling).
-func (a *Agent) BusyTime() sim.Time { return a.busyTotal }
+// idle polling), including the portion of the currently executing item up
+// to the present instant — so a snapshot taken mid-service is exact.
+func (a *Agent) BusyTime() sim.Time {
+	t := a.busyTotal
+	if a.inService {
+		t += a.eng.Now() - a.serviceAt
+	}
+	return t
+}
 
 // Served returns the number of completed work items.
 func (a *Agent) Served() int64 { return a.served }
@@ -123,7 +137,18 @@ func (a *Agent) Utilization(elapsed sim.Time) float64 {
 	if elapsed <= 0 {
 		return 0
 	}
-	return float64(a.busyTotal) / float64(elapsed)
+	return float64(a.BusyTime()) / float64(elapsed)
+}
+
+// UtilizationSince returns the fraction of [since, now] the agent spent
+// executing work items, given the cumulative BusyTime observed at since
+// (see sim.Resource.UtilizationSince for the windowing contract).
+func (a *Agent) UtilizationSince(since, busyAtSince sim.Time) float64 {
+	now := a.eng.Now()
+	if now <= since {
+		return 0
+	}
+	return float64(a.BusyTime()-busyAtSince) / float64(now-since)
 }
 
 // MeanWait returns the average delay between submission and the start of

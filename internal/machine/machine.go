@@ -72,6 +72,16 @@ var globalFaultPlane FaultPlane
 // attached to all subsequently created clusters.
 func SetGlobalFaultPlane(p FaultPlane) { globalFaultPlane = p }
 
+// clusterHook, when set, observes every cluster built by New. Like
+// SetGlobalFaultPlane it exists for the cmd/mproxy-* binaries, whose
+// experiment drivers construct clusters internally: the timeline sampler
+// uses it to (re)attach utilization probes to each fresh cluster.
+var clusterHook func(*Cluster)
+
+// OnNewCluster installs (or, with nil, removes) a hook invoked with every
+// subsequently built cluster, after its nodes, links and agents exist.
+func OnNewCluster(fn func(*Cluster)) { clusterHook = fn }
+
 // Config describes a cluster topology.
 type Config struct {
 	Nodes        int // SMP nodes
@@ -132,6 +142,9 @@ func New(eng *sim.Engine, cfg Config, a arch.Params) *Cluster {
 	}
 	if globalFaultPlane != nil {
 		c.SetFaultPlane(globalFaultPlane)
+	}
+	if clusterHook != nil {
+		clusterHook(c)
 	}
 	return c
 }
@@ -345,10 +358,34 @@ func (l *Link) Lost() int64 { return l.lost }
 // Bytes returns the number of bytes sent.
 func (l *Link) Bytes() int64 { return l.sentByte }
 
+// BusyTime returns the serialization time spent up to the present instant.
+// SendPacket books a packet's full serialization at send time (l.busy) and
+// pending transfers occupy the port back-to-back until freeAt, so the
+// not-yet-elapsed portion is exactly max(0, freeAt-now); clipping it keeps
+// mid-run snapshots exact. At quiesce freeAt <= now and BusyTime == l.busy.
+func (l *Link) BusyTime() sim.Time {
+	t := l.busy
+	if now := l.eng.Now(); l.freeAt > now {
+		t -= l.freeAt - now
+	}
+	return t
+}
+
 // Utilization returns link busy time divided by elapsed.
 func (l *Link) Utilization(elapsed sim.Time) float64 {
 	if elapsed <= 0 {
 		return 0
 	}
-	return float64(l.busy) / float64(elapsed)
+	return float64(l.BusyTime()) / float64(elapsed)
+}
+
+// UtilizationSince returns the fraction of [since, now] the link's output
+// port spent serializing, given the cumulative BusyTime observed at since
+// (see sim.Resource.UtilizationSince for the windowing contract).
+func (l *Link) UtilizationSince(since, busyAtSince sim.Time) float64 {
+	now := l.eng.Now()
+	if now <= since {
+		return 0
+	}
+	return float64(l.BusyTime()-busyAtSince) / float64(now-since)
 }

@@ -80,12 +80,27 @@ func (r *Resource) BusyTime() Time {
 // Served returns the number of completed holds.
 func (r *Resource) Served() int64 { return r.served }
 
-// Utilization returns BusyTime divided by the elapsed interval.
+// Utilization returns BusyTime divided by the elapsed interval. BusyTime
+// counts the in-progress hold up to the current instant, so the ratio is
+// exact at any snapshot, not just at quiesce.
 func (r *Resource) Utilization(elapsed Time) float64 {
 	if elapsed <= 0 {
 		return 0
 	}
 	return float64(r.BusyTime()) / float64(elapsed)
+}
+
+// UtilizationSince returns the fraction of [since, now] the resource was
+// held, given the cumulative BusyTime the caller observed at since. The
+// timeline sampler snapshots BusyTime at each window boundary and feeds
+// the previous value back in, so windowed utilization stays exact even
+// when a hold straddles the boundary.
+func (r *Resource) UtilizationSince(since, busyAtSince Time) float64 {
+	now := r.eng.now
+	if now <= since {
+		return 0
+	}
+	return float64(r.BusyTime()-busyAtSince) / float64(now-since)
 }
 
 // MeanWait returns the average time spent queued before each completed or

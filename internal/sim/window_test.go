@@ -1,0 +1,49 @@
+package sim
+
+import "testing"
+
+// TestResourceUtilizationSinceMidHold verifies the windowing contract the
+// timeline sampler relies on: a single hold straddling several window
+// boundaries splits exactly across them when the caller feeds back the
+// BusyTime it observed at each boundary.
+func TestResourceUtilizationSinceMidHold(t *testing.T) {
+	e := NewEngine()
+	r := e.NewResource("res")
+	e.Spawn("holder", func(p *Proc) {
+		p.Hold(100)
+		r.Use(p, 300) // held over [100, 400)
+		p.Hold(100)
+	})
+	var utils []float64
+	e.Spawn("sampler", func(p *Proc) {
+		var since, busyAt Time
+		for _, at := range []Time{200, 350, 450} {
+			p.Hold(at - p.Now())
+			utils = append(utils, r.UtilizationSince(since, busyAt))
+			since, busyAt = p.Now(), r.BusyTime()
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// [0,200): busy 100..200. [200,350): fully busy. [350,450): busy to 400.
+	want := []float64{0.5, 1.0, 0.5}
+	for i, w := range want {
+		if utils[i] != w {
+			t.Errorf("window %d utilization = %v, want %v", i, utils[i], w)
+		}
+	}
+	if got := r.BusyTime(); got != 300 {
+		t.Errorf("final BusyTime = %v, want 300", got)
+	}
+}
+
+// TestResourceUtilizationSinceDegenerate: an empty interval reports zero
+// rather than dividing by zero.
+func TestResourceUtilizationSinceDegenerate(t *testing.T) {
+	e := NewEngine()
+	r := e.NewResource("res")
+	if got := r.UtilizationSince(0, 0); got != 0 {
+		t.Errorf("zero-width window utilization = %v, want 0", got)
+	}
+}

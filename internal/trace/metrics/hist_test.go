@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestQuantileEmpty(t *testing.T) {
+	var h Hist
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	if h.Mean() != 0 {
+		t.Errorf("empty Mean = %v, want 0", h.Mean())
+	}
+}
+
+func TestQuantileSingle(t *testing.T) {
+	var h Hist
+	h.Add(1500)
+	for _, q := range []float64{0.01, 0.5, 0.95, 0.99, 1} {
+		// With one sample every quantile is that sample; the histogram may
+		// only bound it, but Max clamping makes it exact here.
+		if got := h.Quantile(q); got != 1500 {
+			t.Errorf("single Quantile(%v) = %d, want 1500", q, got)
+		}
+	}
+	if h.Min != 1500 || h.Max != 1500 || h.N != 1 {
+		t.Errorf("single-sample summary wrong: %+v", h)
+	}
+}
+
+func TestQuantileZero(t *testing.T) {
+	var h Hist
+	h.Add(0)
+	h.Add(0)
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("all-zero Quantile(0.99) = %d, want 0", got)
+	}
+}
+
+// TestQuantileDuplicateHeavy puts nearly all mass on one value: every
+// quantile must land in that value's bucket, not drift to the outlier.
+func TestQuantileDuplicateHeavy(t *testing.T) {
+	var h Hist
+	for i := 0; i < 999; i++ {
+		h.Add(1000)
+	}
+	h.Add(1 << 20)
+	p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+	// Bucket bounds: 1000 lies in [512, 1024), so the upper bound is 1023.
+	if p50 != 1023 || p99 != 1023 {
+		t.Errorf("duplicate-heavy p50=%d p99=%d, want both 1023", p50, p99)
+	}
+	if got := h.Quantile(1); got != 1<<20 {
+		t.Errorf("p100 = %d, want the outlier %d", got, 1<<20)
+	}
+}
+
+func TestQuantileUpperBound(t *testing.T) {
+	var h Hist
+	for v := int64(1); v <= 4096; v *= 2 {
+		h.Add(v)
+	}
+	// A quantile is an upper bound: at least floor(q*N) samples (min 1)
+	// lie at or below it.
+	for _, q := range []float64{0.25, 0.5, 0.75, 0.95} {
+		bound := h.Quantile(q)
+		var below uint64
+		for v := int64(1); v <= 4096; v *= 2 {
+			if v <= bound {
+				below++
+			}
+		}
+		target := uint64(q * float64(h.N))
+		if target == 0 {
+			target = 1
+		}
+		if below < target {
+			t.Errorf("Quantile(%v)=%d covers only %d/%d samples, want >= %d",
+				q, bound, below, h.N, target)
+		}
+	}
+}
+
+// TestMergeCommutative is the property test for Hist.Merge: folding a set
+// of histograms in any order yields identical state, and merging matches
+// adding every sample to one histogram directly.
+func TestMergeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		parts := make([]*Hist, 1+rng.Intn(5))
+		var direct Hist
+		for i := range parts {
+			parts[i] = &Hist{}
+			for k := rng.Intn(20); k > 0; k-- {
+				v := rng.Int63n(1 << uint(rng.Intn(40)))
+				parts[i].Add(v)
+				direct.Add(v)
+			}
+		}
+		var forward, backward Hist
+		for _, p := range parts {
+			forward.Merge(p)
+		}
+		for i := len(parts) - 1; i >= 0; i-- {
+			backward.Merge(parts[i])
+		}
+		if forward != backward {
+			t.Fatalf("trial %d: merge order changed the result", trial)
+		}
+		if direct.N > 0 && forward != direct {
+			t.Fatalf("trial %d: merged state differs from direct accumulation:\n%+v\n%+v",
+				trial, forward, direct)
+		}
+	}
+}
+
+func TestMergeEmptyAndNil(t *testing.T) {
+	var h Hist
+	h.Add(5)
+	before := h
+	h.Merge(nil)
+	h.Merge(&Hist{})
+	if h != before {
+		t.Errorf("merging nil/empty changed the histogram")
+	}
+	var empty Hist
+	empty.Merge(&before)
+	if empty != before {
+		t.Errorf("merge into empty = %+v, want %+v", empty, before)
+	}
+}
+
+func TestSnapshotFields(t *testing.T) {
+	var h Hist
+	for _, v := range []int64{1000, 2000, 3000, 4000} {
+		h.Add(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 4 || s.MinUs != 1.0 || s.MaxUs != 4.0 {
+		t.Errorf("snapshot summary wrong: %+v", s)
+	}
+	if s.MeanUs != 2.5 {
+		t.Errorf("snapshot mean = %v, want 2.5", s.MeanUs)
+	}
+	if s.P50Us <= 0 || s.P95Us < s.P50Us || s.P99Us < s.P95Us {
+		t.Errorf("snapshot quantiles not monotone: %+v", s)
+	}
+}

@@ -58,6 +58,26 @@ func (h *Hist) Mean() float64 {
 	return float64(h.Sum) / float64(h.N)
 }
 
+// Merge folds other into h. Buckets, counts and sums add; Min/Max combine.
+// Merging is commutative and associative up to these fields, so snapshots
+// of h after merging a set of histograms in any order are identical.
+func (h *Hist) Merge(other *Hist) {
+	if other == nil || other.N == 0 {
+		return
+	}
+	if h.N == 0 || other.Min < h.Min {
+		h.Min = other.Min
+	}
+	if other.Max > h.Max {
+		h.Max = other.Max
+	}
+	h.N += other.N
+	h.Sum += other.Sum
+	for i := range h.Buckets {
+		h.Buckets[i] += other.Buckets[i]
+	}
+}
+
 // Quantile returns an upper bound on the q-quantile (0 < q <= 1), at
 // power-of-two resolution.
 func (h *Hist) Quantile(q float64) int64 {
@@ -93,16 +113,19 @@ type HistSnapshot struct {
 	MinUs  float64 `json:"min_us"`
 	MaxUs  float64 `json:"max_us"`
 	P50Us  float64 `json:"p50_us"`
+	P95Us  float64 `json:"p95_us"`
 	P99Us  float64 `json:"p99_us"`
 }
 
-func (h *Hist) snapshot() HistSnapshot {
+// Snapshot summarizes the histogram in microseconds (the paper's unit).
+func (h *Hist) Snapshot() HistSnapshot {
 	return HistSnapshot{
 		Count:  h.N,
 		MeanUs: h.Mean() / 1e3,
 		MinUs:  float64(h.Min) / 1e3,
 		MaxUs:  float64(h.Max) / 1e3,
 		P50Us:  float64(h.Quantile(0.50)) / 1e3,
+		P95Us:  float64(h.Quantile(0.95)) / 1e3,
 		P99Us:  float64(h.Quantile(0.99)) / 1e3,
 	}
 }
@@ -111,6 +134,16 @@ func (h *Hist) snapshot() HistSnapshot {
 type comp struct {
 	byKind [trace.NumKinds]uint64
 	durs   map[trace.Kind]*Hist
+	scan   ScanSnapshot
+}
+
+// ScanSnapshot aggregates a scanner's KScan passes: total bit-vector word
+// probes, queue-head checks, and how many passes dequeued a command.
+type ScanSnapshot struct {
+	Passes     uint64 `json:"passes"`
+	Probes     int64  `json:"probes"`
+	HeadChecks int64  `json:"head_checks"`
+	Found      uint64 `json:"found"`
 }
 
 // Collector accumulates counters and histograms from a trace stream. It is
@@ -140,6 +173,15 @@ func (c *Collector) Record(ev trace.Event) {
 		c.comps[ev.Comp] = cp
 	}
 	cp.byKind[ev.Kind]++
+	if ev.Kind == trace.KScan {
+		s := trace.DecodeScanArg(ev.Arg)
+		cp.scan.Passes++
+		cp.scan.Probes += s.Probes
+		cp.scan.HeadChecks += s.HeadChecks
+		if s.Found {
+			cp.scan.Found++
+		}
+	}
 	if durationKinds[ev.Kind] {
 		if cp.durs == nil {
 			cp.durs = make(map[trace.Kind]*Hist)
@@ -162,6 +204,7 @@ type CompSnapshot struct {
 	Events    uint64                  `json:"events"`
 	ByKind    map[string]uint64       `json:"by_kind"`
 	Durations map[string]HistSnapshot `json:"durations,omitempty"`
+	Scan      *ScanSnapshot           `json:"scan,omitempty"`
 }
 
 // Snapshot is the collector's full state, ready for JSON encoding.
@@ -196,8 +239,12 @@ func (c *Collector) Snapshot() Snapshot {
 		if len(cp.durs) > 0 {
 			cs.Durations = make(map[string]HistSnapshot, len(cp.durs))
 			for k, h := range cp.durs {
-				cs.Durations[k.String()] = h.snapshot()
+				cs.Durations[k.String()] = h.Snapshot()
 			}
+		}
+		if cp.scan.Passes > 0 {
+			sc := cp.scan
+			cs.Scan = &sc
 		}
 		s.Components = append(s.Components, cs)
 	}

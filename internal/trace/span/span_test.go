@@ -1,0 +1,203 @@
+package span
+
+import (
+	"strings"
+	"testing"
+
+	"mproxy/internal/trace"
+)
+
+// feed replays a synthetic event stream mimicking the engine's emission
+// contract: KSchedule/KFire pair by Seq, KSpawn/KUnpark open a process
+// context, KPark/KProcEnd/KFire close it.
+func feed(a *Assembler, evs []trace.Event) {
+	for _, ev := range evs {
+		a.Record(ev)
+	}
+}
+
+// putStream is the minimal proxy-architecture PUT lifecycle: submit,
+// command-queue wait, service, wire, input wait, deliver.
+func putStream() []trace.Event {
+	return []trace.Event{
+		{At: 0, Kind: trace.KSpawn, Comp: "user"},
+		{At: 0, Kind: trace.KOpSubmit, Comp: "PUT", Arg: 64},
+		{At: 100, Kind: trace.KEnqueue, Comp: "p0.q", Arg: 1}, // submission lands
+		{At: 100, Kind: trace.KPark, Comp: "user"},
+		{At: 150, Kind: trace.KUnpark, Comp: "p0"}, // local agent picks up
+		{At: 150, Kind: trace.KDequeue, Comp: "p0.q", Arg: 0},
+		{At: 200, Kind: trace.KPoll, Comp: "p0", Arg: 100},
+		{At: 210, Kind: trace.KScan, Comp: "p0.scan", Arg: trace.ScanArg(3, 1, true)},
+		{At: 300, Kind: trace.KSchedule, Seq: 7, Arg: 150}, // packet flight (agent ctx would be set... )
+		{At: 300, Kind: trace.KPark, Comp: "p0"},
+		{At: 450, Kind: trace.KFire, Seq: 7},
+		{At: 450, Kind: trace.KEnqueue, Comp: "p1.q", Arg: 1}, // delivery hop
+		{At: 460, Kind: trace.KUnpark, Comp: "p1"},
+		{At: 460, Kind: trace.KDequeue, Comp: "p1.q", Arg: 0},
+		{At: 500, Kind: trace.KPoll, Comp: "p1", Arg: 50},
+		{At: 600, Kind: trace.KOpDone, Comp: "PUT", Arg: 600},
+		{At: 600, Kind: trace.KPark, Comp: "p1"},
+	}
+}
+
+// The schedule at 300 must happen in agent context (after p0's KPoll,
+// before its KPark); the stream above interleaves exactly as the engine
+// does: the agent is "current" from KUnpark until KPark.
+
+func TestAssemblePUT(t *testing.T) {
+	a := NewAssembler()
+	feed(a, putStream())
+	spans := a.CompleteSpans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d complete spans, want 1: %+v", len(spans), a.Stats())
+	}
+	s := spans[0]
+	if s.Op != "PUT" || s.Bytes != 64 || s.Origin != "user" {
+		t.Errorf("span header wrong: %+v", s)
+	}
+	if s.Submit != 0 || s.Done != 600 || s.Latency != 600 {
+		t.Errorf("span times wrong: submit=%d done=%d lat=%d", s.Submit, s.Done, s.Latency)
+	}
+	if s.Total() != 600 {
+		t.Errorf("phase sum %d != 600", s.Total())
+	}
+	wantPhases := map[Phase]int64{
+		PhaseSubmit:     100, // 0 -> enqueue at 100
+		PhaseCmdQueue:   100, // 100 -> poll at 200
+		PhaseService:    100, // 200 -> launch at 300
+		PhaseWire:       150, // 300 -> arrival at 450
+		PhaseInputQueue: 50,  // 450 -> poll at 500
+		PhaseDeliver:    100, // 500 -> done at 600
+	}
+	for p, want := range wantPhases {
+		if got := s.PhaseTotal(p); got != want {
+			t.Errorf("phase %s = %d, want %d", p, got, want)
+		}
+	}
+	if got, want := s.Flow(), "user>p0>p1"; got != want {
+		t.Errorf("flow = %q, want %q", got, want)
+	}
+	if s.Probes != 3 || s.HeadChecks != 1 {
+		t.Errorf("scan attribution: probes=%d checks=%d, want 3/1", s.Probes, s.HeadChecks)
+	}
+	if s.Approx {
+		t.Error("span marked approximate")
+	}
+	st := a.Stats()
+	if st.UnattributedItems != 0 || st.FallbackDone != 0 || st.OrphanDone != 0 || st.FifoDesyncs != 0 {
+		t.Errorf("attribution counters nonzero: %+v", st)
+	}
+}
+
+// TestRollover replays the same stream twice, as a driver building two
+// engines does: time runs backwards at the boundary and the assembler
+// must keep the runs separate.
+func TestRollover(t *testing.T) {
+	a := NewAssembler()
+	feed(a, putStream())
+	feed(a, putStream())
+	spans := a.CompleteSpans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d complete spans, want 2", len(spans))
+	}
+	if spans[0].Run != 0 || spans[1].Run != 1 {
+		t.Errorf("runs = %d,%d, want 0,1", spans[0].Run, spans[1].Run)
+	}
+	if spans[1].Total() != 600 {
+		t.Errorf("second run phase sum %d != 600", spans[1].Total())
+	}
+}
+
+// TestIncompleteSpan: a stream ending before KOpDone leaves the span open
+// and out of the complete set, without disturbing counters.
+func TestIncompleteSpan(t *testing.T) {
+	a := NewAssembler()
+	evs := putStream()
+	feed(a, evs[:8]) // stop after the scan, mid-service
+	if got := len(a.CompleteSpans()); got != 0 {
+		t.Fatalf("got %d complete spans, want 0", got)
+	}
+	if st := a.Stats(); st.Spans != 1 || st.Completed != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestUnattributedPoison: a nil work item (an agent shutdown pill) must
+// flow through the FIFO mirror without desyncing later attribution.
+func TestUnattributedPoison(t *testing.T) {
+	a := NewAssembler()
+	evs := []trace.Event{
+		// An enqueue from an unknown engine-context source (no fire info).
+		{At: 10, Kind: trace.KEnqueue, Comp: "p0.q", Arg: 1},
+		{At: 20, Kind: trace.KUnpark, Comp: "p0"},
+		{At: 20, Kind: trace.KDequeue, Comp: "p0.q", Arg: 0},
+		{At: 30, Kind: trace.KPoll, Comp: "p0", Arg: 20},
+		{At: 40, Kind: trace.KPark, Comp: "p0"},
+	}
+	feed(a, evs)
+	st := a.Stats()
+	if st.UnattributedItems != 1 {
+		t.Errorf("unattributed = %d, want 1", st.UnattributedItems)
+	}
+	if st.FifoDesyncs != 0 {
+		t.Errorf("fifo desyncs = %d, want 0", st.FifoDesyncs)
+	}
+	// A subsequent attributed command still assembles cleanly.
+	feed(a, putStream()) // time goes backwards -> rollover, fresh state
+	if got := len(a.CompleteSpans()); got != 1 {
+		t.Errorf("complete spans after poison = %d, want 1", got)
+	}
+}
+
+// TestClampedPhase: a phase boundary earlier than the span's mark (an
+// overlapped pipeline) clamps to zero length, flags Approx, and keeps the
+// exact-sum invariant.
+func TestClampedPhase(t *testing.T) {
+	s := &Span{Submit: 100, mark: 100}
+	s.phase(PhaseSubmit, "u", 200)
+	s.phase(PhaseService, "a", 150) // earlier than mark: clamp
+	s.phase(PhaseDeliver, "b", 300)
+	if !s.Approx {
+		t.Error("clamped span not marked approximate")
+	}
+	if got := s.Total(); got != 200 {
+		t.Errorf("total = %d, want 200 (exact tiling preserved)", got)
+	}
+	if s.PhaseTotal(PhaseService) != 0 {
+		t.Errorf("clamped phase duration = %d, want 0", s.PhaseTotal(PhaseService))
+	}
+}
+
+func TestBreakdownAggregate(t *testing.T) {
+	a := NewAssembler()
+	feed(a, putStream())
+	feed(a, putStream())
+	bd := Aggregate(a.Spans())
+	g := bd.ByOp["PUT"]
+	if g == nil || g.Count != 2 {
+		t.Fatalf("PUT group missing or wrong count: %+v", g)
+	}
+	if g.MeanUs() != 0.6 {
+		t.Errorf("mean latency = %v us, want 0.6", g.MeanUs())
+	}
+	if g.PhaseMeanUs(PhaseWire) != 0.15 {
+		t.Errorf("wire mean = %v us, want 0.15", g.PhaseMeanUs(PhaseWire))
+	}
+	// Phase means must sum to the total mean: the exact-sum invariant
+	// survives aggregation.
+	var sum float64
+	for p := 0; p < NumPhases; p++ {
+		sum += g.PhaseMeanUs(Phase(p))
+	}
+	if diff := sum - g.MeanUs(); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("phase means sum %v != total mean %v", sum, g.MeanUs())
+	}
+	tbl := bd.Table()
+	if !strings.Contains(tbl, "PUT user>p0>p1") || !strings.Contains(tbl, "agent-service") {
+		t.Errorf("table missing expected content:\n%s", tbl)
+	}
+	snap := bd.Snapshot()
+	if len(snap.ByOp) != 1 || len(snap.ByFlow) != 1 {
+		t.Errorf("snapshot groups: %d/%d, want 1/1", len(snap.ByOp), len(snap.ByFlow))
+	}
+}

@@ -1,0 +1,153 @@
+// Package timeline samples component utilization and queue depth over
+// windows of simulated time, turning the end-of-run averages the drivers
+// already report (Table 6's interface utilization) into time series: how
+// busy each proxy, DMA engine and NIC port was during each window, and
+// how deep each command queue and agent work queue ran.
+//
+// The Sampler is a trace.Tracer. It takes no samples of its own accord —
+// scheduling periodic engine events would keep the event loop alive
+// forever — but instead piggybacks on the trace stream: whenever an
+// event's timestamp crosses the current window boundary, the window
+// closes at that event's instant. Windows are therefore at least Period
+// long, aligned to event times, and perfectly deterministic. Utilization
+// inside a window is exact even when a hold straddles the boundary: the
+// sampler snapshots each component's cumulative BusyTime at every close
+// and feeds it back through the component's UtilizationSince.
+package timeline
+
+import (
+	"mproxy/internal/trace"
+)
+
+// Probe reads one component's instantaneous counters. Accessors are
+// optional: a command queue has depth but no busy time; a link has busy
+// time but no depth.
+type Probe struct {
+	Name string
+	// Kind classifies the component: "proxy", "adapter", "nic", "dma",
+	// "cmdq", "agentq".
+	Kind string
+	// Busy returns cumulative busy nanoseconds up to the present instant.
+	Busy func() int64
+	// Util returns the fraction of [sinceNs, now] the component was busy,
+	// given the cumulative Busy observed at sinceNs.
+	Util func(sinceNs, busyAtSinceNs int64) float64
+	// Depth returns the instantaneous queue depth.
+	Depth func() int
+}
+
+// Window is one closed sampling window for one probe.
+type Window struct {
+	Run   int    `json:"run"`
+	Probe string `json:"probe"`
+	Kind  string `json:"kind"`
+	Start int64  `json:"start_ns"`
+	End   int64  `json:"end_ns"`
+	// Util is the fraction of the window the component was busy, or -1
+	// for depth-only probes.
+	Util float64 `json:"util"`
+	// Depth is the queue depth at the window's close, or -1 for probes
+	// without a queue.
+	Depth int `json:"depth"`
+}
+
+type probeState struct {
+	Probe
+	prevBusy int64
+}
+
+// Sampler collects windows from a trace stream. Install probes with
+// SetProbes/AddProbes (or timeline.Attach, which wires them to every
+// cluster the drivers build), then fan the sampler into the engine's
+// tracer next to the other consumers.
+type Sampler struct {
+	// Period is the minimum window length in nanoseconds.
+	Period int64
+
+	probes   []*probeState
+	windows  []Window
+	run      int
+	lastAt   int64
+	winStart int64
+	sawEvent bool
+}
+
+// NewSampler returns a sampler with the given window period (ns).
+func NewSampler(periodNs int64) *Sampler {
+	if periodNs <= 0 {
+		periodNs = 50_000 // 50us: a few windows per micro-benchmark rep
+	}
+	return &Sampler{Period: periodNs}
+}
+
+// SetProbes replaces the probe set, closing any window in progress first.
+// Drivers that build several clusters call this (via the Attach hooks)
+// once per cluster; windows from earlier clusters are kept.
+func (s *Sampler) SetProbes(ps []Probe) {
+	s.closeWindow(s.lastAt)
+	s.probes = s.probes[:0]
+	s.AddProbes(ps)
+}
+
+// AddProbes appends probes, snapshotting their current busy counters so
+// the first window starts clean.
+func (s *Sampler) AddProbes(ps []Probe) {
+	for _, p := range ps {
+		st := &probeState{Probe: p}
+		if p.Busy != nil {
+			st.prevBusy = p.Busy()
+		}
+		s.probes = append(s.probes, st)
+	}
+}
+
+// Record implements trace.Tracer.
+func (s *Sampler) Record(ev trace.Event) {
+	if ev.At < s.lastAt {
+		// Fresh engine: close out the old run's final window and restart.
+		s.closeWindow(s.lastAt)
+		s.run++
+		s.winStart = ev.At
+		s.sawEvent = false
+	}
+	if !s.sawEvent {
+		s.winStart = ev.At
+		s.sawEvent = true
+	}
+	s.lastAt = ev.At
+	if ev.At-s.winStart >= s.Period {
+		// The engine's clock sits at ev.At while this event is traced, so
+		// the probes' UtilizationSince close the window exactly here.
+		s.closeWindow(ev.At)
+	}
+}
+
+// closeWindow emits one Window per probe for [winStart, end) and starts
+// the next window at end. Empty or zero-length windows are skipped.
+func (s *Sampler) closeWindow(end int64) {
+	if !s.sawEvent || end <= s.winStart {
+		return
+	}
+	for _, st := range s.probes {
+		w := Window{
+			Run: s.run, Probe: st.Name, Kind: st.Kind,
+			Start: s.winStart, End: end, Util: -1, Depth: -1,
+		}
+		if st.Util != nil && st.Busy != nil {
+			w.Util = st.Util(s.winStart, st.prevBusy)
+			st.prevBusy = st.Busy()
+		}
+		if st.Depth != nil {
+			w.Depth = st.Depth()
+		}
+		s.windows = append(s.windows, w)
+	}
+	s.winStart = end
+}
+
+// Flush closes the final partial window. Call after the simulation
+// quiesces (the engine's clock has stopped, so the close is exact).
+func (s *Sampler) Flush() { s.closeWindow(s.lastAt) }
+
+// Windows returns every closed window in emission order.
+func (s *Sampler) Windows() []Window { return s.windows }

@@ -1,0 +1,125 @@
+package timeline
+
+import (
+	"testing"
+
+	"mproxy/internal/trace"
+)
+
+// fakeComponent is a synthetic busy counter driven by the test: busy
+// nanoseconds accumulate linearly between markers the test sets.
+type fakeComponent struct {
+	now  int64
+	busy int64
+}
+
+func (c *fakeComponent) probe(name string) Probe {
+	return Probe{
+		Name: name,
+		Kind: "proxy",
+		Busy: func() int64 { return c.busy },
+		Util: func(sinceNs, busyAtSinceNs int64) float64 {
+			if c.now <= sinceNs {
+				return 0
+			}
+			return float64(c.busy-busyAtSinceNs) / float64(c.now-sinceNs)
+		},
+	}
+}
+
+func tick(s *Sampler, c *fakeComponent, at, busy int64) {
+	c.now, c.busy = at, busy
+	s.Record(trace.Event{At: at, Kind: trace.KEnqueue, Comp: "x"})
+}
+
+// TestSamplerWindows drives the sampler with a synthetic stream and checks
+// the windowing contract: windows are at least Period long, aligned to
+// event times, and utilization uses the busy-at-close feedback so a busy
+// stretch straddling a boundary splits exactly.
+func TestSamplerWindows(t *testing.T) {
+	s := NewSampler(100)
+	c := &fakeComponent{}
+	s.SetProbes([]Probe{c.probe("p0")})
+
+	tick(s, c, 0, 0)
+	tick(s, c, 60, 30)   // within the first window
+	tick(s, c, 120, 90)  // crosses: window [0,120) closes, busy 90 -> 0.75
+	tick(s, c, 150, 120) // within the second window
+	tick(s, c, 230, 120) // crosses: window [120,230) closes, busy 30 -> 30/110
+	c.now = 260
+	s.lastAt = 260 // quiesce instant
+	s.Flush()      // partial window [230,260), idle -> 0
+
+	ws := s.Windows()
+	if len(ws) != 3 {
+		t.Fatalf("got %d windows, want 3: %+v", len(ws), ws)
+	}
+	type wnt struct {
+		start, end int64
+		util       float64
+	}
+	want := []wnt{
+		{0, 120, 0.75},
+		{120, 230, 30.0 / 110.0},
+		{230, 260, 0},
+	}
+	for i, w := range want {
+		g := ws[i]
+		if g.Start != w.start || g.End != w.end {
+			t.Errorf("window %d = [%d,%d), want [%d,%d)", i, g.Start, g.End, w.start, w.end)
+		}
+		if g.Util != w.util {
+			t.Errorf("window %d util = %v, want %v", i, g.Util, w.util)
+		}
+		if g.Depth != -1 {
+			t.Errorf("window %d depth = %d, want -1 (no depth accessor)", i, g.Depth)
+		}
+		if g.End-g.Start < 30 {
+			t.Errorf("window %d shorter than any event gap", i)
+		}
+	}
+}
+
+// TestSamplerRollover: a driver that builds a second engine re-attaches
+// probes for the fresh cluster (SetProbes) and the first backwards
+// timestamp starts a new run; windows from the old run are kept.
+func TestSamplerRollover(t *testing.T) {
+	s := NewSampler(100)
+	c := &fakeComponent{}
+	s.SetProbes([]Probe{c.probe("p0")})
+	tick(s, c, 0, 0)
+	tick(s, c, 150, 150) // run 0 window [0,150), fully busy
+	c2 := &fakeComponent{}
+	s.SetProbes([]Probe{c2.probe("p0")}) // fresh cluster, fresh counters
+	tick(s, c2, 10, 0)                   // time runs backwards: new run
+	tick(s, c2, 120, 55)
+	s.Flush()
+	ws := s.Windows()
+	if len(ws) != 2 {
+		t.Fatalf("got %d windows, want 2: %+v", len(ws), ws)
+	}
+	if ws[0].Run != 0 || ws[0].Util != 1.0 {
+		t.Errorf("run-0 window = %+v, want run 0 util 1.0", ws[0])
+	}
+	if ws[1].Run != 1 || ws[1].Start != 10 || ws[1].End != 120 || ws[1].Util != 0.5 {
+		t.Errorf("run-1 window = %+v, want run 1 [10,120) util 0.5", ws[1])
+	}
+}
+
+// TestSamplerDepthOnly: probes without busy accessors report depth and the
+// -1 utilization sentinel.
+func TestSamplerDepthOnly(t *testing.T) {
+	s := NewSampler(100)
+	depth := 0
+	s.SetProbes([]Probe{{Name: "q", Kind: "cmdq", Depth: func() int { return depth }}})
+	s.Record(trace.Event{At: 0, Kind: trace.KEnqueue, Comp: "x"})
+	depth = 3
+	s.Record(trace.Event{At: 200, Kind: trace.KEnqueue, Comp: "x"})
+	ws := s.Windows()
+	if len(ws) != 1 {
+		t.Fatalf("got %d windows, want 1", len(ws))
+	}
+	if ws[0].Util != -1 || ws[0].Depth != 3 {
+		t.Errorf("depth-only window = %+v, want util -1 depth 3", ws[0])
+	}
+}

@@ -123,9 +123,30 @@ func ScanArg(probes, headChecks int64, found bool) int64 {
 	return arg
 }
 
+// ScanSample is one decoded KScan pass: how many bit-vector words the
+// scanner probed, how many queue heads it touched (the cache-miss-prone
+// part), and whether the pass dequeued a command.
+type ScanSample struct {
+	Probes     int64
+	HeadChecks int64
+	Found      bool
+}
+
+// DecodeScanArg unpacks a KScan Arg into a ScanSample. It is the single
+// decoder for the packed word built by ScanArg; consumers (metrics, span
+// assembly) must use it rather than re-implementing the bit layout.
+func DecodeScanArg(arg int64) ScanSample {
+	return ScanSample{
+		Probes:     arg >> 32,
+		HeadChecks: arg & 0x7fffffff,
+		Found:      arg&(1<<31) != 0,
+	}
+}
+
 // ScanStats unpacks a KScan Arg.
 func ScanStats(arg int64) (probes, headChecks int64, found bool) {
-	return arg >> 32, arg & 0x7fffffff, arg&(1<<31) != 0
+	s := DecodeScanArg(arg)
+	return s.Probes, s.HeadChecks, s.Found
 }
 
 // Event is one occurrence in a simulation run.

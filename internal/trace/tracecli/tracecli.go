@@ -13,23 +13,39 @@ import (
 	"mproxy/internal/sim"
 	"mproxy/internal/trace"
 	"mproxy/internal/trace/metrics"
+	"mproxy/internal/trace/span"
+	"mproxy/internal/trace/timeline"
 )
 
 // Flags holds the observability command-line options.
 type Flags struct {
-	Trace   *bool
-	Metrics *string
+	Trace     *bool
+	Metrics   *string
+	Prof      *string
+	Chrome    *string
+	Breakdown *bool
 }
 
-// AddFlags registers -trace and -metrics on the default flag set. Call
-// before flag.Parse.
+// AddFlags registers the observability flags on the default flag set.
+// Call before flag.Parse.
 func AddFlags() *Flags {
 	return &Flags{
 		Trace: flag.Bool("trace", false,
 			"trace all simulation events; print the stream digest and event count at exit"),
 		Metrics: flag.String("metrics", "",
 			`collect per-component counters/histograms and print them at exit: "text" or "json"`),
+		Prof: flag.String("prof", "",
+			"assemble message-lifecycle spans and utilization timelines; write the profile JSON to this file"),
+		Chrome: flag.String("chrome", "",
+			"write the assembled spans and timelines as Chrome trace-event JSON to this file"),
+		Breakdown: flag.Bool("breakdown", false,
+			"assemble message-lifecycle spans and print the per-flow phase-latency breakdown at exit"),
 	}
+}
+
+// profiling reports whether any span/timeline consumer is requested.
+func (f *Flags) profiling() bool {
+	return *f.Prof != "" || *f.Chrome != "" || *f.Breakdown
 }
 
 // Install activates the requested collectors. It returns a report function
@@ -38,6 +54,8 @@ func AddFlags() *Flags {
 func (f *Flags) Install() (report func(), err error) {
 	var digest *trace.Digest
 	var coll *metrics.Collector
+	var asm *span.Assembler
+	var smp *timeline.Sampler
 	var tracers []trace.Tracer
 	if *f.Trace {
 		digest = trace.NewDigest()
@@ -51,10 +69,17 @@ func (f *Flags) Install() (report func(), err error) {
 	default:
 		return nil, fmt.Errorf("-metrics must be \"text\" or \"json\", got %q", *f.Metrics)
 	}
+	if f.profiling() {
+		asm = span.NewAssembler()
+		smp = timeline.NewSampler(0)
+		timeline.Attach(smp)
+		tracers = append(tracers, asm, smp)
+	}
 	if t := trace.Multi(tracers...); t != nil {
 		sim.SetGlobalTracer(t)
 	}
 	mode := *f.Metrics
+	profOut, chromeOut, breakdown := *f.Prof, *f.Chrome, *f.Breakdown
 	return func() {
 		if coll != nil {
 			switch mode {
@@ -67,6 +92,27 @@ func (f *Flags) Install() (report func(), err error) {
 				fmt.Println(out)
 			default:
 				fmt.Print(coll.Summary())
+			}
+		}
+		if asm != nil {
+			smp.Flush()
+			if breakdown {
+				fmt.Print(span.Aggregate(asm.Spans()).Table())
+			}
+			if profOut != "" {
+				p := timeline.BuildProfile(asm, smp, "")
+				if b, err := p.JSON(); err != nil {
+					fmt.Fprintln(os.Stderr, "prof:", err)
+				} else if err := os.WriteFile(profOut, b, 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, "prof:", err)
+				}
+			}
+			if chromeOut != "" {
+				if b, err := timeline.ChromeTrace(asm.Spans(), smp.Windows()); err != nil {
+					fmt.Fprintln(os.Stderr, "chrome:", err)
+				} else if err := os.WriteFile(chromeOut, b, 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, "chrome:", err)
+				}
 			}
 		}
 		if digest != nil {
