@@ -3,7 +3,7 @@
 // called out in DESIGN.md. Key reproduced quantities are attached as
 // custom metrics (us, MB/s, speedup), so `go test -bench . -benchmem`
 // doubles as a compact reproduction report. The application benches run at
-// Test scale; use cmd/mproxy-apps and friends for the full sweeps.
+// Test scale; use the cmd/mproxy subcommands for the full sweeps.
 package mproxy_test
 
 import (

@@ -1,11 +1,14 @@
 #!/bin/sh
 # Tier-1 verification: everything a change must keep green before merging.
-#   ./ci.sh         gofmt + build + vet + tests (shuffled) + race
+#   ./ci.sh         gofmt + build + vet + tests (shuffled) + smoke + results + race
 #   ./ci.sh quick   build + tests only (what the roadmap calls tier-1)
+#   ./ci.sh full    everything, plus regenerating the expensive results tables
 set -eu
 cd "$(dirname "$0")"
 
-if [ "${1:-}" != "quick" ]; then
+mode="${1:-}"
+
+if [ "$mode" != "quick" ]; then
     echo "== gofmt"
     unformatted=$(gofmt -l .)
     if [ -n "$unformatted" ]; then
@@ -21,24 +24,66 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-if [ "${1:-}" = "quick" ]; then
+if [ "$mode" = "quick" ]; then
     echo "tier-1 OK"
     exit 0
 fi
 
 echo "== go vet ./..."
 go vet ./...
-go vet ./internal/trace/span ./internal/trace/timeline ./internal/prof ./cmd/mproxy-prof
 
-echo "== mproxy-prof chrome golden"
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
-go build -o "$tmpdir/mproxy-prof" ./cmd/mproxy-prof
-"$tmpdir/mproxy-prof" -archs MP1 -op PUT -breakdown=false -chrome "$tmpdir/chrome.json" >/dev/null
+
+echo "== mproxy build + smoke matrix"
+go build -o "$tmpdir/mproxy" ./cmd/mproxy
+"$tmpdir/mproxy" list >/dev/null
+"$tmpdir/mproxy" model >/dev/null 2>"$tmpdir/manifest"
+grep -q '"output_sha256"' "$tmpdir/manifest"
+"$tmpdir/mproxy" micro -params >/dev/null 2>/dev/null
+"$tmpdir/mproxy" apps -list >/dev/null 2>/dev/null
+"$tmpdir/mproxy" fault -archs MP1 -rates 0,1e-3 -csv >/dev/null 2>/dev/null
+"$tmpdir/mproxy" prof -archs MP1 -op PUT -breakdown=false >/dev/null 2>/dev/null
+
+echo "== mproxy prof chrome golden"
+"$tmpdir/mproxy" prof -archs MP1 -op PUT -breakdown=false -chrome "$tmpdir/chrome.json" >/dev/null 2>/dev/null
 if ! cmp -s "$tmpdir/chrome.json" internal/prof/testdata/pingpong-mp1-chrome.json; then
-    echo "mproxy-prof Chrome trace deviates from internal/prof/testdata/pingpong-mp1-chrome.json"
+    echo "mproxy prof Chrome trace deviates from internal/prof/testdata/pingpong-mp1-chrome.json"
     echo "re-bless with: go test ./internal/prof -run TestChromeDeterminism -update"
     exit 1
+fi
+
+echo "== results byte-identity (cheap presets)"
+for preset_file in \
+    "section4-model section4_model.txt" \
+    "table3 table3.txt" \
+    "table4 table4.txt" \
+    "figure7 figure7.txt"
+do
+    set -- $preset_file
+    "$tmpdir/mproxy" run "$1" 2>/dev/null >"$tmpdir/out.txt"
+    if ! cmp -s "$tmpdir/out.txt" "results/$2"; then
+        echo "mproxy run $1 no longer reproduces results/$2 byte-identically"
+        exit 1
+    fi
+done
+
+if [ "$mode" = "full" ]; then
+    echo "== results byte-identity (expensive presets)"
+    for preset_file in \
+        "figure8 figure8.txt" \
+        "table6 table6.txt" \
+        "figure9 figure9.txt" \
+        "figure9-2proxies figure9_2proxies.txt" \
+        "section54-queueing section54_queueing.txt"
+    do
+        set -- $preset_file
+        "$tmpdir/mproxy" run "$1" 2>/dev/null >"$tmpdir/out.txt"
+        if ! cmp -s "$tmpdir/out.txt" "results/$2"; then
+            echo "mproxy run $1 no longer reproduces results/$2 byte-identically"
+            exit 1
+        fi
+    done
 fi
 
 echo "== go test -shuffle=on ./..."

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the smoke-test goldens")
+
+// Every subcommand runs in-process against a small configuration and
+// must reproduce its blessed golden byte for byte. Regenerate with
+//
+//	go test ./cmd/mproxy -run TestSmoke -update
+func TestSmoke(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"micro-params", []string{"micro", "-params"}},
+		{"micro-table4-mp1", []string{"micro", "-archs", "MP1"}},
+		{"micro-sweep-csv", []string{"micro", "-sweep", "-csv", "-archs", "MP1"}},
+		{"apps-list", []string{"apps", "-list"}},
+		{"apps-figure8-small", []string{"apps", "-scale", "test", "-apps", "Sample", "-procs", "1,2", "-archs", "HW1,MP1"}},
+		{"apps-table6-test", []string{"apps", "-table6", "-scale", "test", "-apps", "Sample"}},
+		{"model-default", []string{"model"}},
+		{"model-fast-cpu", []string{"model", "-S", "2"}},
+		{"smp-small", []string{"smp", "-scale", "test", "-apps", "Sample", "-archs", "MP1", "-nodes", "2", "-ppn", "2"}},
+		{"queue-test", []string{"queue", "-scale", "test", "-apps", "Sample,LU"}},
+		{"fault-sweep", []string{"fault", "-archs", "MP1", "-rates", "0,1e-3", "-csv"}},
+		{"fault-injected-micro", []string{"micro", "-archs", "MP1", "-fault", "drop=1e-3"}},
+		{"prof-put-mp1", []string{"prof", "-archs", "MP1", "-op", "PUT"}},
+		{"trace-digest", []string{"micro", "-archs", "MP1", "-trace"}},
+		{"run-preset", []string{"run", "table3"}},
+		{"list", []string{"list"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 0 {
+				t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+			}
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if !bytes.Equal(stdout.Bytes(), want) {
+				t.Errorf("output drifted from %s:\ngot:\n%s\nwant:\n%s", golden, stdout.Bytes(), want)
+			}
+		})
+	}
+}
+
+// Experiment subcommands emit exactly one manifest JSON line on stderr.
+func TestManifestOnStderr(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"micro", "-params"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	var m struct {
+		Name   string `json:"name"`
+		Kind   string `json:"kind"`
+		Spec   string `json:"spec_sha256"`
+		Output string `json:"output_sha256"`
+		Bytes  int    `json:"output_bytes"`
+	}
+	if err := json.Unmarshal(stderr.Bytes(), &m); err != nil {
+		t.Fatalf("stderr is not one manifest JSON line: %q", stderr.String())
+	}
+	if m.Kind != "micro-params" || len(m.Spec) != 64 || len(m.Output) != 64 {
+		t.Errorf("implausible manifest: %+v", m)
+	}
+	if m.Bytes != stdout.Len() {
+		t.Errorf("manifest counts %d output bytes, stdout has %d", m.Bytes, stdout.Len())
+	}
+}
+
+// Identical invocations produce identical manifests: the digest pair is
+// the reproducibility contract.
+func TestManifestDeterministic(t *testing.T) {
+	grab := func() string {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"fault", "-archs", "MP1", "-rates", "1e-3"}, &stdout, &stderr); code != 0 {
+			t.Fatalf("exit %d", code)
+		}
+		return stderr.String()
+	}
+	if a, b := grab(), grab(); a != b {
+		t.Errorf("manifests differ between identical runs:\n%s%s", a, b)
+	}
+}
+
+// The cheap presets must regenerate their checked-in results tables
+// byte-identically; the expensive ones are covered by ci.sh.
+func TestResultsByteIdentity(t *testing.T) {
+	cheap := []string{"section4-model", "table3", "table4", "figure7"}
+	if !testing.Short() {
+		cheap = append(cheap, "table6", "section54-queueing")
+	}
+	for _, name := range cheap {
+		t.Run(name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run([]string{"run", name}, &stdout, &stderr); code != 0 {
+				t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+			}
+			path := map[string]string{
+				"section4-model":     "section4_model.txt",
+				"table3":             "table3.txt",
+				"table4":             "table4.txt",
+				"figure7":            "figure7.txt",
+				"table6":             "table6.txt",
+				"section54-queueing": "section54_queueing.txt",
+			}[name]
+			want, err := os.ReadFile(filepath.Join("..", "..", "results", path))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(stdout.Bytes(), want) {
+				t.Errorf("mproxy run %s no longer reproduces results/%s byte-identically", name, path)
+			}
+		})
+	}
+}
+
+// A spec file round-trips through mproxy run.
+func TestRunSpecFile(t *testing.T) {
+	spec := `{"kind": "model"}`
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var fromFile, fromFlags bytes.Buffer
+	if code := run([]string{"run", path}, &fromFile, &bytes.Buffer{}); code != 0 {
+		t.Fatal("run spec.json failed")
+	}
+	if code := run([]string{"model"}, &fromFlags, &bytes.Buffer{}); code != 0 {
+		t.Fatal("model failed")
+	}
+	if !bytes.Equal(fromFile.Bytes(), fromFlags.Bytes()) {
+		t.Error("spec-file run differs from flag run of the same experiment")
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	cases := []struct {
+		args []string
+		code int
+	}{
+		{nil, 2},
+		{[]string{"frobnicate"}, 2},
+		{[]string{"run"}, 2},
+		{[]string{"run", "no-such-preset"}, 1},
+		{[]string{"micro", "-archs", "MP9"}, 1},
+		{[]string{"apps", "-procs", "two"}, 2},
+		{[]string{"fault", "-rates", "many"}, 2},
+	}
+	for _, tc := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(tc.args, &stdout, &stderr); code != tc.code {
+			t.Errorf("run(%v) exit %d, want %d (stderr: %s)", tc.args, code, tc.code, stderr.String())
+		}
+	}
+}
+
+func TestHelpListsEverySubcommand(t *testing.T) {
+	var stdout bytes.Buffer
+	if code := run([]string{"help"}, &stdout, &bytes.Buffer{}); code != 0 {
+		t.Fatal("help failed")
+	}
+	for _, name := range []string{"micro", "apps", "model", "smp", "queue", "fault", "prof", "run", "list"} {
+		if !strings.Contains(stdout.String(), "\n  "+name) {
+			t.Errorf("help output missing subcommand %s", name)
+		}
+	}
+}

@@ -51,12 +51,29 @@ type Env struct {
 	started    bool
 }
 
+// EnvOptions carries per-run simulation parameters that the default stack
+// leaves zero: fabric tuning (command-queue capacity, reliable transport)
+// and an optional fault plane. The zero value is the fault-free default
+// configuration.
+type EnvOptions struct {
+	Fabric comm.Options
+	Fault  machine.FaultPlane
+}
+
 // NewEnv builds the stack for a cluster of cfg under design point a.
 // heapBytes sizes the per-processor Split-C global heap.
 func NewEnv(cfg machine.Config, a arch.Params, heapBytes int) *Env {
+	return NewEnvWith(cfg, a, heapBytes, EnvOptions{})
+}
+
+// NewEnvWith is NewEnv with explicit simulation options.
+func NewEnvWith(cfg machine.Config, a arch.Params, heapBytes int, opt EnvOptions) *Env {
 	eng := sim.NewEngine()
 	cl := machine.New(eng, cfg, a)
-	fab := comm.New(cl)
+	if opt.Fault != nil {
+		cl.SetFaultPlane(opt.Fault)
+	}
+	fab := comm.NewWith(cl, opt.Fabric)
 	l := am.New(fab)
 	g := coll.NewGroup(l)
 	return &Env{

@@ -22,11 +22,32 @@ import (
 // toward link serialization.
 const HeaderSize = 16
 
-// CommandQueueCap is the per-user command-queue capacity under the
-// message-proxy design points. A full ring applies backpressure: the user
-// spins (one polling period per retry) until the proxy drains an entry.
-// Variable so tests can exercise the backpressure path.
-var CommandQueueCap = 1024
+// DefaultCommandQueueCap is the per-user command-queue capacity under the
+// message-proxy design points when Options.CommandQueueCap is zero. A full
+// ring applies backpressure: the user spins (one polling period per retry)
+// until the proxy drains an entry.
+const DefaultCommandQueueCap = 1024
+
+// Options carries the per-fabric tunables. Every knob lives on the fabric
+// built with it — there is no package-level mutable simulation state — so
+// concurrently running engines (workload.RunJobs) can use different
+// configurations without racing.
+type Options struct {
+	// CommandQueueCap overrides the per-user command-queue capacity under
+	// the message-proxy design points (0 = DefaultCommandQueueCap).
+	CommandQueueCap int
+	// Rel, when non-nil, carries all inter-node packets over the reliable
+	// transport (see rel.go), exactly as EnableRel would.
+	Rel *rel.Config
+}
+
+// queueCap resolves the effective command-queue capacity.
+func (o Options) queueCap() int {
+	if o.CommandQueueCap > 0 {
+		return o.CommandQueueCap
+	}
+	return DefaultCommandQueueCap
+}
 
 // OpKind enumerates the RMA/RQ primitives.
 type OpKind int
@@ -126,6 +147,7 @@ func (s Stats) AvgMsgSize() float64 {
 type Fabric struct {
 	Cl  *machine.Cluster
 	A   arch.Params
+	opt Options
 	eps []*Endpoint
 	// scanners holds the per-(node, proxy) round-robin command-queue
 	// scanner used by the message proxy design points.
@@ -145,11 +167,15 @@ type Fabric struct {
 	lat [opKinds]latAccum
 }
 
-// New builds the fabric for cl, creating one endpoint per compute
-// processor and, for message-proxy design points, registering one command
-// queue per endpoint with the node's proxy scanner.
-func New(cl *machine.Cluster) *Fabric {
-	f := &Fabric{Cl: cl, A: cl.Arch}
+// New builds the fabric for cl under default Options, creating one
+// endpoint per compute processor and, for message-proxy design points,
+// registering one command queue per endpoint with the node's proxy
+// scanner.
+func New(cl *machine.Cluster) *Fabric { return NewWith(cl, Options{}) }
+
+// NewWith is New under explicit per-fabric Options.
+func NewWith(cl *machine.Cluster, opt Options) *Fabric {
+	f := &Fabric{Cl: cl, A: cl.Arch, opt: opt}
 	if f.A.Kind == arch.Proxy {
 		f.scanners = make([][]*proxy.Scanner, len(cl.Nodes))
 		for i, nd := range cl.Nodes {
@@ -169,13 +195,13 @@ func New(cl *machine.Cluster) *Fabric {
 			}
 		}
 	}
-	if globalRel != nil {
-		f.EnableRel(*globalRel)
+	if opt.Rel != nil {
+		f.EnableRel(*opt.Rel)
 	}
 	for _, cpu := range cl.CPUs {
 		ep := &Endpoint{f: f, cpu: cpu, rank: cpu.Rank}
 		if f.A.Kind == arch.Proxy {
-			ep.cmdq = proxy.NewCommandQueue(cpu.Rank, CommandQueueCap)
+			ep.cmdq = proxy.NewCommandQueue(cpu.Rank, opt.queueCap())
 			nProxies := len(cpu.Node.Agents)
 			ep.proxyIdx = cpu.Slot % nProxies
 			ep.cmdqIdx = f.scanners[cpu.Node.ID][ep.proxyIdx].Register(ep.cmdq)
@@ -189,7 +215,7 @@ func New(cl *machine.Cluster) *Fabric {
 }
 
 // fabricHook, when set, observes every fabric built by New. It mirrors
-// machine.OnNewCluster for the cmd/mproxy-* binaries: the timeline sampler
+// machine.OnNewCluster for the scenario layer: the timeline sampler
 // uses it to attach command-queue depth probes to each fresh fabric.
 var fabricHook func(*Fabric)
 

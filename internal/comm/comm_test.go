@@ -20,7 +20,7 @@ func pair(a arch.Params) (*sim.Engine, *Fabric) {
 // run2 spawns two bound rank processes and runs the simulation.
 func run2(t *testing.T, eng *sim.Engine, f *Fabric, b0, b1 func(ep *Endpoint)) {
 	t.Helper()
-	for rank, body := range map[int]func(*Endpoint){0: b0, 1: b1} {
+	for rank, body := range []func(*Endpoint){b0, b1} {
 		rank, body := rank, body
 		if body == nil {
 			continue
@@ -441,11 +441,9 @@ func TestCommandQueueBackpressure(t *testing.T) {
 	// Shrink the command ring so a burst of PUTs overflows it: the
 	// endpoint must spin (charging polling periods) and still deliver
 	// every operation exactly once.
-	old := CommandQueueCap
-	CommandQueueCap = 2
-	defer func() { CommandQueueCap = old }()
-
-	eng, f := pair(arch.MP1)
+	eng := sim.NewEngine()
+	cl := machine.New(eng, machine.Config{Nodes: 2, ProcsPerNode: 1}, arch.MP1)
+	f := NewWith(cl, Options{CommandQueueCap: 2})
 	reg := f.Registry()
 	src := reg.NewSegment(0, 8)
 	dst := reg.NewSegment(1, 8*64)
@@ -481,7 +479,9 @@ func TestCommandQueueBackpressure(t *testing.T) {
 
 	// Now a true burst without intermediate waits (distinct source
 	// segments so zero-copy reads stay valid).
-	eng2, f2 := pair(arch.MP1)
+	eng2 := sim.NewEngine()
+	cl2 := machine.New(eng2, machine.Config{Nodes: 2, ProcsPerNode: 1}, arch.MP1)
+	f2 := NewWith(cl2, Options{CommandQueueCap: 2})
 	reg2 := f2.Registry()
 	srcs := reg2.NewSegment(0, 8*burst)
 	dst2 := reg2.NewSegment(1, 8*burst)
@@ -506,6 +506,61 @@ func TestCommandQueueBackpressure(t *testing.T) {
 		})
 	if hits := f2.Endpoint(0).cmdq.FullHits(); hits == 0 {
 		t.Error("burst of 32 PUTs through a 2-entry ring hit no backpressure")
+	}
+}
+
+func TestConcurrentFabricsDistinctQueueCaps(t *testing.T) {
+	// Two engines running concurrently with different command-queue
+	// capacities: the capacity is per-fabric state, so neither run can
+	// observe the other's setting (the old package global raced here
+	// under workload.RunJobs -j). Run under -race in CI.
+	run := func(cap int) (fullHits int64) {
+		const burst = 32
+		eng := sim.NewEngine()
+		cl := machine.New(eng, machine.Config{Nodes: 2, ProcsPerNode: 1}, arch.MP1)
+		f := NewWith(cl, Options{CommandQueueCap: cap})
+		reg := f.Registry()
+		src := reg.NewSegment(0, 8*burst)
+		dst := reg.NewSegment(1, 8*burst)
+		dst.Grant(0)
+		done := reg.NewFlag(1)
+		eng.Spawn("sender", func(p *sim.Proc) {
+			ep := f.Endpoint(0)
+			ep.Bind(p)
+			for i := 0; i < burst; i++ {
+				if err := ep.Put(src.Addr(8*i), dst.Addr(8*i), 8, memory.FlagRef{}, done); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+		eng.Spawn("receiver", func(p *sim.Proc) {
+			ep := f.Endpoint(1)
+			ep.Bind(p)
+			ep.WaitFlag(done, burst)
+		})
+		if err := eng.Run(); err != nil {
+			t.Error(err)
+		}
+		return f.Endpoint(0).cmdq.FullHits()
+	}
+	type res struct{ tiny, big int64 }
+	results := make(chan res, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			var r res
+			r.tiny = run(2)
+			r.big = run(DefaultCommandQueueCap)
+			results <- r
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		r := <-results
+		if r.tiny == 0 {
+			t.Error("2-entry ring saw no backpressure")
+		}
+		if r.big != 0 {
+			t.Errorf("default ring hit backpressure %d times", r.big)
+		}
 	}
 }
 

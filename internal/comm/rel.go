@@ -17,16 +17,6 @@ import (
 // reorders: frames are delivered in per-flow sequence order, so the
 // fabric's FIFO assumptions hold unchanged.
 
-// globalRel, when non-nil, enables reliable transport on every fabric
-// built by New. Like machine.SetGlobalFaultPlane it exists for the
-// cmd/mproxy-* binaries, whose experiment drivers construct fabrics
-// internally.
-var globalRel *rel.Config
-
-// SetGlobalRel installs (or, with nil, removes) a reliable-transport
-// configuration applied to all subsequently created fabrics.
-func SetGlobalRel(cfg *rel.Config) { globalRel = cfg }
-
 // EnableRel turns on reliable delivery for this fabric's inter-node
 // traffic. Call before any traffic is sent. A flow that exhausts its
 // retry budget (a link down past the timeout horizon) stops the

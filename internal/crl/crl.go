@@ -10,6 +10,7 @@ package crl
 
 import (
 	"fmt"
+	"sort"
 
 	"mproxy/internal/am"
 	"mproxy/internal/costmodel"
@@ -235,6 +236,7 @@ func (ly *Layer) DebugMeta(rid RID) string {
 	for s := range m.copyset {
 		cs = append(cs, s)
 	}
+	sort.Ints(cs)
 	states := ""
 	for r, nd := range ly.nodes {
 		if rg, ok := nd.maps[rid]; ok {

@@ -2,6 +2,7 @@ package crl
 
 import (
 	"fmt"
+	"sort"
 
 	"mproxy/internal/am"
 	"mproxy/internal/costmodel"
@@ -93,22 +94,24 @@ func (ly *Layer) grantRead(p *am.Port, m *regionMeta) {
 
 func (ly *Layer) proceedWrite(p *am.Port, m *regionMeta) {
 	req := m.cur.req
-	// Invalidate all shared copies except the requester's.
-	pending := 0
+	// Invalidate all shared copies except the requester's, in rank order:
+	// Go map iteration order is randomized, and the send order shapes the
+	// event schedule, so an unsorted walk would make whole-application
+	// timing vary run to run.
+	sharers := make([]int, 0, len(m.copyset))
 	for s := range m.copyset {
 		if s != req {
-			pending++
+			sharers = append(sharers, s)
 		}
 	}
+	sort.Ints(sharers)
 	m.reqHadShared = m.copyset[req]
-	if pending > 0 {
+	if len(sharers) > 0 {
 		m.phase = phaseInvWait
-		m.invAcksNeeded = pending
-		for s := range m.copyset {
-			if s != req {
-				ly.protoMsgs++
-				p.Request(s, ly.hInv, int64(m.rid))
-			}
+		m.invAcksNeeded = len(sharers)
+		for _, s := range sharers {
+			ly.protoMsgs++
+			p.Request(s, ly.hInv, int64(m.rid))
 		}
 		clear(m.copyset)
 		return // continues in hInvAck

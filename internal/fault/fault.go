@@ -8,8 +8,8 @@
 // component, sequence number), so fault schedules are pure functions of
 // the configuration: runs are bit-reproducible, golden-traceable, and
 // safe to consult from concurrently running engines. A Plane implements
-// machine.FaultPlane; install it with Cluster.SetFaultPlane (or
-// machine.SetGlobalFaultPlane for the cmd binaries).
+// machine.FaultPlane; install it with Cluster.SetFaultPlane, or carry it
+// in a driver's options (workload.Options, micro.Options, scenario.Spec).
 package fault
 
 import (

@@ -62,20 +62,12 @@ type FaultPlane interface {
 	AgentFault(agent string, item int64, now sim.Time) AgentFate
 }
 
-// globalFaultPlane, when set, is installed on every cluster built by New.
-// It exists for the cmd/mproxy-* binaries, whose experiment drivers create
-// clusters internally; tests and library users should prefer
-// Cluster.SetFaultPlane.
-var globalFaultPlane FaultPlane
-
-// SetGlobalFaultPlane installs (or, with nil, removes) a fault plane
-// attached to all subsequently created clusters.
-func SetGlobalFaultPlane(p FaultPlane) { globalFaultPlane = p }
-
-// clusterHook, when set, observes every cluster built by New. Like
-// SetGlobalFaultPlane it exists for the cmd/mproxy-* binaries, whose
-// experiment drivers construct clusters internally: the timeline sampler
-// uses it to (re)attach utilization probes to each fresh cluster.
+// clusterHook, when set, observes every cluster built by New. It exists
+// for the observability layer, whose probes attach to clusters the
+// experiment drivers construct internally: the timeline sampler uses it
+// to (re)attach utilization probes to each fresh cluster. Simulation
+// parameters (fault planes, transport config, queue capacities) are never
+// injected this way — they travel explicitly in each driver's options.
 var clusterHook func(*Cluster)
 
 // OnNewCluster installs (or, with nil, removes) a hook invoked with every
@@ -139,9 +131,6 @@ func New(eng *sim.Engine, cfg Config, a arch.Params) *Cluster {
 			c.CPUs = append(c.CPUs, cpu)
 		}
 		c.Nodes = append(c.Nodes, node)
-	}
-	if globalFaultPlane != nil {
-		c.SetFaultPlane(globalFaultPlane)
 	}
 	if clusterHook != nil {
 		clusterHook(c)

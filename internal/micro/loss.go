@@ -29,15 +29,19 @@ type LossPoint struct {
 const sweepReps = 256
 
 // newFaultRig is newRig plus a seeded fault plane and reliable transport.
-func newFaultRig(a arch.Params, fc fault.Config) *rig {
+// The sweep owns the fault plane (one per drop rate); opt contributes the
+// fabric tuning and, optionally, a non-default rel configuration.
+func newFaultRig(a arch.Params, fc fault.Config, opt Options) *rig {
 	eng := sim.NewEngine()
 	cl := machine.New(eng, machine.Config{Nodes: 2, ProcsPerNode: 1}, a)
 	if fc.Active() {
 		cl.SetFaultPlane(fault.NewPlane(fc))
 	}
-	f := comm.New(cl)
-	f.EnableRel(rel.Config{})
-	return &rig{eng: eng, f: f}
+	fabOpt := opt.Fabric
+	if fabOpt.Rel == nil {
+		fabOpt.Rel = &rel.Config{}
+	}
+	return &rig{eng: eng, f: comm.NewWith(cl, fabOpt)}
 }
 
 // lost sums the packets the fault plane destroyed on both nodes' links.
@@ -55,12 +59,18 @@ func (r *rig) lost() int64 {
 // degradation (timeout stalls, retransmission traffic). Results are
 // deterministic in (a, seed).
 func LossSweep(a arch.Params, rates []float64, seed uint64) []LossPoint {
+	return LossSweepOpts(a, rates, seed, Options{})
+}
+
+// LossSweepOpts is LossSweep with explicit simulation options. The sweep
+// still builds its own fault plane per rate; opt.Fault is ignored.
+func LossSweepOpts(a arch.Params, rates []float64, seed uint64, opt Options) []LossPoint {
 	out := make([]LossPoint, 0, len(rates))
 	for _, rate := range rates {
 		fc := fault.Config{Seed: seed, Drop: rate}
 		pt := LossPoint{Rate: rate}
 
-		lat := newFaultRig(a, fc)
+		lat := newFaultRig(a, fc, opt)
 		pt.LatencyUs = lat.lossPingPong(64)
 		st := lat.f.Rel().Stats()
 		pt.Retransmits += st.Retransmits
@@ -68,7 +78,7 @@ func LossSweep(a arch.Params, rates []float64, seed uint64) []LossPoint {
 		pt.LinkLost += lat.lost()
 		pt.Failed = pt.Failed || lat.f.RelErr() != nil
 
-		bw := newFaultRig(a, fc)
+		bw := newFaultRig(a, fc, opt)
 		pt.BWMBs = bw.lossStream(64 * 1024)
 		st = bw.f.Rel().Stats()
 		pt.Retransmits += st.Retransmits

@@ -24,16 +24,28 @@ type Table4Row struct {
 	PeakBW     float64 // streamed large PUTs, MB/s
 }
 
+// Options carries per-run simulation parameters for the benchmark rigs:
+// fabric tuning (command-queue capacity, reliable transport) and an
+// optional fault plane. The zero value is the quiescent, fault-free
+// configuration the paper's Table 4 and Figure 7 assume.
+type Options struct {
+	Fabric comm.Options
+	Fault  machine.FaultPlane
+}
+
 // rig is a two-node test cluster.
 type rig struct {
 	eng *sim.Engine
 	f   *comm.Fabric
 }
 
-func newRig(a arch.Params) *rig {
+func newRig(a arch.Params, opt Options) *rig {
 	eng := sim.NewEngine()
 	cl := machine.New(eng, machine.Config{Nodes: 2, ProcsPerNode: 1}, a)
-	return &rig{eng: eng, f: comm.New(cl)}
+	if opt.Fault != nil {
+		cl.SetFaultPlane(opt.Fault)
+	}
+	return &rig{eng: eng, f: comm.NewWith(cl, opt.Fabric)}
 }
 
 func (r *rig) run(b0, b1 func(ep *comm.Endpoint)) {
@@ -58,8 +70,11 @@ const reps = 32
 // PutLatency measures the mean time from submitting a one-word PUT to the
 // local synchronization flag being set (which requires the destination's
 // deposit confirmation).
-func PutLatency(a arch.Params, n int) float64 {
-	r := newRig(a)
+func PutLatency(a arch.Params, n int) float64 { return PutLatencyOpts(a, n, Options{}) }
+
+// PutLatencyOpts is PutLatency with explicit simulation options.
+func PutLatencyOpts(a arch.Params, n int, opt Options) float64 {
+	r := newRig(a, opt)
 	reg := r.f.Registry()
 	src := reg.NewSegment(0, n)
 	dst := reg.NewSegment(1, n)
@@ -82,8 +97,11 @@ func PutLatency(a arch.Params, n int) float64 {
 
 // GetLatency measures the mean time from submitting a one-word GET to the
 // local synchronization flag being set.
-func GetLatency(a arch.Params, n int) float64 {
-	r := newRig(a)
+func GetLatency(a arch.Params, n int) float64 { return GetLatencyOpts(a, n, Options{}) }
+
+// GetLatencyOpts is GetLatency with explicit simulation options.
+func GetLatencyOpts(a arch.Params, n int, opt Options) float64 {
+	r := newRig(a, opt)
 	reg := r.f.Registry()
 	local := reg.NewSegment(0, n)
 	remote := reg.NewSegment(1, n)
@@ -108,8 +126,11 @@ func GetLatency(a arch.Params, n int) float64 {
 // submitting the command plus detecting its completion (the rest of the
 // latency is overlappable with computation — except under SW, where it is
 // not, which is the paper's central point about offload).
-func PutSyncOverhead(a arch.Params) float64 {
-	r := newRig(a)
+func PutSyncOverhead(a arch.Params) float64 { return PutSyncOverheadOpts(a, Options{}) }
+
+// PutSyncOverheadOpts is PutSyncOverhead with explicit simulation options.
+func PutSyncOverheadOpts(a arch.Params, opt Options) float64 {
+	r := newRig(a, opt)
 	reg := r.f.Registry()
 	src := reg.NewSegment(0, 8)
 	dst := reg.NewSegment(1, 8)
@@ -132,8 +153,11 @@ func PutSyncOverhead(a arch.Params) float64 {
 
 // AMLatency measures the round trip of an am_request answered by an
 // am_reply, including handler invocation on both ends.
-func AMLatency(a arch.Params) float64 {
-	r := newRig(a)
+func AMLatency(a arch.Params) float64 { return AMLatencyOpts(a, Options{}) }
+
+// AMLatencyOpts is AMLatency with explicit simulation options.
+func AMLatencyOpts(a arch.Params, opt Options) float64 {
+	r := newRig(a, opt)
 	l := am.New(r.f)
 	replies := 0
 	var hEcho, hDone int
@@ -163,10 +187,13 @@ func AMLatency(a arch.Params) float64 {
 
 // PeakBandwidth streams large PUTs one way and reports delivered MB/s,
 // measured from first submission to the last byte's deposit confirmation.
-func PeakBandwidth(a arch.Params) float64 {
+func PeakBandwidth(a arch.Params) float64 { return PeakBandwidthOpts(a, Options{}) }
+
+// PeakBandwidthOpts is PeakBandwidth with explicit simulation options.
+func PeakBandwidthOpts(a arch.Params, opt Options) float64 {
 	const msg = 256 * 1024
 	const count = 4
-	r := newRig(a)
+	r := newRig(a, opt)
 	reg := r.f.Registry()
 	src := reg.NewSegment(0, msg)
 	dst := reg.NewSegment(1, msg)
@@ -191,14 +218,17 @@ func PeakBandwidth(a arch.Params) float64 {
 }
 
 // Table4 runs all micro-benchmarks for one design point.
-func Table4(a arch.Params) Table4Row {
+func Table4(a arch.Params) Table4Row { return Table4Opts(a, Options{}) }
+
+// Table4Opts is Table4 with explicit simulation options.
+func Table4Opts(a arch.Params, opt Options) Table4Row {
 	return Table4Row{
 		Arch:       a.Name,
-		PutLatency: PutLatency(a, 8),
-		GetLatency: GetLatency(a, 8),
-		PutSyncOvh: PutSyncOverhead(a),
-		AMLatency:  AMLatency(a),
-		PeakBW:     PeakBandwidth(a),
+		PutLatency: PutLatencyOpts(a, 8, opt),
+		GetLatency: GetLatencyOpts(a, 8, opt),
+		PutSyncOvh: PutSyncOverheadOpts(a, opt),
+		AMLatency:  AMLatencyOpts(a, opt),
+		PeakBW:     PeakBandwidthOpts(a, opt),
 	}
 }
 
@@ -213,19 +243,24 @@ type Point struct {
 // half the round trip, and bandwidth comes from streaming back-to-back
 // PUTs of the same size.
 func PingPongPut(a arch.Params, sizes []int) []Point {
+	return PingPongPutOpts(a, sizes, Options{})
+}
+
+// PingPongPutOpts is PingPongPut with explicit simulation options.
+func PingPongPutOpts(a arch.Params, sizes []int, opt Options) []Point {
 	out := make([]Point, 0, len(sizes))
 	for _, n := range sizes {
 		out = append(out, Point{
 			Bytes:   n,
-			Latency: putPingPong(a, n),
-			BW:      putStream(a, n),
+			Latency: putPingPong(a, n, opt),
+			BW:      putStream(a, n, opt),
 		})
 	}
 	return out
 }
 
-func putPingPong(a arch.Params, n int) float64 {
-	r := newRig(a)
+func putPingPong(a arch.Params, n int, opt Options) float64 {
+	r := newRig(a, opt)
 	reg := r.f.Registry()
 	b0 := reg.NewSegment(0, n)
 	b1 := reg.NewSegment(1, n)
@@ -256,8 +291,8 @@ func putPingPong(a arch.Params, n int) float64 {
 	return total.Micros() / reps / 2
 }
 
-func putStream(a arch.Params, n int) float64 {
-	r := newRig(a)
+func putStream(a arch.Params, n int, opt Options) float64 {
+	r := newRig(a, opt)
 	reg := r.f.Registry()
 	src := reg.NewSegment(0, n)
 	dst := reg.NewSegment(1, n)
@@ -286,16 +321,21 @@ func putStream(a arch.Params, n int) float64 {
 // data is PUT and a completion handler fires at the far end, which stores
 // the same amount back.
 func PingPongStore(a arch.Params, sizes []int) []Point {
+	return PingPongStoreOpts(a, sizes, Options{})
+}
+
+// PingPongStoreOpts is PingPongStore with explicit simulation options.
+func PingPongStoreOpts(a arch.Params, sizes []int, opt Options) []Point {
 	out := make([]Point, 0, len(sizes))
 	for _, n := range sizes {
-		lat, bw := storePingPong(a, n)
+		lat, bw := storePingPong(a, n, opt)
 		out = append(out, Point{Bytes: n, Latency: lat, BW: bw})
 	}
 	return out
 }
 
-func storePingPong(a arch.Params, n int) (latency, bw float64) {
-	r := newRig(a)
+func storePingPong(a arch.Params, n int, opt Options) (latency, bw float64) {
+	r := newRig(a, opt)
 	l := am.New(r.f)
 	reg := r.f.Registry()
 	b0 := reg.NewSegment(0, n)

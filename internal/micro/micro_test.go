@@ -144,7 +144,7 @@ func TestFigure7AMStore(t *testing.T) {
 			}
 		}
 		// AM store adds handler costs over a plain PUT ping-pong.
-		put := putPingPong(a, 16)
+		put := putPingPong(a, 16, Options{})
 		if pts[0].Latency <= put {
 			t.Errorf("%s: AM store (%.1f) should cost more than PUT (%.1f)", a.Name, pts[0].Latency, put)
 		}

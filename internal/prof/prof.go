@@ -6,8 +6,8 @@
 // delta column per phase). The serialized scenario is the calibration
 // point: no queueing, so measured phases should match the model to well
 // under a percent; the same machinery attached to a loaded run (via the
-// tracecli flags) then shows exactly which phases inflate under
-// contention.
+// observability flags of the mproxy CLI) then shows exactly which phases
+// inflate under contention.
 package prof
 
 import (
@@ -32,6 +32,12 @@ type Config struct {
 	Bytes    int
 	Reps     int
 	PeriodNs int64 // timeline sampling window (0 = default)
+	// Fabric tunes the run's communication fabric (command-queue
+	// capacity, reliable transport); the zero value is the default
+	// quiescent configuration.
+	Fabric comm.Options
+	// Fault, when non-nil, is installed on the run's cluster.
+	Fault machine.FaultPlane
 }
 
 func (c Config) name() string {
@@ -71,12 +77,15 @@ func PingPong(cfg Config) (*Result, error) {
 	asm := span.NewAssembler()
 	smp := timeline.NewSampler(cfg.PeriodNs)
 	eng := sim.NewEngine()
-	// Keep whatever tracer the process installed (tracecli) and fan in the
-	// profiling consumers.
+	// Keep whatever tracer the process installed (the scenario layer's
+	// observability sinks) and fan in the profiling consumers.
 	eng.SetTracer(trace.Multi(eng.Tracer(), asm, smp))
 	cl := machine.New(eng, machine.Config{Nodes: 2, ProcsPerNode: 1}, a)
+	if cfg.Fault != nil {
+		cl.SetFaultPlane(cfg.Fault)
+	}
 	smp.SetProbes(timeline.ClusterProbes(cl))
-	f := comm.New(cl)
+	f := comm.NewWith(cl, cfg.Fabric)
 	smp.AddProbes(timeline.FabricProbes(f))
 	reg := f.Registry()
 	n, reps := cfg.Bytes, cfg.Reps

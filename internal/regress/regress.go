@@ -128,8 +128,7 @@ func faultyPingPong(t trace.Tracer) {
 	eng.SetTracer(t)
 	cl := machine.New(eng, machine.Config{Nodes: 2, ProcsPerNode: 1}, a)
 	cl.SetFaultPlane(fault.NewPlane(fault.Config{Seed: 1, Drop: 1e-3}))
-	f := comm.New(cl)
-	f.EnableRel(rel.Config{})
+	f := comm.NewWith(cl, comm.Options{Rel: &rel.Config{}})
 	reg := f.Registry()
 	b0 := reg.NewSegment(0, n)
 	b1 := reg.NewSegment(1, n)

@@ -1,0 +1,83 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+
+	"mproxy/internal/model"
+)
+
+// renderModel reproduces the analytic results of Section 4 of the
+// paper: the primitive machine operations measured on the IBM G30 SMPs
+// (Table 1), the critical-path trace of a one-word GET through two
+// message proxies (Table 2), the GET/PUT latency equations, and the
+// protection-cost comparison against streamlined system calls.
+func renderModel(s Spec, w io.Writer) error {
+	m := model.Primitives{C: s.Model.C, U: s.Model.U, V: s.Model.V, S: s.Model.S, P: s.Model.P, L: s.Model.L}
+
+	fmt.Fprintln(w, "Table 1: primitive operations in the message proxy critical path")
+	fmt.Fprintln(w, "  (IBM Model G30: four 75 MHz PowerPC 601s, SP2 prototype adapter)")
+	fmt.Fprintf(w, "  %-42s %8s\n", "operation", "value")
+	fmt.Fprintf(w, "  %-42s %7.2fus\n", "C: time to service a cache miss", m.C)
+	fmt.Fprintf(w, "  %-42s %7.2fus\n", "U: uncached access to the adapter", m.U)
+	fmt.Fprintf(w, "  %-42s %7.2fus\n", "V: vm_att/vm_det cross-memory attach", m.V)
+	fmt.Fprintf(w, "  %-42s %7.2fx\n", "S: processor speed (75 MHz multiples)", m.S)
+	fmt.Fprintf(w, "  %-42s %7.2fus\n", "P: polling delay", m.P)
+	fmt.Fprintf(w, "  %-42s %7.2fus\n", "L: network transit time", m.L)
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "Table 2: latency components of a one-word GET")
+	tr := model.GETTrace()
+	var agent model.Agent = -1
+	for _, st := range tr {
+		if st.Agent != agent {
+			agent = st.Agent
+			fmt.Fprintf(w, "  -- %s\n", agent)
+		}
+		fmt.Fprintf(w, "     %-45s %-16s %6.2fus\n", st.Op, st.Symbolic(), st.Cost(m))
+	}
+	tot := tr.Totals()
+	fmt.Fprintf(w, "  %-48s %-16s %6.2fus\n", "TOTAL", tot.Symbolic(), tr.Total(m))
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "Critical path of a one-word PUT (one way):")
+	ptr := model.PUTTrace()
+	agent = -1
+	for _, st := range ptr {
+		if st.Agent != agent {
+			agent = st.Agent
+			fmt.Fprintf(w, "  -- %s\n", agent)
+		}
+		fmt.Fprintf(w, "     %-45s %-16s %6.2fus\n", st.Op, st.Symbolic(), st.Cost(m))
+	}
+	ptot := ptr.Totals()
+	fmt.Fprintf(w, "  %-48s %-16s %6.2fus\n", "TOTAL", ptot.Symbolic(), ptr.Total(m))
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "Latency model (Section 4.1):")
+	fmt.Fprintf(w, "  GET = 10C + 6U + 3V + 3.6/S + 3P + 2L = %6.2fus\n", m.GETLatency())
+	fmt.Fprintf(w, "  PUT =  7C + 4U + 2V + 2.2/S + 2P +  L = %6.2fus\n", m.PUTLatency())
+	fmt.Fprintf(w, "  (paper measured on the G30: GET 27.5+L, PUT 18.5+L)\n")
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "Protection cost (message proxy vs streamlined system calls):")
+	fmt.Fprintf(w, "  GET: proxy %5.2fus (3C+3V+3P)   syscall %5.2fus\n",
+		m.GETProtectionCost(), model.SyscallGETProtectionCost)
+	fmt.Fprintf(w, "  PUT: proxy %5.2fus (3C+2V+2P)   syscall %5.2fus\n",
+		m.PUTProtectionCost(), model.SyscallPUTProtectionCost)
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "Predictions for other platforms (the model's purpose):")
+	for _, pred := range []struct {
+		name string
+		m    model.Primitives
+	}{
+		{"G30 (MP0)", m},
+		{"2x faster proxy (MP1-like: S=2, L=0.5)", model.Primitives{C: m.C, U: m.U, V: m.V, S: 2, P: m.P, L: 0.5}},
+		{"cache update (MP2-like: C=0.25)", model.Primitives{C: 0.25, U: m.U, V: m.V, S: 2, P: m.P, L: 0.5}},
+		{"64-bit PowerPC (V=0)", model.Primitives{C: m.C, U: m.U, V: 0, S: m.S, P: m.P, L: m.L}},
+	} {
+		fmt.Fprintf(w, "  %-42s GET %6.2fus  PUT %6.2fus\n", pred.name, pred.m.GETLatency(), pred.m.PUTLatency())
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"mproxy/internal/comm"
+	"mproxy/internal/fault"
+	"mproxy/internal/machine"
+	"mproxy/internal/rel"
+	"mproxy/internal/sim"
+	"mproxy/internal/trace"
+	"mproxy/internal/trace/metrics"
+	"mproxy/internal/trace/span"
+	"mproxy/internal/trace/timeline"
+	"mproxy/internal/workload"
+)
+
+// options is the resolved per-run simulation configuration: everything
+// the spec's fault/transport/tuning fields distill to, in the shape the
+// drivers consume. All of it travels explicitly — no process-wide
+// installation, so concurrent runs with different options never
+// interfere.
+type options struct {
+	fabric comm.Options
+	plane  machine.FaultPlane
+	heap   int
+}
+
+func (o options) workload() workload.Options {
+	return workload.Options{Fabric: o.fabric, Fault: o.plane, HeapBytes: o.heap}
+}
+
+// resolve distills a normalized spec into driver options and the
+// human-readable fault description line the legacy binaries printed.
+func resolve(s Spec) (options, string, error) {
+	opt := options{
+		fabric: comm.Options{CommandQueueCap: s.CommandQueueCap},
+		heap:   s.HeapBytes,
+	}
+	cfg, err := fault.Parse(s.Fault.Spec, s.Fault.Seed)
+	if err != nil {
+		return options{}, "", fmt.Errorf("scenario: bad fault spec: %w", err)
+	}
+	if !cfg.Active() {
+		return opt, "", nil
+	}
+	opt.plane = fault.NewPlane(cfg)
+	if s.Fault.Rel == nil || *s.Fault.Rel {
+		relCfg := rel.DefaultConfig()
+		opt.fabric.Rel = &relCfg
+		return opt, fmt.Sprintf("faults: %s (seed %d), reliable transport on", s.Fault.Spec, s.Fault.Seed), nil
+	}
+	return opt, fmt.Sprintf("faults: %s (seed %d), reliable transport OFF (operations may hang or lose data)", s.Fault.Spec, s.Fault.Seed), nil
+}
+
+// Run validates and executes one experiment, writing its rendered
+// output to w and returning the run manifest. The output bytes are a
+// pure function of the spec: the manifest's OutputSHA256 digests
+// exactly what was written to w.
+func Run(spec Spec, w io.Writer) (Manifest, error) {
+	spec = spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return Manifest{}, err
+	}
+	hash, err := specHash(spec)
+	if err != nil {
+		return Manifest{}, err
+	}
+	opt, faultDesc, err := resolve(spec)
+	if err != nil {
+		return Manifest{}, err
+	}
+	dw := newDigestWriter(w)
+	report, err := installObs(spec.Obs)
+	if err != nil {
+		return Manifest{}, err
+	}
+	defer report(io.Discard) // drained below on success; uninstalls on error paths
+	if faultDesc != "" && spec.Kind != KindLoss {
+		fmt.Fprintln(dw, faultDesc)
+	}
+	if err := runKind(spec, opt, dw); err != nil {
+		return Manifest{}, err
+	}
+	report(dw)
+	return Manifest{
+		Name:         spec.Name,
+		Kind:         spec.Kind,
+		SpecSHA256:   hash,
+		Seed:         spec.Fault.Seed,
+		OutputSHA256: dw.sum(),
+		OutputBytes:  dw.n,
+	}, nil
+}
+
+// runKind dispatches a normalized, validated spec to its renderer.
+func runKind(s Spec, opt options, w io.Writer) error {
+	switch s.Kind {
+	case KindModel:
+		return renderModel(s, w)
+	case KindMicroParams:
+		return renderTable3(s, w)
+	case KindMicroTable4:
+		return renderTable4(s, opt, w)
+	case KindMicroSweep:
+		return renderFigure7(s, opt, w)
+	case KindAppsList:
+		return renderAppsList(s, w)
+	case KindAppsFigure8:
+		return renderFigure8(s, opt, w)
+	case KindAppsTable6:
+		return renderTable6(s, opt, w)
+	case KindSMP:
+		return renderSMP(s, opt, w)
+	case KindQueue:
+		return renderQueue(s, opt, w)
+	case KindLoss:
+		return renderLoss(s, opt, w)
+	case KindProf:
+		return renderProf(s, opt, w)
+	}
+	// Validate accepted the kind; every kind must be dispatched above.
+	panic("scenario: unhandled kind " + s.Kind)
+}
+
+// installObs activates the spec's observability collectors via the
+// process-wide tracer and returns a report function that renders their
+// summaries to the given writer and uninstalls the tracer. The report
+// runs at most once; later calls are no-ops, so the deferred cleanup in
+// Run is safe after a successful explicit report. Observability is the
+// one deliberately process-wide mechanism left (the drivers build
+// engines internally, and a cross-engine trace needs a cross-engine
+// collector); when active, the workload pool degrades to one worker so
+// the stream stays ordered.
+func installObs(o ObsSpec) (report func(io.Writer), err error) {
+	if !o.Enabled() {
+		return func(io.Writer) {}, nil
+	}
+	var digest *trace.Digest
+	var coll *metrics.Collector
+	var asm *span.Assembler
+	var smp *timeline.Sampler
+	var tracers []trace.Tracer
+	if o.Trace {
+		digest = trace.NewDigest()
+		tracers = append(tracers, digest)
+	}
+	if o.Metrics != "" {
+		coll = metrics.NewCollector()
+		tracers = append(tracers, coll)
+	}
+	if o.Prof != "" || o.Chrome != "" || o.Breakdown {
+		asm = span.NewAssembler()
+		smp = timeline.NewSampler(0)
+		timeline.Attach(smp)
+		tracers = append(tracers, asm, smp)
+	}
+	if t := trace.Multi(tracers...); t != nil {
+		sim.SetGlobalTracer(t)
+	}
+	done := false
+	return func(w io.Writer) {
+		if done {
+			return
+		}
+		done = true
+		sim.SetGlobalTracer(nil)
+		if asm != nil {
+			timeline.Detach()
+		}
+		if coll != nil {
+			switch o.Metrics {
+			case "json":
+				out, err := coll.JSON()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "metrics:", err)
+					return
+				}
+				fmt.Fprintln(w, out)
+			default:
+				fmt.Fprint(w, coll.Summary())
+			}
+		}
+		if asm != nil {
+			smp.Flush()
+			if o.Breakdown {
+				fmt.Fprint(w, span.Aggregate(asm.Spans()).Table())
+			}
+			if o.Prof != "" {
+				p := timeline.BuildProfile(asm, smp, "")
+				if b, err := p.JSON(); err != nil {
+					fmt.Fprintln(os.Stderr, "prof:", err)
+				} else if err := os.WriteFile(o.Prof, b, 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, "prof:", err)
+				}
+			}
+			if o.Chrome != "" {
+				if b, err := timeline.ChromeTrace(asm.Spans(), smp.Windows()); err != nil {
+					fmt.Fprintln(os.Stderr, "chrome:", err)
+				} else if err := os.WriteFile(o.Chrome, b, 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, "chrome:", err)
+				}
+			}
+		}
+		if digest != nil {
+			fmt.Fprintf(w, "trace digest: sha256:%s over %d events (last at %v)\n",
+				digest.Sum(), digest.Count(), sim.Time(digest.LastAt()))
+		}
+	}, nil
+}

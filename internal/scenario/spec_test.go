@@ -1,0 +1,164 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string // substring of the error
+	}{
+		{"unknown kind", Spec{Kind: "nonsense"}, "unknown kind"},
+		{"unknown arch", Spec{Kind: KindMicroTable4, Archs: []string{"MP9"}}, "unknown architecture"},
+		{"unknown app", Spec{Kind: KindAppsFigure8, Apps: []string{"Doom"}}, "unknown application"},
+		{"unknown scale", Spec{Kind: KindAppsFigure8, Scale: "enormous"}, "unknown scale"},
+		{"zero procs", Spec{Kind: KindAppsFigure8, Procs: []int{4, 0}}, "processor count"},
+		{"zero sweep size", Spec{Kind: KindMicroSweep, Sizes: []int{8, 0}}, "message size"},
+		{"negative reps", Spec{Kind: KindProf, Reps: -1}, "iteration count"},
+		{"negative heap", Spec{Kind: KindAppsFigure8, HeapBytes: -1}, "heap size"},
+		{"negative queue cap", Spec{Kind: KindMicroTable4, CommandQueueCap: -1}, "command-queue capacity"},
+		{"bad op", Spec{Kind: KindProf, Ops: []string{"CAS"}}, "unsupported op"},
+		{"rate out of range", Spec{Kind: KindLoss, Rates: []float64{0.5, 1.5}}, "drop rate"},
+		{"bad fault spec", Spec{Kind: KindMicroTable4, Fault: FaultSpec{Spec: "drop=notanumber"}}, "fault"},
+		{"bad topology", Spec{Kind: KindSMP, Topology: Topology{Nodes: -2}}, "topology"},
+		{"bad format", Spec{Kind: KindMicroSweep, Out: OutSpec{Format: "xml"}}, "format"},
+		{"bad metrics", Spec{Kind: KindMicroTable4, Obs: ObsSpec{Metrics: "yaml"}}, "metrics"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.spec
+			s.Normalize()
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %+v", tc.spec)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateAcceptsEveryPreset(t *testing.T) {
+	for _, name := range PresetNames() {
+		p, err := PresetByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := p.Spec
+		s.Normalize()
+		if err := s.Validate(); err != nil {
+			t.Errorf("preset %s: %v", name, err)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, name := range PresetNames() {
+		p, _ := PresetByName(name)
+		s := p.Spec
+		s.Normalize()
+		data, err := s.JSON()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		back, err := ParseJSON(data)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		if !reflect.DeepEqual(s, back) {
+			t.Errorf("%s: round trip changed the spec:\nbefore %+v\nafter  %+v", name, s, back)
+		}
+	}
+}
+
+func TestParseJSONRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseJSON([]byte(`{"kind":"model","warp_factor":9}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+// Every checked-in results table must have a preset that regenerates
+// it, and every preset's Results must point at a real file.
+func TestPresetsCoverResults(t *testing.T) {
+	files, err := filepath.Glob("../../results/*.txt")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no results files found: %v", err)
+	}
+	covered := map[string]string{}
+	for _, name := range PresetNames() {
+		p, _ := PresetByName(name)
+		if p.Results == "" {
+			continue
+		}
+		if prev, dup := covered[p.Results]; dup {
+			t.Errorf("results/%s claimed by both %s and %s", p.Results, prev, name)
+		}
+		covered[p.Results] = name
+		if _, err := os.Stat(filepath.Join("../../results", p.Results)); err != nil {
+			t.Errorf("preset %s points at missing results/%s", name, p.Results)
+		}
+	}
+	for _, f := range files {
+		if _, ok := covered[filepath.Base(f)]; !ok {
+			t.Errorf("results/%s has no preset regenerating it", filepath.Base(f))
+		}
+	}
+}
+
+// Golden manifest: the spec hash and output digest of a cheap preset
+// are part of the repository's deterministic contract. Update these
+// constants deliberately when the spec schema or table output changes.
+func TestRunManifestGolden(t *testing.T) {
+	p, _ := PresetByName("table3")
+	var out bytes.Buffer
+	m, err := Run(p.Spec, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Manifest{
+		Name:         "table3",
+		Kind:         KindMicroParams,
+		SpecSHA256:   "c27ac8bfa8b12e4421ade41ea91951fd5dd77555dcaa2644eb644cfae3c9484e",
+		Seed:         1,
+		OutputSHA256: "b645d3c20dbf1dd0c37d4b7421c89b4f1b0d865f13454fcbd4dc494f5300c486",
+		OutputBytes:  1032,
+	}
+	if m != want {
+		t.Errorf("manifest drifted:\ngot  %+v\nwant %+v", m, want)
+	}
+}
+
+// The manifest must be a pure function of the spec: two runs of the
+// same preset produce identical manifests and identical bytes.
+func TestRunIsDeterministic(t *testing.T) {
+	p, _ := PresetByName("section4-model")
+	var a, b bytes.Buffer
+	ma, err := Run(p.Spec, &a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := Run(p.Spec, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma != mb {
+		t.Errorf("manifests differ: %+v vs %+v", ma, mb)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("output bytes differ between identical runs")
+	}
+}
+
+func TestRunRejectsInvalidSpec(t *testing.T) {
+	if _, err := Run(Spec{Kind: "nope"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("Run accepted an invalid spec")
+	}
+}

@@ -57,8 +57,9 @@ type Engine struct {
 }
 
 // globalTracer, when set, is attached to every engine built by NewEngine.
-// It exists for the cmd/mproxy-* binaries, whose experiment drivers create
-// engines internally; tests and library users should prefer SetTracer.
+// It exists for the scenario layer behind cmd/mproxy, whose experiment
+// drivers create engines internally; tests and library users should
+// prefer SetTracer.
 var globalTracer trace.Tracer
 
 // SetGlobalTracer installs (or, with nil, removes) a tracer attached to

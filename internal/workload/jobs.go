@@ -7,17 +7,21 @@ import (
 
 	"mproxy/internal/apps"
 	"mproxy/internal/arch"
+	"mproxy/internal/machine"
 	"mproxy/internal/sim"
 )
 
 // Job is one cell of an experiment matrix: an application instance on a
 // topology under a design point. Factory must build a fresh App per call;
-// a Job may run on any worker goroutine.
+// a Job may run on any worker goroutine. Opts is the cell's simulation
+// options; a shared fault plane is safe (fault planes are stateless and
+// keyed by component/sequence, so concurrent engines never interfere).
 type Job struct {
 	Factory func() apps.App
 	Arch    arch.Params
 	Nodes   int
 	PPN     int
+	Opts    Options
 }
 
 // RunJobs executes every job and returns their results in job order.
@@ -71,7 +75,7 @@ func RunJobs(jobs []Job, workers int) ([]Result, error) {
 					return
 				}
 				j := jobs[i]
-				res, err := Run(j.Factory(), j.Arch, j.Nodes, j.PPN)
+				res, err := RunOpts(j.Factory(), j.Arch, machine.Config{Nodes: j.Nodes, ProcsPerNode: j.PPN}, j.Opts)
 				mu.Lock()
 				results[i], errs[i] = res, err
 				mu.Unlock()
@@ -92,14 +96,20 @@ func RunJobs(jobs []Job, workers int) ([]Result, error) {
 // (arch x procs) matrix — plus the reference cell — is dispatched as
 // independent jobs and assembled into the same curves Speedups returns.
 func SpeedupsJ(newApp func() apps.App, archs []arch.Params, procs []int, refArch string, workers int) ([]Curve, error) {
+	return SpeedupsJOpts(newApp, archs, procs, refArch, workers, Options{})
+}
+
+// SpeedupsJOpts is SpeedupsJ with explicit simulation options applied to
+// every cell of the matrix.
+func SpeedupsJOpts(newApp func() apps.App, archs []arch.Params, procs []int, refArch string, workers int, opt Options) ([]Curve, error) {
 	ref, ok := arch.ByName(refArch)
 	if !ok {
 		return nil, fmt.Errorf("unknown reference architecture %q", refArch)
 	}
-	jobs := []Job{{Factory: newApp, Arch: ref, Nodes: 1, PPN: 1}}
+	jobs := []Job{{Factory: newApp, Arch: ref, Nodes: 1, PPN: 1, Opts: opt}}
 	for _, a := range archs {
 		for _, p := range procs {
-			jobs = append(jobs, Job{Factory: newApp, Arch: a, Nodes: p, PPN: 1})
+			jobs = append(jobs, Job{Factory: newApp, Arch: a, Nodes: p, PPN: 1, Opts: opt})
 		}
 	}
 	results, err := RunJobs(jobs, workers)

@@ -14,11 +14,37 @@ import (
 	"mproxy/internal/sim"
 )
 
-// HeapBytes is the per-rank Split-C heap for runs started by this package.
-// The default suits the test and small scales; the full-scale drivers
-// raise it (FFT over 1M points needs ~64 MiB per rank at low processor
-// counts).
-var HeapBytes = 8 << 20
+// DefaultHeapBytes is the per-rank Split-C heap used when Options leaves
+// HeapBytes zero. It suits the test and small scales; the full-scale
+// presets raise it (FFT over 1M points needs ~64 MiB per rank at low
+// processor counts).
+const DefaultHeapBytes = 8 << 20
+
+// Options carries per-run simulation parameters. The zero value is the
+// fault-free default configuration every test and driver used before
+// options existed, so Run(app, a, nodes, ppn) behaves unchanged.
+type Options struct {
+	// Fabric tunes the communication fabric (command-queue capacity,
+	// reliable transport).
+	Fabric comm.Options
+	// Fault, when non-nil, is installed on the run's cluster before any
+	// traffic flows.
+	Fault machine.FaultPlane
+	// HeapBytes sizes the per-rank Split-C heap; zero means
+	// DefaultHeapBytes.
+	HeapBytes int
+}
+
+func (o Options) heapBytes() int {
+	if o.HeapBytes > 0 {
+		return o.HeapBytes
+	}
+	return DefaultHeapBytes
+}
+
+func (o Options) envOptions() apps.EnvOptions {
+	return apps.EnvOptions{Fabric: o.Fabric, Fault: o.Fault}
+}
 
 // Result captures one application run.
 type Result struct {
@@ -48,15 +74,21 @@ type Result struct {
 // Procs returns the total compute processors.
 func (r Result) Procs() int { return r.Nodes * r.PPN }
 
-// Run executes one application instance on nodes x ppn processors under a.
+// Run executes one application instance on nodes x ppn processors under a
+// with default options.
 func Run(app apps.App, a arch.Params, nodes, ppn int) (Result, error) {
-	return RunConfig(app, a, machine.Config{Nodes: nodes, ProcsPerNode: ppn})
+	return RunOpts(app, a, machine.Config{Nodes: nodes, ProcsPerNode: ppn}, Options{})
 }
 
 // RunConfig is Run with full topology control (e.g. multiple proxies per
 // node for the Section 5.4 multi-proxy experiment).
 func RunConfig(app apps.App, a arch.Params, cfg machine.Config) (Result, error) {
-	env := apps.NewEnv(cfg, a, HeapBytes)
+	return RunOpts(app, a, cfg, Options{})
+}
+
+// RunOpts is RunConfig with explicit simulation options.
+func RunOpts(app apps.App, a arch.Params, cfg machine.Config, opt Options) (Result, error) {
+	env := apps.NewEnvWith(cfg, a, opt.heapBytes(), opt.envOptions())
 	elapsed, err := apps.Run(env, app)
 	if err != nil {
 		return Result{}, err
@@ -135,4 +167,9 @@ func Speedups(newApp func() apps.App, archs []arch.Params, procs []int, refArch 
 // compute processors sharing one interface.
 func SMPRun(newApp func() apps.App, a arch.Params, nodes, ppn int) (Result, error) {
 	return Run(newApp(), a, nodes, ppn)
+}
+
+// SMPRunOpts is SMPRun with full topology control and explicit options.
+func SMPRunOpts(newApp func() apps.App, a arch.Params, cfg machine.Config, opt Options) (Result, error) {
+	return RunOpts(newApp(), a, cfg, opt)
 }
