@@ -53,6 +53,14 @@ if ! cmp -s "$tmpdir/chrome.json" internal/prof/testdata/pingpong-mp1-chrome.jso
     exit 1
 fi
 
+echo "== bench shard (schema + regression gate vs BENCH_5.json)"
+"$tmpdir/mproxy" bench -quick -out "$tmpdir/bench.json" \
+    -baseline BENCH_5.json -tolerance 0.10 2>"$tmpdir/bench.log" || {
+    cat "$tmpdir/bench.log"
+    exit 1
+}
+grep -q '"schema": "mproxy-bench/v1"' "$tmpdir/bench.json"
+
 echo "== results byte-identity (cheap presets)"
 for preset_file in \
     "section4-model section4_model.txt" \

@@ -21,8 +21,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
+	"mproxy/internal/bench"
 	"mproxy/internal/scenario"
 	"mproxy/internal/scenario/cli"
 )
@@ -46,6 +49,7 @@ func commands() []command {
 		{"queue", "Section 5.4 queueing analysis", buildQueue},
 		{"fault", "reliable-transport loss sweep", buildFault},
 		{"prof", "profiled phase-latency breakdowns", buildProf},
+		{"bench", "performance harness (BENCH_*.json suite)", buildBench},
 		{"run", "execute a named preset or a spec.json file", buildRun},
 	}
 }
@@ -305,14 +309,62 @@ func buildProf(args []string, stdout, stderr io.Writer) (scenario.Spec, bool, in
 	}, false, 0
 }
 
+// buildBench runs the fixed performance suite (internal/bench), writes
+// the mproxy-bench/v1 JSON, and optionally gates against a checked-in
+// baseline: any benchmark whose throughput regresses past the tolerance
+// fails the invocation.
+func buildBench(args []string, stdout, stderr io.Writer) (scenario.Spec, bool, int) {
+	fs := newFlagSet("bench", stderr)
+	quick := fs.Bool("quick", false, "CI shard: full microbenchmark counts, figure8 at test scale")
+	out := fs.String("out", "", "write the suite JSON to this file (default: stdout)")
+	baseline := fs.String("baseline", "", "BENCH_*.json to compare against; regressions fail the run")
+	tol := fs.Float64("tolerance", 0.10, "allowed fractional throughput regression vs -baseline")
+	if err := fs.Parse(args); err != nil {
+		return scenario.Spec{}, true, 2
+	}
+	s, err := bench.Run(bench.Options{Quick: *quick})
+	if err != nil {
+		fmt.Fprintln(stderr, "mproxy bench:", err)
+		return scenario.Spec{}, true, 1
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, s.JSON(), 0o644); err != nil {
+			fmt.Fprintln(stderr, "mproxy bench:", err)
+			return scenario.Spec{}, true, 1
+		}
+	} else {
+		stdout.Write(s.JSON())
+	}
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "mproxy bench: baseline:", err)
+			return scenario.Spec{}, true, 1
+		}
+		base, err := bench.ParseJSON(data)
+		if err != nil {
+			fmt.Fprintln(stderr, "mproxy bench: baseline:", err)
+			return scenario.Spec{}, true, 1
+		}
+		if err := bench.Compare(s, base, *tol); err != nil {
+			fmt.Fprintln(stderr, "mproxy bench:", err)
+			return scenario.Spec{}, true, 1
+		}
+		fmt.Fprintf(stderr, "bench: no regression vs %s (tolerance %.0f%%)\n", *baseline, *tol*100)
+	}
+	return scenario.Spec{}, true, 0
+}
+
 func buildRun(args []string, stdout, stderr io.Writer) (scenario.Spec, bool, int) {
 	fs := newFlagSet("run", stderr)
 	manifestOut := fs.String("manifest", "", "also write the run manifest JSON to this file")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile (post-run, after GC) to this file")
 	if err := fs.Parse(args); err != nil {
 		return scenario.Spec{}, true, 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: mproxy run [-manifest file] <preset|spec.json>")
+		fmt.Fprintln(stderr, "usage: mproxy run [-manifest file] [-cpuprofile file] [-memprofile file] <preset|spec.json>")
 		return scenario.Spec{}, true, 2
 	}
 	target := fs.Arg(0)
@@ -331,6 +383,19 @@ func buildRun(args []string, stdout, stderr io.Writer) (scenario.Spec, bool, int
 			return scenario.Spec{}, true, 1
 		}
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, "mproxy run: cpuprofile:", err)
+			return scenario.Spec{}, true, 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "mproxy run: cpuprofile:", err)
+			return scenario.Spec{}, true, 1
+		}
+		defer pprof.StopCPUProfile()
+	}
 	m, err := scenario.Run(spec, stdout)
 	if err != nil {
 		fmt.Fprintln(stderr, "mproxy:", err)
@@ -340,6 +405,19 @@ func buildRun(args []string, stdout, stderr io.Writer) (scenario.Spec, bool, int
 	if *manifestOut != "" {
 		if err := os.WriteFile(*manifestOut, m.JSON(), 0o644); err != nil {
 			fmt.Fprintln(stderr, "mproxy run: manifest:", err)
+			return scenario.Spec{}, true, 1
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, "mproxy run: memprofile:", err)
+			return scenario.Spec{}, true, 1
+		}
+		defer f.Close()
+		runtime.GC() // report live objects, not transient garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(stderr, "mproxy run: memprofile:", err)
 			return scenario.Spec{}, true, 1
 		}
 	}

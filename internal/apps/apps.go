@@ -18,6 +18,7 @@ import (
 	"mproxy/internal/mpi"
 	"mproxy/internal/sim"
 	"mproxy/internal/splitc"
+	"mproxy/internal/trace"
 )
 
 // App is one benchmark program.
@@ -52,12 +53,20 @@ type Env struct {
 }
 
 // EnvOptions carries per-run simulation parameters that the default stack
-// leaves zero: fabric tuning (command-queue capacity, reliable transport)
-// and an optional fault plane. The zero value is the fault-free default
-// configuration.
+// leaves zero: fabric tuning (command-queue capacity, reliable transport),
+// an optional fault plane, and an optional per-run tracer. The zero value
+// is the fault-free default configuration.
 type EnvOptions struct {
 	Fabric comm.Options
 	Fault  machine.FaultPlane
+	// Tracer, when non-nil, is installed on the run's engine before the
+	// machine is built, so the trace stream covers the whole construction —
+	// the same coverage the golden-trace scenarios get by calling SetTracer
+	// immediately after NewEngine. Unlike the deprecated process-global
+	// tracer (sim.SetGlobalTracer), a per-run tracer composes with parallel
+	// runs: each engine gets its own, with no shared state. The tracer must
+	// not be shared between concurrently running engines.
+	Tracer trace.Tracer
 }
 
 // NewEnv builds the stack for a cluster of cfg under design point a.
@@ -69,6 +78,9 @@ func NewEnv(cfg machine.Config, a arch.Params, heapBytes int) *Env {
 // NewEnvWith is NewEnv with explicit simulation options.
 func NewEnvWith(cfg machine.Config, a arch.Params, heapBytes int, opt EnvOptions) *Env {
 	eng := sim.NewEngine()
+	if opt.Tracer != nil {
+		eng.SetTracer(opt.Tracer)
+	}
 	cl := machine.New(eng, cfg, a)
 	if opt.Fault != nil {
 		cl.SetFaultPlane(opt.Fault)

@@ -151,7 +151,7 @@ type Fabric struct {
 	eps []*Endpoint
 	// scanners holds the per-(node, proxy) round-robin command-queue
 	// scanner used by the message proxy design points.
-	scanners [][]*proxy.Scanner
+	scanners [][]*proxy.Scanner[request]
 	stats    Stats
 
 	// forceRemote disables the intra-node shared-memory fast path,
@@ -177,11 +177,11 @@ func New(cl *machine.Cluster) *Fabric { return NewWith(cl, Options{}) }
 func NewWith(cl *machine.Cluster, opt Options) *Fabric {
 	f := &Fabric{Cl: cl, A: cl.Arch, opt: opt}
 	if f.A.Kind == arch.Proxy {
-		f.scanners = make([][]*proxy.Scanner, len(cl.Nodes))
+		f.scanners = make([][]*proxy.Scanner[request], len(cl.Nodes))
 		for i, nd := range cl.Nodes {
-			f.scanners[i] = make([]*proxy.Scanner, len(nd.Agents))
+			f.scanners[i] = make([]*proxy.Scanner[request], len(nd.Agents))
 			for k := range nd.Agents {
-				s := proxy.NewScanner()
+				s := proxy.NewScanner[request]()
 				// Scan passes feed the trace stream under the serving
 				// agent's name; Emit is a no-op without a tracer.
 				name := nd.Agents[k].Name + ".scan"
@@ -201,10 +201,16 @@ func NewWith(cl *machine.Cluster, opt Options) *Fabric {
 	for _, cpu := range cl.CPUs {
 		ep := &Endpoint{f: f, cpu: cpu, rank: cpu.Rank}
 		if f.A.Kind == arch.Proxy {
-			ep.cmdq = proxy.NewCommandQueue(cpu.Rank, opt.queueCap())
+			ep.cmdq = proxy.NewCommandQueue[request](cpu.Rank, opt.queueCap())
 			nProxies := len(cpu.Node.Agents)
 			ep.proxyIdx = cpu.Slot % nProxies
 			ep.cmdqIdx = f.scanners[cpu.Node.ID][ep.proxyIdx].Register(ep.cmdq)
+			// The proxy-service work item is identical for every operation
+			// this endpoint submits (the request travels via the command
+			// queue, not the closure), so build it once instead of
+			// allocating a fresh closure per message.
+			node, idx := cpu.Node, ep.proxyIdx
+			ep.service = func(ap *sim.Proc) { f.proxyServiceOne(ap, node, idx) }
 		}
 		f.eps = append(f.eps, ep)
 	}
@@ -228,7 +234,7 @@ func (f *Fabric) Endpoints() []*Endpoint { return f.eps }
 
 // CommandQueue returns the endpoint's proxy command queue (nil on design
 // points without one).
-func (ep *Endpoint) CommandQueue() *proxy.CommandQueue { return ep.cmdq }
+func (ep *Endpoint) CommandQueue() *proxy.CommandQueue[request] { return ep.cmdq }
 
 // Endpoint returns the endpoint of a global rank.
 func (f *Fabric) Endpoint(rank int) *Endpoint { return f.eps[rank] }
@@ -269,9 +275,12 @@ type Endpoint struct {
 	cpu      *machine.CPU
 	rank     int
 	proc     *sim.Proc
-	cmdq     *proxy.CommandQueue
+	cmdq     *proxy.CommandQueue[request]
 	cmdqIdx  int
 	proxyIdx int // which of the node's proxies serves this endpoint
+	// service is the pre-built proxy work item submitted once per
+	// operation (proxy design points only).
+	service func(*sim.Proc)
 
 	ops   int64
 	bytes int64
@@ -496,9 +505,8 @@ func (ep *Endpoint) submit(r request) {
 			}
 		}
 		node := ep.cpu.Node
-		idx := ep.proxyIdx
-		f.scanners[node.ID][idx].MarkNonEmpty(ep.cmdqIdx)
-		node.Agents[idx].Submit(func(ap *sim.Proc) { f.proxyServiceOne(ap, node, idx) })
+		f.scanners[node.ID][ep.proxyIdx].MarkNonEmpty(ep.cmdqIdx)
+		node.Agents[ep.proxyIdx].Submit(ep.service)
 	case arch.CustomHW:
 		ep.cpu.Compute(ep.proc, f.A.ComputeOvh)
 		node := ep.cpu.Node

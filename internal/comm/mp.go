@@ -17,11 +17,10 @@ import (
 // queues round-robin, dequeue, decode, attach the user's address space, and
 // dispatch to the send routine.
 func (f *Fabric) proxyServiceOne(ap *sim.Proc, node *machine.Node, idx int) {
-	cmd, _, ok := f.scanners[node.ID][idx].Next()
+	r, _, ok := f.scanners[node.ID][idx].Next()
 	if !ok {
 		return // stale scan hint; the command was already consumed
 	}
-	r := cmd.(request)
 	A := f.A
 	// Dequeue entry (read miss), decode command and allocate a CCB,
 	// vm_att to the user's space.

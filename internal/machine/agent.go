@@ -20,7 +20,7 @@ import (
 type Agent struct {
 	Name   string
 	eng    *sim.Engine
-	queue  *sim.Queue
+	queue  *sim.FIFO[agentWork]
 	notice sim.Time
 
 	busyTotal sim.Time
@@ -48,15 +48,15 @@ type agentWork struct {
 
 // NewAgent spawns an agent server process.
 func NewAgent(eng *sim.Engine, name string, notice sim.Time) *Agent {
-	a := &Agent{Name: name, eng: eng, queue: eng.NewNamedQueue(name + ".q"), notice: notice}
+	a := &Agent{Name: name, eng: eng, queue: sim.NewFIFO[agentWork](eng, name+".q"), notice: notice}
 	eng.SpawnDaemon(name, a.loop)
 	return a
 }
 
 func (a *Agent) loop(p *sim.Proc) {
 	for {
-		w, ok := a.queue.Get(p).(agentWork)
-		if !ok {
+		w := a.queue.Get(p)
+		if w.fn == nil {
 			return // poison pill from Shutdown
 		}
 		if a.plane != nil {
@@ -112,7 +112,7 @@ func (a *Agent) Stalls() int64 { return a.stalls }
 func (a *Agent) Restarts() int64 { return a.restarts }
 
 // Shutdown terminates the agent process once queued work drains.
-func (a *Agent) Shutdown() { a.queue.Put(nil) }
+func (a *Agent) Shutdown() { a.queue.Put(agentWork{}) }
 
 // QueueLen returns the number of pending work items.
 func (a *Agent) QueueLen() int { return a.queue.Len() }

@@ -6,7 +6,7 @@ import "testing"
 // hangs off the scanner: one notification per Next call, with pass-local
 // (not cumulative) probe and head-check counts and the found flag.
 func TestScannerObserver(t *testing.T) {
-	s := NewScanner()
+	s := NewScanner[any]()
 	type pass struct {
 		probes, headChecks int64
 		found              bool
@@ -24,8 +24,8 @@ func TestScannerObserver(t *testing.T) {
 		t.Fatalf("empty-set pass = %+v", passes)
 	}
 
-	qa := NewCommandQueue(0, 4)
-	qb := NewCommandQueue(1, 4)
+	qa := NewCommandQueue[any](0, 4)
+	qb := NewCommandQueue[any](1, 4)
 	ia := s.Register(qa)
 	ib := s.Register(qb)
 	if err := qa.Enqueue(0, "a"); err != nil {

@@ -6,7 +6,7 @@ import (
 )
 
 func TestCommandQueueFIFO(t *testing.T) {
-	q := NewCommandQueue(0, 4)
+	q := NewCommandQueue[any](0, 4)
 	for i := 0; i < 3; i++ {
 		if err := q.Enqueue(0, i); err != nil {
 			t.Fatal(err)
@@ -24,7 +24,7 @@ func TestCommandQueueFIFO(t *testing.T) {
 }
 
 func TestCommandQueueFull(t *testing.T) {
-	q := NewCommandQueue(0, 2)
+	q := NewCommandQueue[any](0, 2)
 	_ = q.Enqueue(0, 1)
 	_ = q.Enqueue(0, 2)
 	if err := q.Enqueue(0, 3); err != ErrFull {
@@ -41,7 +41,7 @@ func TestCommandQueueFull(t *testing.T) {
 }
 
 func TestCommandQueueWrapAround(t *testing.T) {
-	q := NewCommandQueue(0, 3)
+	q := NewCommandQueue[any](0, 3)
 	next := 0
 	for round := 0; round < 10; round++ {
 		_ = q.Enqueue(0, round*2)
@@ -60,7 +60,7 @@ func TestCommandQueueWrapAround(t *testing.T) {
 }
 
 func TestForeignProducerFaults(t *testing.T) {
-	q := NewCommandQueue(7, 2)
+	q := NewCommandQueue[any](7, 2)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("foreign producer did not fault")
@@ -75,14 +75,14 @@ func TestZeroCapacityPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	NewCommandQueue(0, 0)
+	NewCommandQueue[any](0, 0)
 }
 
 func TestScannerRoundRobin(t *testing.T) {
-	s := NewScanner()
-	var qs []*CommandQueue
+	s := NewScanner[any]()
+	var qs []*CommandQueue[any]
 	for i := 0; i < 3; i++ {
-		q := NewCommandQueue(i, 8)
+		q := NewCommandQueue[any](i, 8)
 		idx := s.Register(q)
 		if idx != i {
 			t.Fatalf("index = %d", idx)
@@ -115,11 +115,11 @@ func TestScannerRoundRobin(t *testing.T) {
 }
 
 func TestScannerEmpty(t *testing.T) {
-	s := NewScanner()
+	s := NewScanner[any]()
 	if _, _, ok := s.Next(); ok {
 		t.Fatal("empty scanner produced a command")
 	}
-	q := NewCommandQueue(0, 2)
+	q := NewCommandQueue[any](0, 2)
 	s.Register(q)
 	if _, _, ok := s.Next(); ok {
 		t.Fatal("scanner with empty queue produced a command")
@@ -127,8 +127,8 @@ func TestScannerEmpty(t *testing.T) {
 }
 
 func TestScannerStaleBit(t *testing.T) {
-	s := NewScanner()
-	q := NewCommandQueue(0, 4)
+	s := NewScanner[any]()
+	q := NewCommandQueue[any](0, 4)
 	s.Register(q)
 	_ = q.Enqueue(0, 1)
 	s.MarkNonEmpty(0)
@@ -142,10 +142,10 @@ func TestScannerStaleBit(t *testing.T) {
 func TestScannerBitVectorSavesHeadChecks(t *testing.T) {
 	// 100 queues, only one non-empty: head checks must not scale with the
 	// number of registered queues.
-	s := NewScanner()
-	var target *CommandQueue
+	s := NewScanner[any]()
+	var target *CommandQueue[any]
 	for i := 0; i < 100; i++ {
-		q := NewCommandQueue(i, 2)
+		q := NewCommandQueue[any](i, 2)
 		s.Register(q)
 		if i == 77 {
 			target = q
@@ -169,10 +169,10 @@ func TestScannerManyQueuesFairness(t *testing.T) {
 	// Every queue keeps producing; consumption counts must stay balanced
 	// (no starvation) thanks to round-robin order.
 	const nq = 10
-	s := NewScanner()
-	qs := make([]*CommandQueue, nq)
+	s := NewScanner[any]()
+	qs := make([]*CommandQueue[any], nq)
 	for i := range qs {
-		qs[i] = NewCommandQueue(i, 4)
+		qs[i] = NewCommandQueue[any](i, 4)
 		s.Register(qs[i])
 	}
 	counts := make([]int, nq)
@@ -199,7 +199,7 @@ func TestPropertyQueuePreservesOrder(t *testing.T) {
 	// Property: any interleaving of enqueues and dequeues that respects
 	// capacity yields FIFO order.
 	f := func(ops []bool) bool {
-		q := NewCommandQueue(0, 5)
+		q := NewCommandQueue[any](0, 5)
 		nextIn, nextOut := 0, 0
 		for _, isEnq := range ops {
 			if isEnq {
@@ -240,10 +240,10 @@ func TestPropertyScannerConservation(t *testing.T) {
 		if len(load) > 20 {
 			load = load[:20]
 		}
-		s := NewScanner()
+		s := NewScanner[any]()
 		total := 0
 		for i, l := range load {
-			q := NewCommandQueue(i, 256)
+			q := NewCommandQueue[any](i, 256)
 			s.Register(q)
 			for k := 0; k < int(l%8); k++ {
 				if q.Enqueue(i, k) == nil {
@@ -269,10 +269,10 @@ func TestPropertyScannerConservation(t *testing.T) {
 }
 
 func TestSuspendResume(t *testing.T) {
-	s := NewScanner()
-	qs := make([]*CommandQueue, 3)
+	s := NewScanner[any]()
+	qs := make([]*CommandQueue[any], 3)
 	for i := range qs {
-		qs[i] = NewCommandQueue(i, 8)
+		qs[i] = NewCommandQueue[any](i, 8)
 		s.Register(qs[i])
 	}
 	// Suspend queue 1 (its process was descheduled); its commands must
@@ -305,8 +305,8 @@ func TestSuspendResume(t *testing.T) {
 }
 
 func TestSuspendEmptyQueueResume(t *testing.T) {
-	s := NewScanner()
-	q := NewCommandQueue(0, 4)
+	s := NewScanner[any]()
+	q := NewCommandQueue[any](0, 4)
 	s.Register(q)
 	s.Suspend(0)
 	s.Resume(0) // empty: no spurious bit

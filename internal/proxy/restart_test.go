@@ -3,10 +3,10 @@ package proxy
 import "testing"
 
 func TestScannerRestartRediscoversPendingCommands(t *testing.T) {
-	s := NewScanner()
-	var qs []*CommandQueue
+	s := NewScanner[any]()
+	var qs []*CommandQueue[any]
 	for i := 0; i < 70; i++ { // span two bit-vector words
-		q := NewCommandQueue(i, 4)
+		q := NewCommandQueue[any](i, 4)
 		qs = append(qs, q)
 		s.Register(q)
 	}

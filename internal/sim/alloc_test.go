@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"mproxy/internal/trace"
+)
+
+// The allocation pins below are regression guards for the zero-allocation
+// engine core: Schedule, Wake/Hold, and the traced schedule/fire cycle
+// must stay allocation-free outside caller-side closure capture. A future
+// change that re-introduces boxing (container/heap's `any` interface) or
+// per-handoff closures will fail these exact-zero assertions.
+//
+// Each test warms the engine first so one-time slice growth (lane, heap,
+// trace batch buffer, digest scratch) is excluded — the pin is about the
+// steady state, which is where simulations spend their time.
+
+// pinAllocs asserts fn performs exactly zero allocations per run.
+func pinAllocs(t *testing.T, what string, fn func()) {
+	t.Helper()
+	if got := testing.AllocsPerRun(200, fn); got != 0 {
+		t.Errorf("%s: %v allocs/op, want 0", what, got)
+	}
+}
+
+func TestAllocPinScheduleLane(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 8; i++ { // warm lane capacity
+		e.Schedule(0, nopEvent)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	pinAllocs(t, "Schedule(0)+drain", func() {
+		e.Schedule(0, nopEvent)
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestAllocPinScheduleHeap(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 64; i++ { // warm heap capacity
+		e.Schedule(Time(1+i%7), nopEvent)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	pinAllocs(t, "Schedule(d)+drain", func() {
+		for i := 0; i < 32; i++ {
+			e.Schedule(Time(1+i%7), nopEvent)
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestAllocPinWake(t *testing.T) {
+	e := NewEngine()
+	var worker *Proc
+	e.SpawnDaemon("worker", func(p *Proc) {
+		worker = p
+		for {
+			p.Park()
+		}
+	})
+	if err := e.RunUntil(0); err != nil {
+		t.Fatal(err)
+	}
+	if worker == nil {
+		t.Fatal("worker did not start")
+	}
+	// Warm: one wake/park round.
+	e.Wake(worker)
+	if err := e.RunUntil(e.Now()); err != nil {
+		t.Fatal(err)
+	}
+	pinAllocs(t, "Wake+handoff", func() {
+		e.Wake(worker)
+		if err := e.RunUntil(e.Now()); err != nil {
+			t.Fatal(err)
+		}
+	})
+	e.Shutdown()
+}
+
+func TestAllocPinTracedCycle(t *testing.T) {
+	e := NewEngine()
+	e.SetTracer(trace.NewDigest())
+	for i := 0; i < 512; i++ { // warm lane + batch buffer + digest scratch
+		e.Schedule(0, nopEvent)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	pinAllocs(t, "traced Schedule(0)+drain", func() {
+		for i := 0; i < 16; i++ {
+			e.Schedule(0, nopEvent)
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestFiredEventsCollectable pins the leak fix: once an event has fired,
+// neither the heap's vacated slots nor the lane's consumed slots may keep
+// its closure — and therefore its captures — reachable, even though the
+// engine retains both backing arrays for reuse.
+func TestFiredEventsCollectable(t *testing.T) {
+	type payload struct{ buf [1024]byte }
+	e := NewEngine()
+	collected := make(chan struct{})
+	func() {
+		p := &payload{}
+		runtime.SetFinalizer(p, func(*payload) { close(collected) })
+		// Capture p in closures on both storage paths: the timer heap
+		// (several delays, so pop exercises sift-down) and the fast lane.
+		for i := 0; i < 8; i++ {
+			cap := p
+			e.Schedule(Time(1+i), func() { _ = cap.buf[0] })
+			e.Schedule(0, func() { _ = cap.buf[0] })
+		}
+	}()
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		runtime.GC()
+		select {
+		case <-collected:
+			runtime.KeepAlive(e) // the engine itself stays live throughout
+			return
+		case <-deadline:
+			t.Fatal("fired events' captures never became collectable: a popped slot retains the closure")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}

@@ -1,46 +1,128 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"mproxy/internal/trace"
 )
 
-// event is a scheduled callback. Ties on time are broken by insertion
-// sequence so runs are deterministic.
+// event is a scheduled occurrence. Ties on time are broken by insertion
+// sequence so runs are deterministic. Exactly one of fn/proc is set: fn is
+// a callback event; proc is a process transfer (Wake, Hold), stored
+// directly so the dominant handoff pattern needs no closure allocation.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	fn   func()
+	proc *Proc
 }
 
+// before is the engine's total event order: (at, seq).
+func (a event) before(b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// eventHeap is a hand-rolled 4-ary min-heap over []event ordered by
+// (at, seq). Compared to container/heap it needs no interface boxing on
+// push/pop and no Less/Swap method dispatch; the 4-ary layout halves the
+// tree depth, trading cheap in-cache child comparisons for pointer-free
+// sift steps. Popped slots are zeroed so fired closures become GC-able
+// while the backing array is pooled across the whole run.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, event{})
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !ev.before(s[p]) {
+			break
+		}
+		s[i] = s[p]
+		i = p
 	}
-	return h[i].seq < h[j].seq
+	s[i] = ev
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() (popped any) {
-	old := *h
-	n := len(old)
-	popped = old[n-1]
-	*h = old[:n-1]
-	return
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	last := s[n]
+	s[n] = event{} // clear the vacated slot: the closure must be collectable
+	s = s[:n]
+	*h = s
+	if n > 0 {
+		i := 0
+		for {
+			c := 4*i + 1
+			if c >= n {
+				break
+			}
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			m := c
+			for j := c + 1; j < end; j++ {
+				if s[j].before(s[m]) {
+					m = j
+				}
+			}
+			if !s[m].before(last) {
+				break
+			}
+			s[i] = s[m]
+			i = m
+		}
+		s[i] = last
+	}
+	return top
 }
+
+// eventLane is the same-timestamp FIFO fast lane. Every Schedule(0, ...)
+// and Wake — the dominant case, one per process handoff — lands here and
+// bypasses the heap entirely: events pushed while the clock sits at `now`
+// can only fire at `now`, in push order, so a ring suffices. The buffer
+// resets to its start whenever it drains, reusing its capacity forever.
+type eventLane struct {
+	buf  []event
+	head int
+}
+
+func (l *eventLane) push(ev event) { l.buf = append(l.buf, ev) }
+
+func (l *eventLane) len() int { return len(l.buf) - l.head }
+
+func (l *eventLane) pop() event {
+	ev := l.buf[l.head]
+	l.buf[l.head] = event{} // clear: fired closures must be collectable
+	l.head++
+	if l.head == len(l.buf) {
+		l.buf = l.buf[:0]
+		l.head = 0
+	}
+	return ev
+}
+
+// traceBatch is the per-engine tracer buffer size. Batch-capable tracers
+// (trace.BatchTracer: the digest, recorder, writer) receive events in
+// chunks of up to this many, turning one interface call per occurrence
+// into one per batch; order is exactly the emission order either way.
+const traceBatch = 256
 
 // Engine is a discrete-event simulator. It is not safe for concurrent use
 // from outside simulated processes; all interaction happens either before
 // Run, or from process bodies and scheduled events during Run.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
+	now  Time
+	seq  uint64
+	heap eventHeap
+	lane eventLane
 
 	// parked receives a token whenever the currently-running process hands
 	// control back to the engine (by parking or by terminating).
@@ -53,7 +135,12 @@ type Engine struct {
 
 	// tracer, when non-nil, receives one trace.Event per engine
 	// occurrence. The nil check is the entire disabled-tracer cost.
+	// When the tracer is batch-capable (batch non-nil), events stage in
+	// tbuf and flush in order — on a full buffer, at the end of every
+	// run, and from FlushTrace.
 	tracer trace.Tracer
+	batch  trace.BatchTracer
+	tbuf   []trace.Event
 }
 
 // globalTracer, when set, is attached to every engine built by NewEngine.
@@ -70,20 +157,58 @@ func SetGlobalTracer(t trace.Tracer) { globalTracer = t }
 // GlobalTracerInstalled reports whether a process-wide tracer is active.
 // Drivers that run engines concurrently must check it and fall back to
 // sequential execution: the shared tracer is not synchronized.
+//
+// Deprecated: thread a tracer through the drivers' option structs
+// (workload.Options.Tracer, apps.EnvOptions.Tracer) instead; the global
+// remains only as a shim for the scenario layer.
 func GlobalTracerInstalled() bool { return globalTracer != nil }
 
 // NewEngine returns an engine at time zero with no pending events.
 func NewEngine() *Engine {
-	return &Engine{parked: make(chan struct{}), tracer: globalTracer}
+	e := &Engine{parked: make(chan struct{})}
+	e.SetTracer(globalTracer)
+	return e
 }
 
 // SetTracer installs (or, with nil, removes) the engine's tracer. Install
 // before Run for a complete event stream; the golden-trace harness hashes
-// everything from the first Schedule on.
-func (e *Engine) SetTracer(t trace.Tracer) { e.tracer = t }
+// everything from the first Schedule on. Any events still batched for the
+// previous tracer are flushed to it first.
+func (e *Engine) SetTracer(t trace.Tracer) {
+	e.FlushTrace()
+	e.tracer = t
+	e.batch, _ = t.(trace.BatchTracer)
+	if e.batch != nil && e.tbuf == nil {
+		e.tbuf = make([]trace.Event, 0, traceBatch)
+	}
+}
 
 // Tracer returns the installed tracer, or nil.
 func (e *Engine) Tracer() trace.Tracer { return e.tracer }
+
+// FlushTrace delivers any batched trace events to the tracer. The engine
+// flushes automatically when the buffer fills and at the end of every
+// Run/RunUntil; call it manually only to observe tracer state mid-run
+// from outside the event stream.
+func (e *Engine) FlushTrace() {
+	if len(e.tbuf) > 0 {
+		e.batch.RecordBatch(e.tbuf)
+		e.tbuf = e.tbuf[:0]
+	}
+}
+
+// record stages ev for a batch-capable tracer or delivers it directly.
+// Callers must have checked e.tracer != nil.
+func (e *Engine) record(ev trace.Event) {
+	if e.batch != nil {
+		e.tbuf = append(e.tbuf, ev)
+		if len(e.tbuf) == traceBatch {
+			e.FlushTrace()
+		}
+		return
+	}
+	e.tracer.Record(ev)
+}
 
 // Emit records an event against the engine's tracer, if one is installed.
 // Model layers (machine agents, the communication fabric) use it to extend
@@ -92,7 +217,7 @@ func (e *Engine) Emit(kind trace.Kind, comp string, arg int64) {
 	if e.tracer == nil {
 		return
 	}
-	e.tracer.Record(trace.Event{At: int64(e.now), Seq: e.seq, Kind: kind, Comp: comp, Arg: arg})
+	e.record(trace.Event{At: int64(e.now), Seq: e.seq, Kind: kind, Comp: comp, Arg: arg})
 }
 
 // Now returns the current simulated time.
@@ -101,6 +226,9 @@ func (e *Engine) Now() Time { return e.now }
 // Live returns the number of spawned processes that have not terminated.
 func (e *Engine) Live() int { return e.live }
 
+// Pending returns the number of scheduled events that have not fired.
+func (e *Engine) Pending() int { return len(e.heap) + e.lane.len() }
+
 // Schedule runs fn at now+d. A negative delay panics.
 func (e *Engine) Schedule(d Time, fn func()) {
 	if d < 0 {
@@ -108,9 +236,31 @@ func (e *Engine) Schedule(d Time, fn func()) {
 	}
 	e.seq++
 	if e.tracer != nil {
-		e.tracer.Record(trace.Event{At: int64(e.now), Seq: e.seq, Kind: trace.KSchedule, Arg: int64(d)})
+		e.record(trace.Event{At: int64(e.now), Seq: e.seq, Kind: trace.KSchedule, Arg: int64(d)})
 	}
-	heap.Push(&e.events, event{at: e.now + d, seq: e.seq, fn: fn})
+	if d == 0 {
+		e.lane.push(event{at: e.now, seq: e.seq, fn: fn})
+	} else {
+		e.heap.push(event{at: e.now + d, seq: e.seq, fn: fn})
+	}
+}
+
+// scheduleTransfer schedules a process handoff at now+d: the allocation-
+// free backbone of Wake and Hold. It emits the same KSchedule event a
+// closure-based Schedule did, so trace streams are unchanged.
+func (e *Engine) scheduleTransfer(d Time, p *Proc) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: schedule in the past (delay %v)", d))
+	}
+	e.seq++
+	if e.tracer != nil {
+		e.record(trace.Event{At: int64(e.now), Seq: e.seq, Kind: trace.KSchedule, Arg: int64(d)})
+	}
+	if d == 0 {
+		e.lane.push(event{at: e.now, seq: e.seq, proc: p})
+	} else {
+		e.heap.push(event{at: e.now + d, seq: e.seq, proc: p})
+	}
 }
 
 // Run executes events in timestamp order until no events remain, Stop is
@@ -139,6 +289,7 @@ func (e *Engine) Shutdown() {
 		e.transfer(p)
 	}
 	e.procs = nil
+	e.FlushTrace()
 }
 
 // RunUntil executes events with timestamps <= t, leaving later events
@@ -151,20 +302,46 @@ func (e *Engine) RunUntil(t Time) error {
 	return err
 }
 
+// run is the event loop. The next event is the minimum of the heap top
+// and the lane head under the (at, seq) order; the comparison reduces to
+// one timestamp check because of the lane invariant: every lane entry was
+// pushed while the clock already sat at e.now, so any heap entry with
+// at == e.now was scheduled earlier (from a strictly earlier instant) and
+// carries a strictly smaller seq. Heap entries with at > e.now lose to
+// the lane on time alone.
 func (e *Engine) run(limit Time) error {
-	for len(e.events) > 0 && !e.stopped {
-		if limit >= 0 && e.events[0].at > limit {
-			return e.failure
+	defer e.FlushTrace()
+	for !e.stopped {
+		var ev event
+		if e.lane.len() > 0 {
+			if limit >= 0 && e.now > limit {
+				return e.failure
+			}
+			if len(e.heap) > 0 && e.heap[0].at == e.now {
+				ev = e.heap.pop()
+			} else {
+				ev = e.lane.pop()
+			}
+		} else if len(e.heap) > 0 {
+			if limit >= 0 && e.heap[0].at > limit {
+				return e.failure
+			}
+			ev = e.heap.pop()
+			if ev.at < e.now {
+				panic("sim: event time ran backwards")
+			}
+			e.now = ev.at
+		} else {
+			break
 		}
-		ev := heap.Pop(&e.events).(event)
-		if ev.at < e.now {
-			panic("sim: event time ran backwards")
-		}
-		e.now = ev.at
 		if e.tracer != nil {
-			e.tracer.Record(trace.Event{At: int64(ev.at), Seq: ev.seq, Kind: trace.KFire})
+			e.record(trace.Event{At: int64(ev.at), Seq: ev.seq, Kind: trace.KFire})
 		}
-		ev.fn()
+		if ev.proc != nil {
+			e.transfer(ev.proc)
+		} else {
+			ev.fn()
+		}
 		if e.failure != nil {
 			return e.failure
 		}
@@ -194,5 +371,5 @@ func (e *Engine) transfer(p *Proc) {
 // events at this timestamp). It pairs with Proc.Park to build custom
 // blocking structures outside this package.
 func (e *Engine) Wake(p *Proc) {
-	e.Schedule(0, func() { e.transfer(p) })
+	e.scheduleTransfer(0, p)
 }

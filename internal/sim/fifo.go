@@ -1,0 +1,81 @@
+package sim
+
+import "mproxy/internal/trace"
+
+// FIFO is a typed unbounded queue of T with blocking Get: the generic
+// counterpart of Queue for hot paths where boxing every item into `any`
+// costs an allocation per operation (agent work queues see one item per
+// simulated message). Its trace stream is identical to Queue's — one
+// KEnqueue per Put and one KDequeue per successful Get/TryGet, Arg being
+// the queue length after the operation — so converting a queue from Queue
+// to FIFO does not perturb golden digests.
+//
+// Storage is a head-indexed ring over one growing slice: Get clears the
+// vacated slot (items must be GC-able once consumed) and advances head,
+// and the slice resets to its start whenever the queue drains, so a
+// steady-state producer/consumer pair reuses the same backing array
+// forever instead of re-allocating as `items = items[1:]` walks the
+// capacity away.
+type FIFO[T any] struct {
+	eng     *Engine
+	name    string
+	items   []T
+	head    int
+	getters []*Proc
+}
+
+// NewFIFO returns an empty typed queue whose enqueue/dequeue operations
+// appear in the trace stream under the given name.
+func NewFIFO[T any](e *Engine, name string) *FIFO[T] {
+	return &FIFO[T]{eng: e, name: name}
+}
+
+// Name returns the queue's trace name.
+func (q *FIFO[T]) Name() string { return q.name }
+
+// Len returns the number of queued items.
+func (q *FIFO[T]) Len() int { return len(q.items) - q.head }
+
+// Put appends x and wakes the first blocked getter, if any.
+func (q *FIFO[T]) Put(x T) {
+	q.items = append(q.items, x)
+	q.eng.Emit(trace.KEnqueue, q.name, int64(q.Len()))
+	if len(q.getters) > 0 {
+		p := q.getters[0]
+		q.getters = q.getters[1:]
+		q.eng.Wake(p)
+	}
+}
+
+// Get removes and returns the head item, blocking p while the queue is
+// empty.
+func (q *FIFO[T]) Get(p *Proc) T {
+	for q.Len() == 0 {
+		q.getters = append(q.getters, p)
+		p.Park()
+	}
+	return q.take()
+}
+
+// TryGet removes and returns the head item without blocking. It returns
+// the zero value and false if the queue is empty.
+func (q *FIFO[T]) TryGet() (T, bool) {
+	if q.Len() == 0 {
+		var zero T
+		return zero, false
+	}
+	return q.take(), true
+}
+
+func (q *FIFO[T]) take() T {
+	x := q.items[q.head]
+	var zero T
+	q.items[q.head] = zero
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	q.eng.Emit(trace.KDequeue, q.name, int64(q.Len()))
+	return x
+}

@@ -98,6 +98,6 @@ func (p *Proc) Park() {
 // resumes d simulated time units later. Hold(0) yields, letting other
 // events at the same timestamp run first.
 func (p *Proc) Hold(d Time) {
-	p.eng.Schedule(d, func() { p.eng.transfer(p) })
+	p.eng.scheduleTransfer(d, p)
 	p.Park()
 }

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"encoding/binary"
 	"math/rand"
 	"sort"
@@ -105,25 +104,58 @@ func TestPropertyNegativeDelayPanics(t *testing.T) {
 	}
 }
 
-// FuzzEventHeap feeds arbitrary (delay, seq-gap) streams to the event heap
-// and asserts pops come out sorted by (time, seq) — the ordering that makes
-// every simulation replayable.
+// FuzzEventHeap feeds arbitrary (delay, seq-gap) streams to the 4-ary
+// event heap — interleaving pushes with occasional pops so sift-down runs
+// against partially drained shapes — and asserts pops come out sorted by
+// (time, seq), the ordering that makes every simulation replayable. It
+// also checks that vacated slots are zeroed (no retained closures).
 func FuzzEventHeap(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
 	f.Add([]byte{255, 255, 0, 0, 1, 1})
 	f.Add([]byte{})
+	f.Add([]byte{7, 0, 255, 9, 0, 9, 0, 3, 3, 3, 3, 1, 2})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var h eventHeap
 		var seq uint64
+		nop := func() {}
+		popCheck := func(stage string) event {
+			ev := h.pop()
+			if ev.fn == nil {
+				t.Fatalf("%s: pop lost the event payload", stage)
+			}
+			// The popped element must be the minimum of what was in
+			// the heap: nothing remaining may order before it.
+			for i := range h {
+				if h[i].before(ev) {
+					t.Fatalf("%s: popped (%v,#%d) but (%v,#%d) remains",
+						stage, ev.at, ev.seq, h[i].at, h[i].seq)
+				}
+			}
+			// Every slot beyond len must have been cleared by pop.
+			full := h[:cap(h)]
+			for i := len(h); i < len(full); i++ {
+				if full[i].fn != nil || full[i].proc != nil {
+					t.Fatalf("%s: vacated slot %d retains a reference", stage, i)
+				}
+			}
+			return ev
+		}
 		for len(data) >= 2 {
 			at := Time(binary.LittleEndian.Uint16(data))
 			data = data[2:]
 			seq++
-			heap.Push(&h, event{at: at, seq: seq, fn: func() {}})
+			h.push(event{at: at, seq: seq, fn: nop})
+			// The low bits of the pushed timestamp double as a pop
+			// trigger, exercising drained-then-refilled shapes.
+			if at%5 == 0 && len(h) > 1 {
+				popCheck("interleaved")
+			}
 		}
+		// Drain with no pushes in between: pops must now come out
+		// globally sorted by (time, seq).
 		var prev event
-		for i := 0; h.Len() > 0; i++ {
-			ev := heap.Pop(&h).(event)
+		for i := 0; len(h) > 0; i++ {
+			ev := popCheck("drain")
 			if i > 0 {
 				if ev.at < prev.at {
 					t.Fatalf("pop %d: time ran backwards: %v after %v", i, ev.at, prev.at)

@@ -51,12 +51,17 @@ func (f *Flag) Wait(p *Proc, need int64) {
 	}
 }
 
-// Queue is an unbounded FIFO of items with blocking Get, used for agent
-// work queues (proxy command queues, NIC input FIFOs) and remote queues.
+// Queue is an unbounded FIFO of items with blocking Get, used for remote
+// queues and ad-hoc rendezvous. Hot paths with a single item type should
+// use the generic FIFO instead, which avoids boxing each item into `any`.
+// Storage is a head-indexed ring like FIFO's, so steady-state use reuses
+// one backing array instead of re-allocating as the head slice walks
+// forward.
 type Queue struct {
 	eng     *Engine
 	name    string
 	items   []any
+	head    int
 	getters []*Proc
 }
 
@@ -71,12 +76,12 @@ func (e *Engine) NewNamedQueue(name string) *Queue { return &Queue{eng: e, name:
 func (q *Queue) Name() string { return q.name }
 
 // Len returns the number of queued items.
-func (q *Queue) Len() int { return len(q.items) }
+func (q *Queue) Len() int { return len(q.items) - q.head }
 
 // Put appends x and wakes the first blocked getter, if any.
 func (q *Queue) Put(x any) {
 	q.items = append(q.items, x)
-	q.eng.Emit(trace.KEnqueue, q.name, int64(len(q.items)))
+	q.eng.Emit(trace.KEnqueue, q.name, int64(q.Len()))
 	if len(q.getters) > 0 {
 		p := q.getters[0]
 		q.getters = q.getters[1:]
@@ -87,26 +92,30 @@ func (q *Queue) Put(x any) {
 // Get removes and returns the head item, blocking p while the queue is
 // empty.
 func (q *Queue) Get(p *Proc) any {
-	for len(q.items) == 0 {
+	for q.Len() == 0 {
 		q.getters = append(q.getters, p)
 		p.Park()
 	}
-	x := q.items[0]
-	q.items[0] = nil
-	q.items = q.items[1:]
-	q.eng.Emit(trace.KDequeue, q.name, int64(len(q.items)))
-	return x
+	return q.take()
 }
 
 // TryGet removes and returns the head item without blocking. It returns
 // false if the queue is empty.
 func (q *Queue) TryGet() (any, bool) {
-	if len(q.items) == 0 {
+	if q.Len() == 0 {
 		return nil, false
 	}
-	x := q.items[0]
-	q.items[0] = nil
-	q.items = q.items[1:]
-	q.eng.Emit(trace.KDequeue, q.name, int64(len(q.items)))
-	return x, true
+	return q.take(), true
+}
+
+func (q *Queue) take() any {
+	x := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	q.eng.Emit(trace.KDequeue, q.name, int64(q.Len()))
+	return x
 }

@@ -170,6 +170,22 @@ type Tracer interface {
 	Record(Event)
 }
 
+// BatchTracer is a Tracer that can accept events in batches. The engine
+// detects it and stages events in a small per-engine buffer, turning one
+// interface call per occurrence into one per batch; RecordBatch receives
+// the events in exactly the order Record would have.
+//
+// Implementations must consume the slice before returning — the caller
+// reuses its backing array. Only tracers that fold events into their own
+// state (digest, recorder, writer) should implement it; tracers that read
+// live simulation state per event (the timeline sampler closes utilization
+// windows by querying resources at record time) must NOT, because batching
+// would delay their reads past the state they need to observe.
+type BatchTracer interface {
+	Tracer
+	RecordBatch([]Event)
+}
+
 // Recorder keeps events in memory, up to Limit (unbounded when zero).
 type Recorder struct {
 	// Limit caps the number of retained events; further events are
@@ -186,6 +202,21 @@ func (r *Recorder) Record(ev Event) {
 		return
 	}
 	r.events = append(r.events, ev)
+}
+
+// RecordBatch implements BatchTracer, honoring Limit exactly as a
+// per-event Record sequence would.
+func (r *Recorder) RecordBatch(evs []Event) {
+	if r.Limit > 0 {
+		if room := r.Limit - len(r.events); room < len(evs) {
+			if room < 0 {
+				room = 0
+			}
+			r.dropped += uint64(len(evs) - room)
+			evs = evs[:room]
+		}
+	}
+	r.events = append(r.events, evs...)
 }
 
 // Events returns the retained events in record order.
@@ -226,6 +257,27 @@ func (d *Digest) Record(ev Event) {
 	d.h.Write(d.buf)
 }
 
+// RecordBatch implements BatchTracer: the whole batch is serialized into
+// one reused buffer and folded with a single hash write. The resulting
+// digest is identical to per-event Record calls — the serialization is a
+// plain concatenation of the per-event encodings.
+func (d *Digest) RecordBatch(evs []Event) {
+	d.buf = d.buf[:0]
+	for _, ev := range evs {
+		d.n++
+		if ev.At > d.atMax {
+			d.atMax = ev.At
+		}
+		d.buf = binary.LittleEndian.AppendUint64(d.buf, uint64(ev.At))
+		d.buf = binary.LittleEndian.AppendUint64(d.buf, ev.Seq)
+		d.buf = append(d.buf, byte(ev.Kind))
+		d.buf = binary.LittleEndian.AppendUint64(d.buf, uint64(ev.Arg))
+		d.buf = binary.LittleEndian.AppendUint64(d.buf, uint64(len(ev.Comp)))
+		d.buf = append(d.buf, ev.Comp...)
+	}
+	d.h.Write(d.buf)
+}
+
 // Sum returns the hex digest of the stream so far.
 func (d *Digest) Sum() string { return fmt.Sprintf("%x", d.h.Sum(nil)) }
 
@@ -254,6 +306,13 @@ func (t *Writer) Record(ev Event) {
 	_, t.err = fmt.Fprintln(t.w, ev.String())
 }
 
+// RecordBatch implements BatchTracer.
+func (t *Writer) RecordBatch(evs []Event) {
+	for _, ev := range evs {
+		t.Record(ev)
+	}
+}
+
 // Err returns the first write error, if any.
 func (t *Writer) Err() error { return t.err }
 
@@ -265,8 +324,27 @@ func (m multi) Record(ev Event) {
 	}
 }
 
+// batchMulti is the fan-out used when every child is batch-capable, so
+// the whole fan-out stays on the engine's batched path.
+type batchMulti []BatchTracer
+
+func (m batchMulti) Record(ev Event) {
+	for _, t := range m {
+		t.Record(ev)
+	}
+}
+
+func (m batchMulti) RecordBatch(evs []Event) {
+	for _, t := range m {
+		t.RecordBatch(evs)
+	}
+}
+
 // Multi fans events out to several tracers. Nil entries are skipped; with
 // zero live tracers it returns nil so emit sites keep their fast path.
+// When every live tracer is a BatchTracer the fan-out is one too; a single
+// non-batching child (e.g. the timeline sampler, which must observe live
+// state per event) keeps the whole fan-out synchronous.
 func Multi(ts ...Tracer) Tracer {
 	var live multi
 	for _, t := range ts {
@@ -280,5 +358,13 @@ func Multi(ts ...Tracer) Tracer {
 	case 1:
 		return live[0]
 	}
-	return live
+	batched := make(batchMulti, 0, len(live))
+	for _, t := range live {
+		bt, ok := t.(BatchTracer)
+		if !ok {
+			return live
+		}
+		batched = append(batched, bt)
+	}
+	return batched
 }

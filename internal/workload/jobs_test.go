@@ -7,6 +7,7 @@ import (
 	"mproxy/internal/apps"
 	"mproxy/internal/apps/registry"
 	"mproxy/internal/arch"
+	"mproxy/internal/trace"
 )
 
 func factory(t *testing.T, name string) func() apps.App {
@@ -72,5 +73,46 @@ func TestRunJobsOrderAndResults(t *testing.T) {
 		if results[i].Time <= 0 {
 			t.Errorf("result %d has no elapsed time", i)
 		}
+	}
+}
+
+// TestPerJobTracersComposeWithParallelism is the contract of
+// Options.Tracer: tracing no longer forces the pool serial (that was the
+// process-global tracer's limitation), and each job's digest is identical
+// whether the matrix ran on one worker or four — per-engine trace streams
+// don't interleave.
+func TestPerJobTracersComposeWithParallelism(t *testing.T) {
+	newApp := factory(t, "Sample")
+	cells := []struct {
+		a     arch.Params
+		nodes int
+	}{
+		{arch.MP1, 1}, {arch.MP1, 2}, {arch.HW1, 2}, {arch.SW1, 2},
+	}
+	run := func(workers int) []string {
+		t.Helper()
+		digests := make([]*trace.Digest, len(cells))
+		jobs := make([]Job, len(cells))
+		for i, c := range cells {
+			digests[i] = trace.NewDigest()
+			jobs[i] = Job{Factory: newApp, Arch: c.a, Nodes: c.nodes, PPN: 1,
+				Opts: Options{Tracer: digests[i]}}
+		}
+		if _, err := RunJobs(jobs, workers); err != nil {
+			t.Fatal(err)
+		}
+		sums := make([]string, len(digests))
+		for i, d := range digests {
+			if d.Count() == 0 {
+				t.Fatalf("cell %d: tracer saw no events", i)
+			}
+			sums[i] = d.Sum()
+		}
+		return sums
+	}
+	serial := run(1)
+	parallel := run(4)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("per-job digests diverge between pool sizes:\nserial:   %v\nparallel: %v", serial, parallel)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"mproxy/internal/comm"
 	"mproxy/internal/machine"
 	"mproxy/internal/sim"
+	"mproxy/internal/trace"
 )
 
 // DefaultHeapBytes is the per-rank Split-C heap used when Options leaves
@@ -33,6 +34,12 @@ type Options struct {
 	// HeapBytes sizes the per-rank Split-C heap; zero means
 	// DefaultHeapBytes.
 	HeapBytes int
+	// Tracer, when non-nil, receives the run's full trace stream (see
+	// apps.EnvOptions.Tracer). Because it is per-run state rather than the
+	// deprecated process-global tracer, RunJobs parallelism and tracing
+	// compose: give each job its own tracer. A single tracer must not be
+	// shared across jobs that may run concurrently.
+	Tracer trace.Tracer
 }
 
 func (o Options) heapBytes() int {
@@ -43,7 +50,7 @@ func (o Options) heapBytes() int {
 }
 
 func (o Options) envOptions() apps.EnvOptions {
-	return apps.EnvOptions{Fabric: o.Fabric, Fault: o.Fault}
+	return apps.EnvOptions{Fabric: o.Fabric, Fault: o.Fault, Tracer: o.Tracer}
 }
 
 // Result captures one application run.
