@@ -53,13 +53,30 @@ if ! cmp -s "$tmpdir/chrome.json" internal/prof/testdata/pingpong-mp1-chrome.jso
     exit 1
 fi
 
-echo "== bench shard (schema + regression gate vs BENCH_5.json)"
-"$tmpdir/mproxy" bench -quick -out "$tmpdir/bench.json" \
-    -baseline BENCH_5.json -tolerance 0.10 2>"$tmpdir/bench.log" || {
+echo "== bench shard (schema + regression gate vs BENCH_6.json)"
+# 15% tolerance plus one retry: the shared runners' noise is one-sided
+# (load spikes only ever slow a rep down) and an occasional spike exceeds
+# any tolerance a real regression should be allowed to hide in. A genuine
+# regression trips both attempts; a spike almost never hits twice.
+bench_ok=0
+for attempt in 1 2; do
+    if "$tmpdir/mproxy" bench -quick -out "$tmpdir/bench.json" \
+        -baseline BENCH_6.json -tolerance 0.15 2>"$tmpdir/bench.log"; then
+        bench_ok=1
+        break
+    fi
+    echo "bench attempt $attempt tripped the gate:"
     cat "$tmpdir/bench.log"
-    exit 1
-}
+done
+[ "$bench_ok" = 1 ] || exit 1
+# The per-benchmark comparison table goes to the log on every run, not
+# just on a regression failure.
+cat "$tmpdir/bench.log"
 grep -q '"schema": "mproxy-bench/v1"' "$tmpdir/bench.json"
+
+echo "== race shard (differential equivalence + concurrent fabrics)"
+go test -race -run 'TestDifferential|TestConcurrentFabricsDistinctQueueCaps' \
+    ./internal/regress/ ./internal/scenario/ ./internal/comm/
 
 echo "== results byte-identity (cheap presets)"
 for preset_file in \

@@ -346,6 +346,7 @@ func buildBench(args []string, stdout, stderr io.Writer) (scenario.Spec, bool, i
 			fmt.Fprintln(stderr, "mproxy bench: baseline:", err)
 			return scenario.Spec{}, true, 1
 		}
+		bench.WriteComparison(stderr, s, base)
 		if err := bench.Compare(s, base, *tol); err != nil {
 			fmt.Fprintln(stderr, "mproxy bench:", err)
 			return scenario.Spec{}, true, 1

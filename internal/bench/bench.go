@@ -18,6 +18,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"runtime"
 	"time"
@@ -103,8 +104,10 @@ func Run(opt Options) (Suite, error) {
 // repetition is reported. Best-of-N is what keeps the -quick CI shard's
 // short measurement windows comparable against the full-run baseline:
 // scheduler hiccups and cold caches only ever slow a rep down, so the
-// minimum converges on the benchmark's true cost.
-const measureReps = 3
+// minimum converges on the benchmark's true cost. Five reps (up from
+// three) keeps the end-to-end rows' minimum stable on loaded shared
+// runners, where a single rep can be 20% off.
+const measureReps = 5
 
 // measure runs fn(ops) measureReps times between MemStats snapshots and
 // reports the fastest repetition's per-op figures.
@@ -336,6 +339,32 @@ func (s Suite) JSON() []byte {
 // (fractional, e.g. 0.10), and its allocs/op may not grow by more than tol
 // plus half an allocation of absolute slack (so a 0-alloc baseline stays
 // pinned at 0 while jittery fractional rates don't flap).
+// WriteComparison renders a per-benchmark delta table of current against
+// baseline — ns/op, allocs/op, and the throughput ratio — so every CI log
+// shows where the time went, not just whether the gate tripped.
+func WriteComparison(w io.Writer, current, baseline Suite) {
+	base := map[string]Result{}
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	fmt.Fprintf(w, "%-16s %14s %14s %8s %12s %12s\n",
+		"benchmark", "ns/op", "base ns/op", "speedup", "allocs/op", "base allocs")
+	for _, c := range current.Results {
+		b, ok := base[c.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-16s %14.2f %14s %8s %12.2f %12s\n",
+				c.Name, c.NsPerOp, "-", "-", c.AllocsPerOp, "-")
+			continue
+		}
+		speedup := 0.0
+		if c.NsPerOp > 0 {
+			speedup = b.NsPerOp / c.NsPerOp
+		}
+		fmt.Fprintf(w, "%-16s %14.2f %14.2f %7.2fx %12.2f %12.2f\n",
+			c.Name, c.NsPerOp, b.NsPerOp, speedup, c.AllocsPerOp, b.AllocsPerOp)
+	}
+}
+
 func Compare(current, baseline Suite, tol float64) error {
 	cur := map[string]Result{}
 	for _, r := range current.Results {

@@ -1,0 +1,25 @@
+package bench
+
+import "testing"
+
+// Go-testing mirrors of the suite rows, so the hot paths can be profiled
+// with the stock tooling (-benchmem, -cpuprofile, -memprofile) without
+// going through the mproxy CLI harness.
+
+func BenchmarkEngineEvents(b *testing.B) {
+	if err := benchEngineEvents(int64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkEngineTraced(b *testing.B) {
+	if err := benchEngineTraced(int64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkPingPong(b *testing.B) {
+	if err := benchPingPong(int64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+}

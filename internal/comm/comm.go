@@ -164,6 +164,17 @@ type Fabric struct {
 	// reliable transport (see rel.go).
 	relE *rel.Engine
 
+	// taskMode selects the run-to-completion protocol paths: agents are
+	// sim.Tasks and each carries a resident agentExec state machine (see
+	// exec.go). Set from the engine's ExecMode for the agent-based design
+	// points; system-call paths always run on the caller's Proc.
+	taskMode bool
+	// pktFree and reqFree recycle packets and request boxes in task mode,
+	// so steady-state messaging allocates nothing (see newPacket for the
+	// pooling gate).
+	pktFree []*packet
+	reqFree []*reqBox
+
 	lat [opKinds]latAccum
 }
 
@@ -176,6 +187,18 @@ func New(cl *machine.Cluster) *Fabric { return NewWith(cl, Options{}) }
 // NewWith is New under explicit per-fabric Options.
 func NewWith(cl *machine.Cluster, opt Options) *Fabric {
 	f := &Fabric{Cl: cl, A: cl.Arch, opt: opt}
+	f.taskMode = cl.Eng.ExecMode() == sim.ExecTask && f.A.Kind != arch.Syscall
+	if f.taskMode {
+		// Each agent gets its resident protocol frame: the continuation
+		// state its work items run through, built once per agent.
+		for _, nd := range cl.Nodes {
+			for k, ag := range nd.Agents {
+				fr := &agentExec{f: f, a: ag, node: nd, scanIdx: k}
+				fr.stepK = fr.step
+				ag.SetExec(fr)
+			}
+		}
+	}
 	if f.A.Kind == arch.Proxy {
 		f.scanners = make([][]*proxy.Scanner[request], len(cl.Nodes))
 		for i, nd := range cl.Nodes {
@@ -209,8 +232,12 @@ func NewWith(cl *machine.Cluster, opt Options) *Fabric {
 			// this endpoint submits (the request travels via the command
 			// queue, not the closure), so build it once instead of
 			// allocating a fresh closure per message.
-			node, idx := cpu.Node, ep.proxyIdx
-			ep.service = func(ap *sim.Proc) { f.proxyServiceOne(ap, node, idx) }
+			if f.taskMode {
+				ep.work = machine.Work{TFn: mpServiceWork}
+			} else {
+				node, idx := cpu.Node, ep.proxyIdx
+				ep.work = machine.Work{Fn: func(ap *sim.Proc) { f.proxyServiceOne(ap, node, idx) }}
+			}
 		}
 		f.eps = append(f.eps, ep)
 	}
@@ -278,9 +305,9 @@ type Endpoint struct {
 	cmdq     *proxy.CommandQueue[request]
 	cmdqIdx  int
 	proxyIdx int // which of the node's proxies serves this endpoint
-	// service is the pre-built proxy work item submitted once per
-	// operation (proxy design points only).
-	service func(*sim.Proc)
+	// work is the pre-built proxy work item submitted once per operation
+	// (proxy design points only).
+	work machine.Work
 
 	ops   int64
 	bytes int64
@@ -463,14 +490,25 @@ func (ep *Endpoint) checkRMA(local, remote memory.Addr, n int, op string) error 
 	if n <= 0 {
 		return fmt.Errorf("comm: %s of %d bytes", op, n)
 	}
+	// The op tag only reaches a message on the fault path; concatenating
+	// the side suffix up front would cost two allocations per clean RMA.
 	reg := ep.f.Cl.Reg
-	if _, err := reg.CheckAccess(ep.rank, local, n, op+" local"); err != nil {
-		return err
+	if _, err := reg.CheckAccess(ep.rank, local, n, op); err != nil {
+		return faultSide(err, op+" local")
 	}
-	if _, err := reg.CheckAccess(ep.rank, remote, n, op+" remote"); err != nil {
-		return err
+	if _, err := reg.CheckAccess(ep.rank, remote, n, op); err != nil {
+		return faultSide(err, op+" remote")
 	}
 	return nil
+}
+
+// faultSide rewrites the Op of a fresh access fault to carry which side of
+// the transfer (local or remote) tripped it.
+func faultSide(err error, op string) error {
+	if f, ok := err.(*memory.Fault); ok {
+		f.Op = op
+	}
+	return err
 }
 
 func (ep *Endpoint) record(kind OpKind, n int) {
@@ -506,12 +544,30 @@ func (ep *Endpoint) submit(r request) {
 		}
 		node := ep.cpu.Node
 		f.scanners[node.ID][ep.proxyIdx].MarkNonEmpty(ep.cmdqIdx)
-		node.Agents[ep.proxyIdx].Submit(ep.service)
+		node.Agents[ep.proxyIdx].Submit(ep.work)
 	case arch.CustomHW:
 		ep.cpu.Compute(ep.proc, f.A.ComputeOvh)
 		node := ep.cpu.Node
-		node.Agent.Submit(func(ap *sim.Proc) { f.hwSend(ap, node, r) })
+		if f.taskMode {
+			// Boxing the request into the work item's any would allocate
+			// per operation; a recycled CCB box carries it instead.
+			box := f.newReqBox()
+			box.r = r
+			node.Agent.Submit(machine.Work{TFn: hwSendWork, Arg: box})
+		} else {
+			node.Agent.Submit(f.hwSendProcWork(node, r))
+		}
 	case arch.Syscall:
 		f.swSend(ep, r)
 	}
+}
+
+// hwSendProcWork builds the coroutine-mode send closure. Kept out of
+// submit (and out of its inliner's reach) so that capturing r here does
+// not force every submit call — including task-mode ones that never build
+// a closure — to heap-allocate the request in its prologue.
+//
+//go:noinline
+func (f *Fabric) hwSendProcWork(node *machine.Node, r request) machine.Work {
+	return machine.Work{Fn: func(ap *sim.Proc) { f.hwSend(ap, node, r) }}
 }

@@ -99,7 +99,7 @@ func (f *Fabric) hwRecv(ap *sim.Proc, node *machine.Node, pkt *packet) {
 		q, _ := reg.Queue(pkt.rq)
 		req := *pkt
 		q.TakeAsync(func(rec []byte) {
-			node.Agent.Submit(func(ap2 *sim.Proc) {
+			node.Agent.Submit(machine.Work{Fn: func(ap2 *sim.Proc) {
 				n := req.n
 				if len(rec) < n {
 					n = len(rec)
@@ -107,7 +107,7 @@ func (f *Fabric) hwRecv(ap *sim.Proc, node *machine.Node, pkt *packet) {
 				ap2.Hold(A.AdapterOvh + f.pio(n))
 				f.ship(node, &packet{kind: pktDeqData, from: req.to, to: req.from, n: n,
 					issued: req.issued, data: rec[:n], dst: req.dst, fsync: req.fsync})
-			})
+			}})
 		})
 	case pktDeqData:
 		ap.Hold(A.AdapterOvh + f.pio(pkt.n) + A.CacheMiss)

@@ -130,7 +130,7 @@ func (f *Fabric) mpRecv(ap *sim.Proc, node *machine.Node, pkt *packet) {
 		q, _ := reg.Queue(pkt.rq)
 		req := *pkt
 		q.TakeAsync(func(rec []byte) {
-			node.AgentFor(f.Cl.CPUs[req.to].Slot).Submit(func(ap2 *sim.Proc) {
+			node.AgentFor(f.Cl.CPUs[req.to].Slot).Submit(machine.Work{Fn: func(ap2 *sim.Proc) {
 				n := req.n
 				if len(rec) < n {
 					n = len(rec)
@@ -138,7 +138,7 @@ func (f *Fabric) mpRecv(ap *sim.Proc, node *machine.Node, pkt *packet) {
 				ap2.Hold(A.Uncached + A.Instr(0.5) + A.AgentMiss + f.pio(n) + A.Uncached)
 				f.ship(node, &packet{kind: pktDeqData, from: req.to, to: req.from, n: n,
 					issued: req.issued, data: rec[:n], dst: req.dst, fsync: req.fsync})
-			})
+			}})
 		})
 	case pktDeqData:
 		ap.Hold(A.CacheMiss + A.Instr(0.5) + A.VMAtt + A.Uncached + f.pio(pkt.n) + A.AgentMiss)

@@ -39,6 +39,66 @@ type packet struct {
 	fsync  memory.FlagRef
 	rsync  memory.FlagRef
 	last   bool // final page of a multi-page transfer
+
+	// buf is the packet's reusable payload store and pooled marks a packet
+	// owned by the fabric's freelist; both are used only by the
+	// run-to-completion paths (see newPacket).
+	buf    []byte
+	pooled bool
+}
+
+// reqBox carries a request into a custom-hardware agent work item: the
+// adapter's command control block. Boxes recycle through Fabric.reqFree.
+type reqBox struct {
+	r request
+}
+
+func (f *Fabric) newReqBox() *reqBox {
+	if n := len(f.reqFree); n > 0 {
+		b := f.reqFree[n-1]
+		f.reqFree[n-1] = nil
+		f.reqFree = f.reqFree[:n-1]
+		return b
+	}
+	return &reqBox{}
+}
+
+func (f *Fabric) freeReqBox(b *reqBox) {
+	b.r = request{}
+	f.reqFree = append(f.reqFree, b)
+}
+
+// newPacket returns a packet for transmission on link l. In task mode with
+// no reliable transport and no fault plane on l, packets recycle through a
+// freelist: exactly one receive work item consumes each delivery (no Dup,
+// no retransmission buffer), so the receive path can return the packet
+// once processed. Otherwise — proc mode, rel (which retains payloads for
+// retransmission), faulty links (which may duplicate) — packets are plain
+// heap allocations left to the GC, as the blocking paths always did.
+func (f *Fabric) newPacket(l *machine.Link) *packet {
+	if f.taskMode && f.relE == nil && !l.Faulty() {
+		if n := len(f.pktFree); n > 0 {
+			pkt := f.pktFree[n-1]
+			f.pktFree[n-1] = nil
+			f.pktFree = f.pktFree[:n-1]
+			buf := pkt.buf
+			*pkt = packet{buf: buf, pooled: true}
+			return pkt
+		}
+		return &packet{pooled: true}
+	}
+	return &packet{}
+}
+
+// freePacket returns a pooled packet to the freelist; non-pooled packets
+// are ignored. The packet's data slice is dropped (it may alias foreign
+// memory) but its buf is kept for reuse.
+func (f *Fabric) freePacket(pkt *packet) {
+	if pkt == nil || !pkt.pooled {
+		return
+	}
+	pkt.data = nil
+	f.pktFree = append(f.pktFree, pkt)
 }
 
 // targetRank resolves which rank's node services a request's remote side.
@@ -67,6 +127,10 @@ func (f *Fabric) ship(node *machine.Node, pkt *packet) {
 		f.relShip(pkt, false)
 		return
 	}
+	if f.taskMode {
+		node.OutLink.SendToSink(HeaderSize+len(pkt.data), f, pkt)
+		return
+	}
 	dest := f.nodeOf(pkt.to)
 	node.OutLink.SendPacket(HeaderSize+len(pkt.data), func(fate machine.PacketFate) {
 		if fate.Corrupt {
@@ -77,11 +141,28 @@ func (f *Fabric) ship(node *machine.Node, pkt *packet) {
 	})
 }
 
+// DeliverPacket implements machine.PacketSink for the task-mode ship
+// paths. Every shipped packet's from rank lives on the sending node, so
+// the corrupt-trace component reconstructs to the same link name the
+// closure path captures.
+func (f *Fabric) DeliverPacket(arg any, fate machine.PacketFate) {
+	pkt := arg.(*packet)
+	if fate.Corrupt {
+		f.Cl.Eng.Emit(trace.KCorrupt, f.nodeOf(pkt.from).OutLink.Name(), int64(pkt.n))
+		return
+	}
+	f.deliver(f.nodeOf(pkt.to), pkt)
+}
+
 // shipOverlapped ships a DMA-fed page whose serialization was already paid
 // at the (slower) DMA engine.
 func (f *Fabric) shipOverlapped(node *machine.Node, pkt *packet) {
 	if f.relE != nil {
 		f.relShip(pkt, true)
+		return
+	}
+	if f.taskMode {
+		node.OutLink.SendOverlappedToSink(HeaderSize+len(pkt.data), f, pkt)
 		return
 	}
 	dest := f.nodeOf(pkt.to)
@@ -99,9 +180,18 @@ func (f *Fabric) shipOverlapped(node *machine.Node, pkt *packet) {
 func (f *Fabric) deliver(dest *machine.Node, pkt *packet) {
 	switch f.A.Kind {
 	case arch.Proxy:
-		dest.AgentFor(f.Cl.CPUs[pkt.to].Slot).Submit(func(ap *sim.Proc) { f.mpRecv(ap, dest, pkt) })
+		ag := dest.AgentFor(f.Cl.CPUs[pkt.to].Slot)
+		if f.taskMode {
+			ag.Submit(machine.Work{TFn: mpRecvWork, Arg: pkt})
+		} else {
+			ag.Submit(machine.Work{Fn: func(ap *sim.Proc) { f.mpRecv(ap, dest, pkt) }})
+		}
 	case arch.CustomHW:
-		dest.Agent.Submit(func(ap *sim.Proc) { f.hwRecv(ap, dest, pkt) })
+		if f.taskMode {
+			dest.Agent.Submit(machine.Work{TFn: hwRecvWork, Arg: pkt})
+		} else {
+			dest.Agent.Submit(machine.Work{Fn: func(ap *sim.Proc) { f.hwRecv(ap, dest, pkt) }})
+		}
 	case arch.Syscall:
 		f.swRecv(dest, pkt)
 	}
@@ -124,6 +214,38 @@ func (f *Fabric) readBytes(addr memory.Addr, n int) []byte {
 	buf := make([]byte, n)
 	copy(buf, seg.Data[addr.Off:addr.Off+n])
 	return buf
+}
+
+// readSourceInto is readSource for a pooled packet: the payload lands in
+// the packet's reusable buf instead of a fresh slice. Only receive paths
+// that never retain pkt.data past processing may use it — ENQ records, in
+// particular, are handed to the destination queue and must stay freshly
+// allocated.
+func (f *Fabric) readSourceInto(pkt *packet, r request) {
+	if r.payload != nil {
+		pkt.data = r.payload
+		return
+	}
+	f.readBytesInto(pkt, r.local, r.n)
+}
+
+// readBytesInto reads n bytes at addr into pkt's reusable buf (falling
+// back to a fresh slice for unpooled packets).
+func (f *Fabric) readBytesInto(pkt *packet, addr memory.Addr, n int) {
+	if !pkt.pooled {
+		pkt.data = f.readBytes(addr, n)
+		return
+	}
+	seg, ok := f.Cl.Reg.Segment(addr.Seg)
+	if !ok {
+		panic(fmt.Sprintf("comm: read through unresolved segment %d", addr.Seg))
+	}
+	if cap(pkt.buf) < n {
+		pkt.buf = make([]byte, n)
+	}
+	pkt.buf = pkt.buf[:n]
+	copy(pkt.buf, seg.Data[addr.Off:addr.Off+n])
+	pkt.data = pkt.buf
 }
 
 // depositBytes writes payload data into a segment.

@@ -5,18 +5,22 @@ import (
 	"mproxy/internal/trace"
 )
 
-// Agent is a node's communication agent: a server process that executes
-// work items one at a time in FIFO order. For a message proxy the agent is
-// the dedicated SMP processor running the polling loop of Figure 5; for
+// Agent is a node's communication agent: a server that executes work
+// items one at a time in FIFO order. For a message proxy the agent is the
+// dedicated SMP processor running the polling loop of Figure 5; for
 // custom hardware it is the adapter's protocol engine.
 //
-// A work item is a closure executed on the agent's process; it advances
-// simulated time with Hold and may use node resources. Items submitted
-// while the agent is idle incur the notice delay (the proxy's polling delay
-// P — time spent scanning other queues before reaching this one); items
-// that queue behind other work are picked up as the loop reaches them and
-// incur queueing delay instead, which is how proxy contention emerges in
-// the Figure 9 experiment.
+// A work item advances simulated time with Hold and may use node
+// resources. Items submitted while the agent is idle incur the notice
+// delay (the proxy's polling delay P — time spent scanning other queues
+// before reaching this one); items that queue behind other work are
+// picked up as the loop reaches them and incur queueing delay instead,
+// which is how proxy contention emerges in the Figure 9 experiment.
+//
+// The agent runs under the engine's execution mode: as a coroutine
+// sim.Proc (ExecProc — the blocking reference model) or as a
+// run-to-completion sim.Task (ExecTask — the default hot path, no
+// goroutine handshake). Both produce identical trace streams.
 type Agent struct {
 	Name   string
 	eng    *sim.Engine
@@ -39,24 +43,57 @@ type Agent struct {
 	onRestart func()
 	stalls    int64
 	restarts  int64
+
+	// Run-to-completion mode: the agent is a sim.Task and the fields
+	// below are its resident state machine. One work item is in flight at
+	// a time, so a single reusable frame (cur, fate) suffices; the
+	// continuations are built once at construction so the steady-state
+	// serve cycle allocates nothing.
+	task    *sim.Task
+	cur     agentWork
+	fate    AgentFate
+	exec    any // model-layer per-agent scratch (the fabric's protocol frame)
+	awaitFn func()
+	beginFn func()
+	serveFn func()
+}
+
+// Work is one agent work item. Fn is the coroutine-mode body: a blocking
+// closure run on the agent's Proc. TFn is the run-to-completion body: it
+// runs on the agent's Task with Arg as its operand and must eventually
+// call Agent.WorkDone exactly once (possibly from a later continuation).
+// Submitters populate the field matching the engine's execution mode; a
+// Work with both bodies nil is the shutdown poison pill.
+type Work struct {
+	Fn  func(p *sim.Proc)
+	TFn func(a *Agent, arg any)
+	Arg any
 }
 
 type agentWork struct {
-	fn func(p *sim.Proc)
+	w  Work
 	at sim.Time
 }
 
-// NewAgent spawns an agent server process.
+// NewAgent creates an agent server under the engine's execution mode.
 func NewAgent(eng *sim.Engine, name string, notice sim.Time) *Agent {
 	a := &Agent{Name: name, eng: eng, queue: sim.NewFIFO[agentWork](eng, name+".q"), notice: notice}
-	eng.SpawnDaemon(name, a.loop)
+	if eng.ExecMode() == sim.ExecTask {
+		a.awaitFn = a.awaitWork
+		a.beginFn = a.begin
+		a.serveFn = a.serve
+		a.task = eng.SpawnTaskDaemon(name, func(*sim.Task) { a.awaitWork() })
+	} else {
+		eng.SpawnDaemon(name, a.loop)
+	}
 	return a
 }
 
+// loop is the coroutine-mode server body.
 func (a *Agent) loop(p *sim.Proc) {
 	for {
 		w := a.queue.Get(p)
-		if w.fn == nil {
+		if w.w.Fn == nil && w.w.TFn == nil {
 			return // poison pill from Shutdown
 		}
 		if a.plane != nil {
@@ -84,16 +121,91 @@ func (a *Agent) loop(p *sim.Proc) {
 		a.eng.Emit(trace.KPoll, a.Name, int64(p.Now()-w.at))
 		a.inService = true
 		a.serviceAt = p.Now()
-		w.fn(p)
+		w.w.Fn(p)
 		a.inService = false
 		a.busyTotal += p.Now() - a.serviceAt
 		a.served++
 	}
 }
 
+// awaitWork is the task-mode idle state: take the next item or park. Its
+// decision ladder and trace emissions mirror loop turn for turn.
+func (a *Agent) awaitWork() {
+	w, ok := a.queue.TryGet()
+	if !ok {
+		a.queue.ParkGetter(a.task, a.awaitFn)
+		return
+	}
+	a.cur = w
+	if w.w.Fn == nil && w.w.TFn == nil {
+		a.task.End() // poison pill from Shutdown
+		return
+	}
+	a.fate = AgentFate{}
+	if a.plane != nil {
+		a.fate = a.plane.AgentFault(a.Name, a.served, a.eng.Now())
+		if a.fate.Stall > 0 {
+			a.eng.Emit(trace.KStall, a.Name, int64(a.fate.Stall))
+			a.stalls++
+			a.task.Hold(a.fate.Stall, a.beginFn)
+			return
+		}
+	}
+	a.begin()
+}
+
+// begin runs after any stall fault: restart hook, then the notice delay
+// for items that arrived while the agent was idle.
+func (a *Agent) begin() {
+	if a.fate.Restart {
+		a.restarts++
+		if a.onRestart != nil {
+			a.onRestart()
+		}
+	}
+	if a.eng.Now() == a.cur.at && a.notice > 0 {
+		a.task.Hold(a.notice, a.serveFn)
+		return
+	}
+	a.serve()
+}
+
+// serve starts the current item's body.
+func (a *Agent) serve() {
+	now := a.eng.Now()
+	a.waitTotal += now - a.cur.at
+	a.eng.Emit(trace.KPoll, a.Name, int64(now-a.cur.at))
+	a.inService = true
+	a.serviceAt = now
+	a.cur.w.TFn(a, a.cur.w.Arg)
+}
+
+// WorkDone completes the current work item in run-to-completion mode and
+// moves the agent to its next item (or back to idle). Every Work.TFn must
+// arrange for exactly one WorkDone call.
+func (a *Agent) WorkDone() {
+	a.inService = false
+	a.busyTotal += a.eng.Now() - a.serviceAt
+	a.served++
+	a.cur = agentWork{}
+	a.awaitWork()
+}
+
+// Task returns the agent's task in run-to-completion mode (nil under
+// ExecProc). Work bodies use it for Hold continuations.
+func (a *Agent) Task() *sim.Task { return a.task }
+
+// SetExec attaches model-layer per-agent scratch state; Exec returns it.
+// The communication fabric hangs its reusable protocol frame here so hot
+// work items need no per-item allocation.
+func (a *Agent) SetExec(x any) { a.exec = x }
+
+// Exec returns the scratch state installed by SetExec.
+func (a *Agent) Exec() any { return a.exec }
+
 // Submit enqueues a work item.
-func (a *Agent) Submit(fn func(p *sim.Proc)) {
-	a.queue.Put(agentWork{fn: fn, at: a.eng.Now()})
+func (a *Agent) Submit(w Work) {
+	a.queue.Put(agentWork{w: w, at: a.eng.Now()})
 }
 
 // SetFaultPlane installs (or, with nil, removes) the agent's fault plane.
@@ -112,7 +224,7 @@ func (a *Agent) Stalls() int64 { return a.stalls }
 func (a *Agent) Restarts() int64 { return a.restarts }
 
 // Shutdown terminates the agent process once queued work drains.
-func (a *Agent) Shutdown() { a.queue.Put(agentWork{}) }
+func (a *Agent) Shutdown() { a.queue.Put(agentWork{at: a.eng.Now()}) }
 
 // QueueLen returns the number of pending work items.
 func (a *Agent) QueueLen() int { return a.queue.Len() }

@@ -116,49 +116,47 @@ func TestLinkWithoutPlaneIsClean(t *testing.T) {
 }
 
 func TestAgentStallAndRestart(t *testing.T) {
-	eng := sim.NewEngine()
-	rec := &trace.Recorder{}
-	eng.SetTracer(rec)
-	a := NewAgent(eng, "test.proxy", 0)
-	a.SetFaultPlane(scriptPlane{agent: map[int64]AgentFate{
-		1: {Stall: 100 * sim.Microsecond},
-		2: {Stall: 50 * sim.Microsecond, Restart: true},
-	}})
-	restarts := 0
-	a.OnRestart(func() { restarts++ })
+	eachMode(t, func(t *testing.T, eng *sim.Engine) {
+		rec := &trace.Recorder{}
+		eng.SetTracer(rec)
+		a := NewAgent(eng, "test.proxy", 0)
+		a.SetFaultPlane(scriptPlane{agent: map[int64]AgentFate{
+			1: {Stall: 100 * sim.Microsecond},
+			2: {Stall: 50 * sim.Microsecond, Restart: true},
+		}})
+		restarts := 0
+		a.OnRestart(func() { restarts++ })
 
-	var done []sim.Time
-	eng.Spawn("driver", func(p *sim.Proc) {
-		for i := 0; i < 3; i++ {
-			a.Submit(func(ap *sim.Proc) {
-				ap.Hold(sim.Microsecond)
-				done = append(done, ap.Now())
-			})
+		var done []sim.Time
+		eng.Spawn("driver", func(p *sim.Proc) {
+			for i := 0; i < 3; i++ {
+				a.Submit(holdWork(sim.Microsecond, func(now sim.Time) { done = append(done, now) }))
+			}
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if len(done) != 3 {
+			t.Fatalf("served %d items, want 3", len(done))
+		}
+		// Item 1 was stalled 100us; item 2 another 50us on top.
+		if d := done[1] - done[0]; d < 100*sim.Microsecond {
+			t.Errorf("stall not applied: item gap %v", d)
+		}
+		if restarts != 1 || a.Restarts() != 1 {
+			t.Errorf("restarts = %d / %d, want 1", restarts, a.Restarts())
+		}
+		if a.Stalls() != 2 {
+			t.Errorf("Stalls() = %d, want 2", a.Stalls())
+		}
+		stallEvents := 0
+		for _, ev := range rec.Events() {
+			if ev.Kind == trace.KStall && ev.Comp == "test.proxy" {
+				stallEvents++
+			}
+		}
+		if stallEvents != 2 {
+			t.Errorf("stall trace events = %d, want 2", stallEvents)
 		}
 	})
-	if err := eng.Run(); err != nil {
-		t.Fatal(err)
-	}
-	if len(done) != 3 {
-		t.Fatalf("served %d items, want 3", len(done))
-	}
-	// Item 1 was stalled 100us; item 2 another 50us on top.
-	if d := done[1] - done[0]; d < 100*sim.Microsecond {
-		t.Errorf("stall not applied: item gap %v", d)
-	}
-	if restarts != 1 || a.Restarts() != 1 {
-		t.Errorf("restarts = %d / %d, want 1", restarts, a.Restarts())
-	}
-	if a.Stalls() != 2 {
-		t.Errorf("Stalls() = %d, want 2", a.Stalls())
-	}
-	stallEvents := 0
-	for _, ev := range rec.Events() {
-		if ev.Kind == trace.KStall && ev.Comp == "test.proxy" {
-			stallEvents++
-		}
-	}
-	if stallEvents != 2 {
-		t.Errorf("stall trace events = %d, want 2", stallEvents)
-	}
 }

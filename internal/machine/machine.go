@@ -244,6 +244,10 @@ type Link struct {
 	plane FaultPlane
 	node  int
 	lost  int64 // packets dropped, corrupted-in-flight or lost to down windows
+
+	// freeDel recycles delivery nodes for the sink-based send path, so a
+	// steady-state packet stream schedules without allocating per packet.
+	freeDel []*delivery
 }
 
 // NewLink returns a link of mbps MB/s bandwidth and the given wire latency.
@@ -325,6 +329,106 @@ func (l *Link) dispatch(n int, depart sim.Time, deliver func(fate PacketFate)) {
 	}
 }
 
+// PacketSink receives packets sent with SendToSink: the closure-free twin
+// of SendPacket's deliver callback, for run-to-completion receivers whose
+// packet argument outlives the call. Dropped packets are never delivered;
+// duplicated packets are delivered twice.
+type PacketSink interface {
+	DeliverPacket(arg any, fate PacketFate)
+}
+
+// delivery is one in-flight sink delivery. The run closure is built once
+// per node and the node recycles through the link's freelist, so the hot
+// send path costs zero allocations per packet.
+type delivery struct {
+	link *Link
+	sink PacketSink
+	arg  any
+	fate PacketFate
+	run  func()
+}
+
+func (l *Link) newDelivery() *delivery {
+	if n := len(l.freeDel); n > 0 {
+		d := l.freeDel[n-1]
+		l.freeDel[n-1] = nil
+		l.freeDel = l.freeDel[:n-1]
+		return d
+	}
+	d := &delivery{link: l}
+	d.run = d.fire
+	return d
+}
+
+// fire recycles the node before delivering, so the sink's processing —
+// which may send further packets on this link — sees it available.
+func (d *delivery) fire() {
+	sink, arg, fate := d.sink, d.arg, d.fate
+	d.sink, d.arg, d.fate = nil, nil, PacketFate{}
+	d.link.freeDel = append(d.link.freeDel, d)
+	sink.DeliverPacket(arg, fate)
+}
+
+// SendToSink is SendPacket routed to a PacketSink: identical serialization
+// accounting, fault handling and schedule emissions, but no per-packet
+// closure.
+func (l *Link) SendToSink(n int, sink PacketSink, arg any) {
+	xfer := arch.XferTime(n, l.mbps)
+	start := l.freeAt
+	if now := l.eng.Now(); start < now {
+		start = now
+	}
+	depart := start + xfer
+	l.freeAt = depart
+	l.busy += xfer
+	l.dispatchSink(n, depart-l.eng.Now(), sink, arg)
+}
+
+// SendOverlappedToSink is SendPacketOverlapped routed to a PacketSink.
+func (l *Link) SendOverlappedToSink(n int, sink PacketSink, arg any) {
+	l.dispatchSink(n, 0, sink, arg)
+}
+
+// dispatchSink mirrors dispatch for the sink path: same packet accounting,
+// same fault-plane consultation, same trace emissions.
+func (l *Link) dispatchSink(n int, depart sim.Time, sink PacketSink, arg any) {
+	seq := uint64(l.packets)
+	l.packets++
+	l.sentByte += int64(n)
+	if l.plane == nil {
+		d := l.newDelivery()
+		d.sink, d.arg = sink, arg
+		l.eng.Schedule(depart+l.latency, d.run)
+		return
+	}
+	fate := l.plane.PacketFate(l.name, l.node, seq, l.eng.Now())
+	switch {
+	case fate.Down:
+		l.lost++
+		l.eng.Emit(trace.KLinkDown, l.name, int64(seq))
+		return
+	case fate.Drop:
+		l.lost++
+		l.eng.Emit(trace.KDrop, l.name, int64(seq))
+		return
+	}
+	if fate.Corrupt {
+		l.lost++
+	}
+	arrive := depart + l.latency + fate.Delay
+	d := l.newDelivery()
+	d.sink, d.arg, d.fate = sink, arg, fate
+	l.eng.Schedule(arrive, d.run)
+	if fate.Dup {
+		d2 := l.newDelivery()
+		d2.sink, d2.arg = sink, arg
+		l.eng.Schedule(arrive+fate.DupDelay, d2.run)
+	}
+}
+
+// Faulty reports whether a fault plane is installed on the link.
+func (l *Link) Faulty() bool { return l.plane != nil }
+
 // Occupy serializes n bytes through the link on behalf of p, blocking p
 // until the transfer completes. Agents use it to stay busy for the duration
 // of a DMA page transfer.
@@ -332,6 +436,14 @@ func (l *Link) Occupy(p *sim.Proc, n int) {
 	f := l.eng.NewFlag()
 	l.Send(n, func() { f.Add(1) })
 	f.Wait(p, 1)
+}
+
+// OccupyTask is Occupy for a run-to-completion agent: k runs when the
+// transfer completes. Flag wiring and trace emissions match Occupy's.
+func (l *Link) OccupyTask(t *sim.Task, n int, k func()) {
+	f := l.eng.NewFlag()
+	l.Send(n, func() { f.Add(1) })
+	f.WaitTask(t, 1, k)
 }
 
 // Name returns the link's trace component name.

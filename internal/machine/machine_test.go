@@ -7,6 +7,41 @@ import (
 	"mproxy/internal/sim"
 )
 
+// eachMode runs fn once per execution mode on a fresh engine: agent
+// behavior must be identical whether the agent is a coroutine Proc or a
+// run-to-completion Task.
+func eachMode(t *testing.T, fn func(t *testing.T, eng *sim.Engine)) {
+	for _, m := range []sim.ExecMode{sim.ExecTask, sim.ExecProc} {
+		t.Run(m.String(), func(t *testing.T) {
+			eng := sim.NewEngine()
+			eng.SetExecMode(m)
+			fn(t, eng)
+		})
+	}
+}
+
+// holdWork returns a dual-body Work that occupies the agent for d and then
+// calls then (if non-nil) with the completion time — the same service
+// under either execution mode.
+func holdWork(d sim.Time, then func(now sim.Time)) Work {
+	return Work{
+		Fn: func(q *sim.Proc) {
+			q.Hold(d)
+			if then != nil {
+				then(q.Now())
+			}
+		},
+		TFn: func(a *Agent, _ any) {
+			a.Task().Hold(d, func() {
+				if then != nil {
+					then(a.eng.Now())
+				}
+				a.WorkDone()
+			})
+		},
+	}
+}
+
 func TestClusterTopology(t *testing.T) {
 	eng := sim.NewEngine()
 	c := New(eng, Config{Nodes: 4, ProcsPerNode: 4}, arch.MP1)
@@ -159,77 +194,84 @@ func TestLinkIdleGapNoSerializationCarry(t *testing.T) {
 }
 
 func TestAgentExecutesFIFOWithNotice(t *testing.T) {
-	eng := sim.NewEngine()
-	a := NewAgent(eng, "proxy", sim.Micros(3))
-	var done []sim.Time
-	eng.Spawn("client", func(p *sim.Proc) {
-		a.Submit(func(q *sim.Proc) { q.Hold(sim.Micros(5)); done = append(done, q.Now()) })
-		a.Submit(func(q *sim.Proc) { q.Hold(sim.Micros(5)); done = append(done, q.Now()) })
+	eachMode(t, func(t *testing.T, eng *sim.Engine) {
+		a := NewAgent(eng, "proxy", sim.Micros(3))
+		var done []sim.Time
+		eng.Spawn("client", func(p *sim.Proc) {
+			a.Submit(holdWork(sim.Micros(5), func(now sim.Time) { done = append(done, now) }))
+			a.Submit(holdWork(sim.Micros(5), func(now sim.Time) { done = append(done, now) }))
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		// First item: notice 3 + service 5 = 8. Second queued behind: no extra
+		// notice, finishes at 13.
+		if len(done) != 2 || done[0] != sim.Micros(8) || done[1] != sim.Micros(13) {
+			t.Fatalf("done = %v", done)
+		}
+		if a.Served() != 2 || a.BusyTime() != sim.Micros(10) {
+			t.Fatalf("served=%d busy=%v", a.Served(), a.BusyTime())
+		}
 	})
-	if err := eng.Run(); err != nil {
-		t.Fatal(err)
-	}
-	// First item: notice 3 + service 5 = 8. Second queued behind: no extra
-	// notice, finishes at 13.
-	if len(done) != 2 || done[0] != sim.Micros(8) || done[1] != sim.Micros(13) {
-		t.Fatalf("done = %v", done)
-	}
-	if a.Served() != 2 || a.BusyTime() != sim.Micros(10) {
-		t.Fatalf("served=%d busy=%v", a.Served(), a.BusyTime())
-	}
 }
 
 func TestAgentIdleThenNewNotice(t *testing.T) {
-	eng := sim.NewEngine()
-	a := NewAgent(eng, "proxy", sim.Micros(3))
-	var done []sim.Time
-	eng.Spawn("client", func(p *sim.Proc) {
-		a.Submit(func(q *sim.Proc) { q.Hold(sim.Micros(1)); done = append(done, q.Now()) })
-		p.Hold(sim.Micros(100))
-		a.Submit(func(q *sim.Proc) { q.Hold(sim.Micros(1)); done = append(done, q.Now()) })
+	eachMode(t, func(t *testing.T, eng *sim.Engine) {
+		a := NewAgent(eng, "proxy", sim.Micros(3))
+		var done []sim.Time
+		eng.Spawn("client", func(p *sim.Proc) {
+			a.Submit(holdWork(sim.Micros(1), func(now sim.Time) { done = append(done, now) }))
+			p.Hold(sim.Micros(100))
+			a.Submit(holdWork(sim.Micros(1), func(now sim.Time) { done = append(done, now) }))
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		// Both items find the agent idle: each pays the notice delay.
+		if done[0] != sim.Micros(4) || done[1] != sim.Micros(104) {
+			t.Fatalf("done = %v", done)
+		}
+		if w := a.MeanWait(); w != sim.Micros(3) {
+			t.Fatalf("mean wait = %v", w)
+		}
 	})
-	if err := eng.Run(); err != nil {
-		t.Fatal(err)
-	}
-	// Both items find the agent idle: each pays the notice delay.
-	if done[0] != sim.Micros(4) || done[1] != sim.Micros(104) {
-		t.Fatalf("done = %v", done)
-	}
-	if w := a.MeanWait(); w != sim.Micros(3) {
-		t.Fatalf("mean wait = %v", w)
-	}
 }
 
 func TestAgentUtilization(t *testing.T) {
-	eng := sim.NewEngine()
-	a := NewAgent(eng, "proxy", 0)
-	eng.Spawn("client", func(p *sim.Proc) {
-		a.Submit(func(q *sim.Proc) { q.Hold(sim.Micros(25)) })
-		p.Hold(sim.Micros(100))
+	eachMode(t, func(t *testing.T, eng *sim.Engine) {
+		a := NewAgent(eng, "proxy", 0)
+		eng.Spawn("client", func(p *sim.Proc) {
+			a.Submit(holdWork(sim.Micros(25), nil))
+			p.Hold(sim.Micros(100))
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if u := a.Utilization(sim.Micros(100)); u != 0.25 {
+			t.Fatalf("utilization = %v", u)
+		}
 	})
-	if err := eng.Run(); err != nil {
-		t.Fatal(err)
-	}
-	if u := a.Utilization(sim.Micros(100)); u != 0.25 {
-		t.Fatalf("utilization = %v", u)
-	}
 }
 
 func TestAgentShutdown(t *testing.T) {
-	eng := sim.NewEngine()
-	a := NewAgent(eng, "proxy", 0)
-	ran := false
-	eng.Spawn("client", func(p *sim.Proc) {
-		a.Submit(func(q *sim.Proc) { ran = true })
-		p.Hold(1)
-		a.Shutdown()
+	eachMode(t, func(t *testing.T, eng *sim.Engine) {
+		a := NewAgent(eng, "proxy", 0)
+		ran := false
+		eng.Spawn("client", func(p *sim.Proc) {
+			a.Submit(Work{
+				Fn:  func(q *sim.Proc) { ran = true },
+				TFn: func(ag *Agent, _ any) { ran = true; ag.WorkDone() },
+			})
+			p.Hold(1)
+			a.Shutdown()
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !ran {
+			t.Fatal("work did not run")
+		}
 	})
-	if err := eng.Run(); err != nil {
-		t.Fatal(err)
-	}
-	if !ran {
-		t.Fatal("work did not run")
-	}
 }
 
 func TestLinkSendOverlapped(t *testing.T) {

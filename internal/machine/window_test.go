@@ -11,33 +11,34 @@ import (
 // must stay exact when a window boundary falls inside a work item, which is
 // the common case for long DMA-backed services.
 func TestAgentUtilizationSinceMidService(t *testing.T) {
-	eng := sim.NewEngine()
-	a := NewAgent(eng, "ag", 0)
-	eng.Spawn("client", func(p *sim.Proc) {
-		p.Hold(100)
-		a.Submit(func(p *sim.Proc) { p.Hold(300) }) // service over [100, 400)
-	})
-	var utils []float64
-	eng.Spawn("sampler", func(p *sim.Proc) {
-		var since, busyAt sim.Time
-		for _, at := range []sim.Time{200, 350, 450} {
-			p.Hold(at - p.Now())
-			utils = append(utils, a.UtilizationSince(since, busyAt))
-			since, busyAt = p.Now(), a.BusyTime()
+	eachMode(t, func(t *testing.T, eng *sim.Engine) {
+		a := NewAgent(eng, "ag", 0)
+		eng.Spawn("client", func(p *sim.Proc) {
+			p.Hold(100)
+			a.Submit(holdWork(300, nil)) // service over [100, 400)
+		})
+		var utils []float64
+		eng.Spawn("sampler", func(p *sim.Proc) {
+			var since, busyAt sim.Time
+			for _, at := range []sim.Time{200, 350, 450} {
+				p.Hold(at - p.Now())
+				utils = append(utils, a.UtilizationSince(since, busyAt))
+				since, busyAt = p.Now(), a.BusyTime()
+			}
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		want := []float64{0.5, 1.0, 0.5}
+		for i, w := range want {
+			if utils[i] != w {
+				t.Errorf("window %d utilization = %v, want %v", i, utils[i], w)
+			}
+		}
+		if got := a.BusyTime(); got != 300 {
+			t.Errorf("final BusyTime = %v, want 300", got)
 		}
 	})
-	if err := eng.Run(); err != nil {
-		t.Fatal(err)
-	}
-	want := []float64{0.5, 1.0, 0.5}
-	for i, w := range want {
-		if utils[i] != w {
-			t.Errorf("window %d utilization = %v, want %v", i, utils[i], w)
-		}
-	}
-	if got := a.BusyTime(); got != 300 {
-		t.Errorf("final BusyTime = %v, want 300", got)
-	}
 }
 
 // TestLinkUtilizationSinceMidSerialization: Send books the whole packet's

@@ -32,11 +32,19 @@ type Segment struct {
 	ID    ASID
 	Owner int // global rank of the owning process
 	Data  []byte
-	acl   map[int]bool
+	// Ranks below 64 — every configuration in the paper — are tracked in
+	// a bitmask so the per-transfer protection check stays off the heap
+	// and out of the map code; larger ranks spill to the map.
+	aclLow uint64
+	acl    map[int]bool
 }
 
 // Grant permits rank to address this segment.
 func (s *Segment) Grant(rank int) {
+	if rank >= 0 && rank < 64 {
+		s.aclLow |= 1 << rank
+		return
+	}
 	if s.acl == nil {
 		s.acl = make(map[int]bool)
 	}
@@ -51,11 +59,23 @@ func (s *Segment) GrantAll(n int) {
 }
 
 // Revoke removes rank's permission. The owner's access cannot be revoked.
-func (s *Segment) Revoke(rank int) { delete(s.acl, rank) }
+func (s *Segment) Revoke(rank int) {
+	if rank >= 0 && rank < 64 {
+		s.aclLow &^= 1 << rank
+		return
+	}
+	delete(s.acl, rank)
+}
 
 // Allowed reports whether rank may address this segment.
 func (s *Segment) Allowed(rank int) bool {
-	return rank == s.Owner || s.acl[rank]
+	if rank == s.Owner {
+		return true
+	}
+	if rank >= 0 && rank < 64 {
+		return s.aclLow&(1<<rank) != 0
+	}
+	return s.acl[rank]
 }
 
 // Addr returns the address of byte off within the segment.
@@ -101,9 +121,10 @@ type QueueRef struct {
 // RQueue is a remote queue: a receive queue in the owner's address space
 // that remote processes ENQ records into and the owner (usually) DEQs from.
 type RQueue struct {
-	ID    QueueID
-	Owner int
-	acl   map[int]bool
+	ID     QueueID
+	Owner  int
+	aclLow uint64 // ranks 0..63, same split as Segment
+	acl    map[int]bool
 
 	entries  [][]byte
 	getters  []*sim.Proc
@@ -115,6 +136,10 @@ type RQueue struct {
 
 // Grant permits rank to enqueue into (or dequeue from) this queue.
 func (q *RQueue) Grant(rank int) {
+	if rank >= 0 && rank < 64 {
+		q.aclLow |= 1 << rank
+		return
+	}
 	if q.acl == nil {
 		q.acl = make(map[int]bool)
 	}
@@ -130,7 +155,13 @@ func (q *RQueue) GrantAll(n int) {
 
 // Allowed reports whether rank may operate on this queue.
 func (q *RQueue) Allowed(rank int) bool {
-	return rank == q.Owner || q.acl[rank]
+	if rank == q.Owner {
+		return true
+	}
+	if rank >= 0 && rank < 64 {
+		return q.aclLow&(1<<rank) != 0
+	}
+	return q.acl[rank]
 }
 
 // Deliver appends one record (called by the communication agent when an ENQ
@@ -201,24 +232,40 @@ func (q *RQueue) MaxDepth() int { return q.maxDepth }
 
 // Registry is the cluster-wide map from logical identifiers to segments,
 // flags and queues ("the mapping between asid and an address space is
-// defined at program initialization time").
+// defined at program initialization time"). Identifiers are allocated
+// densely from 1, so the tables are slices indexed by ID — the resolves
+// sit on the per-transfer hot path of every agent and every endpoint, and
+// a slice index is several times cheaper than a map probe. Slot 0 stays
+// empty as the "no such object" sentinel.
 type Registry struct {
 	eng       *sim.Engine
 	nextSeg   ASID
 	nextFlag  FlagID
 	nextQueue QueueID
-	segs      map[ASID]*Segment
-	flags     map[FlagRef]*sim.Flag
-	queues    map[QueueRef]*RQueue
+	segs      []*Segment
+	flags     []flagSlot
+	queues    []queueSlot
+}
+
+// flagSlot pairs a flag with the owner recorded in its reference: a ref
+// forged with the right ID but the wrong owner must not resolve.
+type flagSlot struct {
+	owner int
+	f     *sim.Flag
+}
+
+type queueSlot struct {
+	owner int
+	q     *RQueue
 }
 
 // NewRegistry returns an empty registry bound to eng.
 func NewRegistry(eng *sim.Engine) *Registry {
 	return &Registry{
 		eng:    eng,
-		segs:   make(map[ASID]*Segment),
-		flags:  make(map[FlagRef]*sim.Flag),
-		queues: make(map[QueueRef]*RQueue),
+		segs:   make([]*Segment, 1),
+		flags:  make([]flagSlot, 1),
+		queues: make([]queueSlot, 1),
 	}
 }
 
@@ -226,20 +273,22 @@ func NewRegistry(eng *sim.Engine) *Registry {
 func (r *Registry) NewSegment(owner, size int) *Segment {
 	r.nextSeg++
 	s := &Segment{ID: r.nextSeg, Owner: owner, Data: make([]byte, size)}
-	r.segs[s.ID] = s
+	r.segs = append(r.segs, s)
 	return s
 }
 
 // Segment resolves an ASID.
 func (r *Registry) Segment(id ASID) (*Segment, bool) {
-	s, ok := r.segs[id]
-	return s, ok
+	if id <= 0 || int(id) >= len(r.segs) {
+		return nil, false
+	}
+	return r.segs[id], true
 }
 
 // CheckAccess verifies that rank may transfer n bytes at addr, returning a
 // Fault otherwise.
 func (r *Registry) CheckAccess(rank int, addr Addr, n int, op string) (*Segment, error) {
-	s, ok := r.segs[addr.Seg]
+	s, ok := r.Segment(addr.Seg)
 	if !ok {
 		return nil, &Fault{Rank: rank, Seg: addr.Seg, Op: op, Why: "no such segment"}
 	}
@@ -257,23 +306,26 @@ func (r *Registry) CheckAccess(rank int, addr Addr, n int, op string) (*Segment,
 func (r *Registry) NewFlag(owner int) FlagRef {
 	r.nextFlag++
 	ref := FlagRef{Owner: owner, ID: r.nextFlag}
-	r.flags[ref] = r.eng.NewFlag()
+	r.flags = append(r.flags, flagSlot{owner: owner, f: r.eng.NewFlag()})
 	return ref
 }
 
 // Flag resolves a flag reference.
 func (r *Registry) Flag(ref FlagRef) (*sim.Flag, bool) {
-	f, ok := r.flags[ref]
-	return f, ok
+	if ref.ID <= 0 || int(ref.ID) >= len(r.flags) {
+		return nil, false
+	}
+	sl := r.flags[ref.ID]
+	if sl.owner != ref.Owner {
+		return nil, false
+	}
+	return sl.f, true
 }
 
 // Signal increments a flag (no-op for the nil reference), as the agents do
 // on operation completion.
 func (r *Registry) Signal(ref FlagRef) {
-	if ref.Nil() {
-		return
-	}
-	if f, ok := r.flags[ref]; ok {
+	if f, ok := r.Flag(ref); ok {
 		f.Add(1)
 	}
 }
@@ -282,19 +334,25 @@ func (r *Registry) Signal(ref FlagRef) {
 func (r *Registry) NewQueue(owner int) *RQueue {
 	r.nextQueue++
 	q := &RQueue{ID: r.nextQueue, Owner: owner, eng: r.eng}
-	r.queues[QueueRef{Owner: owner, ID: q.ID}] = q
+	r.queues = append(r.queues, queueSlot{owner: owner, q: q})
 	return q
 }
 
 // Queue resolves a queue reference.
 func (r *Registry) Queue(ref QueueRef) (*RQueue, bool) {
-	q, ok := r.queues[ref]
-	return q, ok
+	if ref.ID <= 0 || int(ref.ID) >= len(r.queues) {
+		return nil, false
+	}
+	sl := r.queues[ref.ID]
+	if sl.owner != ref.Owner {
+		return nil, false
+	}
+	return sl.q, true
 }
 
 // CheckQueue verifies that rank may operate on the referenced queue.
 func (r *Registry) CheckQueue(rank int, ref QueueRef, op string) (*RQueue, error) {
-	q, ok := r.queues[ref]
+	q, ok := r.Queue(ref)
 	if !ok {
 		return nil, &Fault{Rank: rank, Seg: ASID(ref.ID), Op: op, Why: "no such queue"}
 	}

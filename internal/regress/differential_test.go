@@ -1,0 +1,50 @@
+package regress
+
+import (
+	"testing"
+
+	"mproxy/internal/sim"
+	"mproxy/internal/trace"
+)
+
+// runScenarioInMode replays sc with the process-global default execution
+// mode pinned to m for the duration of the run. Every scenario builds its
+// own engine internally, so the default mode is the only way to steer which
+// dispatch machinery (coroutine Proc or run-to-completion Task) the
+// communication agents are built on.
+func runScenarioInMode(t *testing.T, sc Scenario, m sim.ExecMode) *trace.Digest {
+	t.Helper()
+	prev := sim.DefaultExecMode()
+	sim.SetDefaultExecMode(m)
+	defer sim.SetDefaultExecMode(prev)
+	return runScenario(t, sc)
+}
+
+// TestDifferentialExecModes is the equivalence half of the run-to-completion
+// refactor: every golden scenario must produce a bit-identical event stream
+// whether the proxy scan loop, agent service loop and ship/deliver path run
+// as parked coroutines or as inline callback state machines. The golden
+// files themselves pin the stream across time; this test pins it across
+// execution models, so a Task-path cost or ordering drift cannot hide
+// behind a re-bless.
+func TestDifferentialExecModes(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			task := runScenarioInMode(t, sc, sim.ExecTask)
+			proc := runScenarioInMode(t, sc, sim.ExecProc)
+			if task.Count() != proc.Count() {
+				t.Fatalf("event counts diverge: task mode %d, proc mode %d",
+					task.Count(), proc.Count())
+			}
+			if task.LastAt() != proc.LastAt() {
+				t.Fatalf("final timestamps diverge: task mode %d, proc mode %d",
+					task.LastAt(), proc.LastAt())
+			}
+			if task.Sum() != proc.Sum() {
+				t.Fatalf("trace digests diverge over %d events:\n  task mode %s\n  proc mode %s",
+					task.Count(), task.Sum(), proc.Sum())
+			}
+		})
+	}
+}

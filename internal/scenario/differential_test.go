@@ -1,0 +1,71 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+
+	"mproxy/internal/sim"
+)
+
+// diffScale picks the problem scale for the differential sweep. The full
+// preset scales prove equivalence over the exact blessed workloads; under
+// -short or the race detector (which multiplies simulation cost several
+// times over) the app-driven presets drop to test scale — the protocol
+// paths exercised are the same, only the iteration counts shrink.
+func diffScale(spec Spec) Spec {
+	if testing.Short() || raceEnabled {
+		if spec.Scale != "" || spec.Kind == KindAppsFigure8 || spec.Kind == KindAppsTable6 {
+			spec.Scale = "test"
+		}
+		if spec.Reps > 2 {
+			spec.Reps = 2
+		}
+	}
+	return spec
+}
+
+// runPresetInMode renders the preset with the default execution mode
+// pinned to m, returning the manifest and the full output bytes.
+func runPresetInMode(t *testing.T, spec Spec, m sim.ExecMode) (Manifest, []byte) {
+	t.Helper()
+	prev := sim.DefaultExecMode()
+	sim.SetDefaultExecMode(m)
+	defer sim.SetDefaultExecMode(prev)
+	var buf bytes.Buffer
+	mf, err := Run(spec, &buf)
+	if err != nil {
+		t.Fatalf("%s mode: %v", m, err)
+	}
+	return mf, buf.Bytes()
+}
+
+// TestDifferentialPresets renders every blessed preset under both
+// execution models and requires bit-identical output bytes and manifests.
+// The regress suite pins the raw event streams; this test pins the other
+// end of the stack: every table, sweep and profile the repository
+// publishes is reproduced exactly by the run-to-completion agents.
+func TestDifferentialPresets(t *testing.T) {
+	for _, name := range PresetNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			p, err := PresetByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := diffScale(p.Spec)
+			spec.Normalize()
+			if err := spec.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			taskMF, taskOut := runPresetInMode(t, spec, sim.ExecTask)
+			procMF, procOut := runPresetInMode(t, spec, sim.ExecProc)
+			if !bytes.Equal(taskOut, procOut) {
+				t.Fatalf("output bytes diverge: task mode %d bytes (sha %s), proc mode %d bytes (sha %s)",
+					len(taskOut), taskMF.OutputSHA256, len(procOut), procMF.OutputSHA256)
+			}
+			if taskMF != procMF {
+				t.Fatalf("manifests diverge:\n  task mode %+v\n  proc mode %+v", taskMF, procMF)
+			}
+		})
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package scenario
+
+// raceEnabled reports whether the binary was built with the race
+// detector; the differential sweep shrinks its problem scales under it.
+const raceEnabled = false

@@ -124,14 +124,16 @@ type Engine struct {
 	heap eventHeap
 	lane eventLane
 
-	// parked receives a token whenever the currently-running process hands
-	// control back to the engine (by parking or by terminating).
-	parked chan struct{}
-
-	live    int   // spawned processes that have not yet terminated
+	live    int   // spawned processes/tasks that have not yet terminated
 	failure error // first panic captured from a process body
 	stopped bool
-	procs   []*Proc
+	// down is set by Shutdown: a reaped engine cannot be resumed, so
+	// later runs fire nothing and later spawns never start (closing the
+	// goroutine-leak window of a spawn event firing after its engine was
+	// shut down and its actor list discarded).
+	down   bool
+	actors []actor // every spawned Proc and Task, in spawn order
+	mode   ExecMode
 
 	// tracer, when non-nil, receives one trace.Event per engine
 	// occurrence. The nil check is the entire disabled-tracer cost.
@@ -165,7 +167,7 @@ func GlobalTracerInstalled() bool { return globalTracer != nil }
 
 // NewEngine returns an engine at time zero with no pending events.
 func NewEngine() *Engine {
-	e := &Engine{parked: make(chan struct{})}
+	e := &Engine{mode: defaultExecMode}
 	e.SetTracer(globalTracer)
 	return e
 }
@@ -278,17 +280,23 @@ func (e *Engine) Run() error {
 	return err
 }
 
-// Shutdown reaps every blocked process goroutine. Called automatically at
-// the end of Run; call it manually after a final RunUntil.
+// Shutdown reaps every blocked process goroutine and ends every blocked
+// task, in spawn order. Called automatically at the end of Run; call it
+// manually after a final RunUntil. Afterwards the engine is down: further
+// runs fire no events and further spawns never start, so no goroutine can
+// outlive a shut-down engine.
 func (e *Engine) Shutdown() {
-	for _, p := range e.procs {
-		if p.dead || !p.started {
-			continue
+	e.down = true
+	for _, a := range e.actors {
+		if p := a.p; p != nil && !p.dead && p.started {
+			p.killed = true
+			e.transfer(p)
 		}
-		p.killed = true
-		e.transfer(p)
+		if t := a.t; t != nil && !t.dead && t.started {
+			t.end(1)
+		}
 	}
-	e.procs = nil
+	e.actors = nil
 	e.FlushTrace()
 }
 
@@ -311,6 +319,9 @@ func (e *Engine) RunUntil(t Time) error {
 // the lane on time alone.
 func (e *Engine) run(limit Time) error {
 	defer e.FlushTrace()
+	if e.down {
+		return e.failure
+	}
 	for !e.stopped {
 		var ev event
 		if e.lane.len() > 0 {
@@ -362,9 +373,13 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // transfer hands control to p and blocks until p parks or terminates.
 // It must only be called from engine context (inside an event callback).
+// Transfers to a dead process are dropped: its coroutine has returned and
+// resuming it would panic.
 func (e *Engine) transfer(p *Proc) {
-	p.resume <- struct{}{}
-	<-e.parked
+	if p.dead {
+		return
+	}
+	p.next()
 }
 
 // Wake schedules p to resume at the current time (after already-scheduled

@@ -21,7 +21,7 @@ type FIFO[T any] struct {
 	name    string
 	items   []T
 	head    int
-	getters []*Proc
+	getters []waiter
 }
 
 // NewFIFO returns an empty typed queue whose enqueue/dequeue operations
@@ -41,9 +41,14 @@ func (q *FIFO[T]) Put(x T) {
 	q.items = append(q.items, x)
 	q.eng.Emit(trace.KEnqueue, q.name, int64(q.Len()))
 	if len(q.getters) > 0 {
-		p := q.getters[0]
-		q.getters = q.getters[1:]
-		q.eng.Wake(p)
+		// Shift instead of reslicing: q.getters[1:] would walk the backing
+		// array's capacity away and force a fresh allocation on every
+		// park/wake cycle of a steady-state consumer.
+		w := q.getters[0]
+		copy(q.getters, q.getters[1:])
+		q.getters[len(q.getters)-1] = waiter{}
+		q.getters = q.getters[:len(q.getters)-1]
+		q.eng.wakeWaiter(w)
 	}
 }
 
@@ -51,10 +56,18 @@ func (q *FIFO[T]) Put(x T) {
 // empty.
 func (q *FIFO[T]) Get(p *Proc) T {
 	for q.Len() == 0 {
-		q.getters = append(q.getters, p)
+		q.getters = append(q.getters, waiter{p: p})
 		p.Park()
 	}
 	return q.take()
+}
+
+// ParkGetter blocks t as a getter, running k at the next Put. k must
+// re-check the queue with TryGet — the Task counterpart of Get's re-check
+// loop, with identical park/wake trace emissions.
+func (q *FIFO[T]) ParkGetter(t *Task, k func()) {
+	q.getters = append(q.getters, waiter{t: t})
+	t.Park(k)
 }
 
 // TryGet removes and returns the head item without blocking. It returns

@@ -2,17 +2,23 @@ package sim
 
 import (
 	"fmt"
+	"iter"
 
 	"mproxy/internal/trace"
 )
 
-// Proc is a simulated process. A Proc's body runs on its own goroutine but
-// is only ever executing while the engine is blocked waiting for it, so the
-// simulation remains sequential and deterministic.
+// Proc is a simulated process. A Proc's body runs on its own coroutine
+// (an iter.Pull iterator), and is only ever executing while the engine is
+// blocked inside next() waiting for it, so the simulation remains
+// sequential and deterministic. The coroutine switch transfers control
+// directly between the engine and the process without a trip through the
+// goroutine scheduler, which makes a park/resume cycle several times
+// cheaper than a channel handshake.
 type Proc struct {
 	eng     *Engine
 	name    string
-	resume  chan struct{}
+	next    func() (struct{}, bool)
+	yield   func(struct{}) bool
 	dead    bool
 	daemon  bool
 	killed  bool
@@ -33,20 +39,34 @@ func (e *Engine) SpawnDaemon(name string, body func(p *Proc)) *Proc {
 }
 
 // procKilled is the sentinel Park panics with when the engine reaps a
-// blocked process at shutdown; the spawn wrapper swallows it.
+// blocked process at shutdown; the coroutine wrapper swallows it.
 type procKilled struct{}
 
 func (e *Engine) spawn(name string, body func(p *Proc), daemon bool) *Proc {
-	p := &Proc{eng: e, name: name, resume: make(chan struct{}), daemon: daemon}
+	p := &Proc{eng: e, name: name, daemon: daemon}
+	if e.down {
+		p.dead = true
+		return p
+	}
 	if !daemon {
 		e.live++
 	}
-	e.procs = append(e.procs, p)
+	e.actors = append(e.actors, actor{p: p})
 	e.Schedule(0, func() {
+		if e.down {
+			// The engine was shut down before this spawn fired (a final
+			// RunUntil after Shutdown): the reaper has already run, so the
+			// body must never start.
+			p.dead = true
+			if !daemon {
+				e.live--
+			}
+			return
+		}
 		p.started = true
 		e.Emit(trace.KSpawn, p.name, 0)
-		go func() {
-			<-p.resume
+		p.next, _ = iter.Pull(func(yield func(struct{}) bool) {
+			p.yield = yield
 			defer func() {
 				if r := recover(); r != nil {
 					if _, ok := r.(procKilled); !ok && e.failure == nil {
@@ -62,10 +82,9 @@ func (e *Engine) spawn(name string, body func(p *Proc), daemon bool) *Proc {
 					killed = 1
 				}
 				e.Emit(trace.KProcEnd, p.name, killed)
-				e.parked <- struct{}{}
 			}()
 			body(p)
-		}()
+		})
 		e.transfer(p)
 	})
 	return p
@@ -86,9 +105,10 @@ func (p *Proc) Now() Time { return p.eng.now }
 // their own blocking structures.
 func (p *Proc) Park() {
 	p.eng.Emit(trace.KPark, p.name, 0)
-	p.eng.parked <- struct{}{}
-	<-p.resume
-	if p.killed {
+	if !p.yield(struct{}{}) || p.killed {
+		// The engine reaped this process while it was parked (or the
+		// iterator was stopped underneath it): unwind the body.
+		p.killed = true
 		panic(procKilled{})
 	}
 	p.eng.Emit(trace.KUnpark, p.name, 0)

@@ -13,7 +13,7 @@ type Flag struct {
 }
 
 type flagWaiter struct {
-	p    *Proc
+	w    waiter
 	need int64
 }
 
@@ -35,7 +35,7 @@ func (f *Flag) Add(n int64) {
 	kept := f.waiters[:0]
 	for _, w := range f.waiters {
 		if f.val >= w.need {
-			f.eng.Wake(w.p)
+			f.eng.wakeWaiter(w.w)
 		} else {
 			kept = append(kept, w)
 		}
@@ -46,9 +46,22 @@ func (f *Flag) Add(n int64) {
 // Wait blocks p until the count is at least need.
 func (f *Flag) Wait(p *Proc, need int64) {
 	for f.val < need {
-		f.waiters = append(f.waiters, flagWaiter{p, need})
+		f.waiters = append(f.waiters, flagWaiter{waiter{p: p}, need})
 		p.Park()
 	}
+}
+
+// WaitTask runs k once the count is at least need — immediately if it
+// already is, otherwise after parking t. No re-check loop is needed: Add
+// only wakes a waiter whose threshold is met, and each waiter receives
+// exactly one wake.
+func (f *Flag) WaitTask(t *Task, need int64, k func()) {
+	if f.val >= need {
+		k()
+		return
+	}
+	f.waiters = append(f.waiters, flagWaiter{waiter{t: t}, need})
+	t.Park(k)
 }
 
 // Queue is an unbounded FIFO of items with blocking Get, used for remote
@@ -84,7 +97,9 @@ func (q *Queue) Put(x any) {
 	q.eng.Emit(trace.KEnqueue, q.name, int64(q.Len()))
 	if len(q.getters) > 0 {
 		p := q.getters[0]
-		q.getters = q.getters[1:]
+		copy(q.getters, q.getters[1:])
+		q.getters[len(q.getters)-1] = nil
+		q.getters = q.getters[:len(q.getters)-1]
 		q.eng.Wake(p)
 	}
 }
