@@ -53,7 +53,7 @@ if ! cmp -s "$tmpdir/chrome.json" internal/prof/testdata/pingpong-mp1-chrome.jso
     exit 1
 fi
 
-echo "== bench shard (schema + regression gate vs BENCH_6.json)"
+echo "== bench shard (schema + regression gate vs BENCH_7.json)"
 # 15% tolerance plus one retry: the shared runners' noise is one-sided
 # (load spikes only ever slow a rep down) and an occasional spike exceeds
 # any tolerance a real regression should be allowed to hide in. A genuine
@@ -61,7 +61,7 @@ echo "== bench shard (schema + regression gate vs BENCH_6.json)"
 bench_ok=0
 for attempt in 1 2; do
     if "$tmpdir/mproxy" bench -quick -out "$tmpdir/bench.json" \
-        -baseline BENCH_6.json -tolerance 0.15 2>"$tmpdir/bench.log"; then
+        -baseline BENCH_7.json -tolerance 0.15 2>"$tmpdir/bench.log"; then
         bench_ok=1
         break
     fi
@@ -83,7 +83,8 @@ for preset_file in \
     "section4-model section4_model.txt" \
     "table3 table3.txt" \
     "table4 table4.txt" \
-    "figure7 figure7.txt"
+    "figure7 figure7.txt" \
+    "serving-smoke serving_smoke.txt"
 do
     set -- $preset_file
     "$tmpdir/mproxy" run "$1" 2>/dev/null >"$tmpdir/out.txt"
@@ -100,7 +101,9 @@ if [ "$mode" = "full" ]; then
         "table6 table6.txt" \
         "figure9 figure9.txt" \
         "figure9-2proxies figure9_2proxies.txt" \
-        "section54-queueing section54_queueing.txt"
+        "section54-queueing section54_queueing.txt" \
+        "serving-fattree-1k serving.txt" \
+        "serving-dragonfly-1k serving_dragonfly.txt"
     do
         set -- $preset_file
         "$tmpdir/mproxy" run "$1" 2>/dev/null >"$tmpdir/out.txt"

@@ -375,7 +375,10 @@ func buildRun(args []string, stdout, stderr io.Writer) (scenario.Spec, bool, int
 	} else {
 		data, rerr := os.ReadFile(target)
 		if rerr != nil {
-			fmt.Fprintf(stderr, "mproxy run: %q is neither a preset nor a readable spec file\n", target)
+			// Not a preset and not a readable file: surface the preset
+			// error, which lists every available name.
+			fmt.Fprintln(stderr, "mproxy run:", err)
+			fmt.Fprintf(stderr, "mproxy run: %q is not a readable spec file either\n", target)
 			return scenario.Spec{}, true, 1
 		}
 		spec, rerr = scenario.ParseJSON(data)

@@ -62,6 +62,34 @@ func TestSmoke(t *testing.T) {
 	}
 }
 
+// An unknown preset name must fail with an error that lists every
+// available preset, pinned by a golden so the listing stays wired up.
+func TestUnknownPresetListsNames(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"run", "no-such-preset"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	golden := filepath.Join("testdata", "run-unknown-preset.golden")
+	if *update {
+		if err := os.WriteFile(golden, stderr.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(stderr.Bytes(), want) {
+		t.Errorf("stderr drifted from %s:\ngot:\n%s\nwant:\n%s", golden, stderr.Bytes(), want)
+	}
+	for _, name := range []string{"table3", "serving-fattree-1k", "serving-smoke"} {
+		if !strings.Contains(stderr.String(), name) {
+			t.Errorf("unknown-preset error does not list %s:\n%s", name, stderr.String())
+		}
+	}
+}
+
 // Experiment subcommands emit exactly one manifest JSON line on stderr.
 func TestManifestOnStderr(t *testing.T) {
 	var stdout, stderr bytes.Buffer
@@ -106,7 +134,7 @@ func TestManifestDeterministic(t *testing.T) {
 func TestResultsByteIdentity(t *testing.T) {
 	cheap := []string{"section4-model", "table3", "table4", "figure7"}
 	if !testing.Short() {
-		cheap = append(cheap, "table6", "section54-queueing")
+		cheap = append(cheap, "table6", "section54-queueing", "serving-smoke")
 	}
 	for _, name := range cheap {
 		t.Run(name, func(t *testing.T) {
@@ -121,6 +149,7 @@ func TestResultsByteIdentity(t *testing.T) {
 				"figure7":            "figure7.txt",
 				"table6":             "table6.txt",
 				"section54-queueing": "section54_queueing.txt",
+				"serving-smoke":      "serving_smoke.txt",
 			}[name]
 			want, err := os.ReadFile(filepath.Join("..", "..", "results", path))
 			if err != nil {

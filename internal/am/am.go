@@ -26,9 +26,13 @@ type Handler func(p *Port, src int, args []int64, payload []byte)
 type Layer struct {
 	f        *comm.Fabric
 	handlers []Handler
-	queues   []*memory.RQueue
-	refs     []memory.QueueRef
-	ports    []*Port
+	// taskHandlers parallels handlers: a handler id resolves to exactly
+	// one of the two tables, depending on whether it was registered for
+	// blocking-poll or run-to-completion dispatch (see task.go).
+	taskHandlers []TaskHandler
+	queues       []*memory.RQueue
+	refs         []memory.QueueRef
+	ports        []*Port
 }
 
 // New builds the layer over a fabric, allocating each rank's message queue
@@ -38,7 +42,7 @@ func New(f *comm.Fabric) *Layer {
 	l := &Layer{f: f}
 	for rank := 0; rank < n; rank++ {
 		q := f.Registry().NewQueue(rank)
-		q.GrantAll(n)
+		q.GrantWorld()
 		l.queues = append(l.queues, q)
 		l.refs = append(l.refs, memory.QueueRef{Owner: rank, ID: q.ID})
 		l.ports = append(l.ports, &Port{l: l, rank: rank, ep: f.Endpoint(rank)})
@@ -50,6 +54,7 @@ func New(f *comm.Fabric) *Layer {
 // must be registered before communication starts.
 func (l *Layer) Register(h Handler) int {
 	l.handlers = append(l.handlers, h)
+	l.taskHandlers = append(l.taskHandlers, nil)
 	return len(l.handlers) - 1
 }
 
@@ -69,6 +74,9 @@ type Port struct {
 	ep   *comm.Endpoint
 
 	delivered int64 // messages dispatched on this port
+	// stash hands one record from an empty-queue TakeAsync callback to
+	// the parked task serve loop (see task.go).
+	stash []byte
 }
 
 // Rank returns the port's rank.
@@ -223,7 +231,11 @@ func (p *Port) dispatch(handler, src int, args []int64, payload []byte) {
 	n := msgHeader + 8*len(args) + len(payload)
 	p.ep.Compute(a.Instr(2.0) + 2*a.CacheMiss + arch.XferTime(n, a.PIOBW))
 	p.delivered++
-	p.l.handlers[handler](p, src, args, payload)
+	h := p.l.handlers[handler]
+	if h == nil {
+		panic(fmt.Sprintf("am: handler %d is task-registered; it cannot run from a blocking poll", handler))
+	}
+	h(p, src, args, payload)
 }
 
 // F2I and I2F pass float64 argument words through int64 argument slots.

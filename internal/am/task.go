@@ -1,0 +1,106 @@
+package am
+
+import (
+	"fmt"
+
+	"mproxy/internal/arch"
+	"mproxy/internal/memory"
+	"mproxy/internal/sim"
+)
+
+// Run-to-completion active messaging. The serving workloads run clients
+// and servers as sim.Tasks; this file is the AM layer's task-side
+// surface: SendTask submits a message in continuation-passing style, and
+// ServeWhileTask turns a task into the port's message loop. Handlers
+// registered for task dispatch receive the serving task and a
+// continuation they must invoke exactly once — which lets a KV handler
+// chain further sends (a reply, replication fan-out) before yielding the
+// loop. Cost accounting matches the blocking API line for line.
+
+// TaskHandler is an active-message handler dispatched on a
+// run-to-completion serve loop. It must call k exactly once when its
+// work (including any chained sends) is submitted.
+type TaskHandler func(p *Port, t *sim.Task, src int, args []int64, payload []byte, k func())
+
+// RegisterTask adds a task-dispatched handler to the table and returns
+// its id. Ids share one space with Register's: a message addressed to a
+// task handler must be consumed by ServeWhileTask, not a blocking poll.
+func (l *Layer) RegisterTask(h TaskHandler) int {
+	l.handlers = append(l.handlers, nil)
+	l.taskHandlers = append(l.taskHandlers, h)
+	return len(l.taskHandlers) - 1
+}
+
+// SendTask is Send for a run-to-completion caller: k runs when the
+// message has been submitted (local deliveries complete first).
+func (p *Port) SendTask(t *sim.Task, dst, handler int, args []int64, payload []byte, k func()) {
+	if handler < 0 || handler >= len(p.l.handlers) {
+		panic(fmt.Sprintf("am: rank %d sends unknown handler %d", p.rank, handler))
+	}
+	a := p.l.f.A
+	p.ep.CPU().ComputeTask(t, a.Instr(1.5)+a.CacheMiss, func() {
+		rec := encode(handler, p.rank, args, payload)
+		if dst == p.rank {
+			// Queue-mediated like Send: self-sends must not run nested.
+			p.ep.CPU().ComputeTask(t, a.CacheMiss, func() {
+				p.l.queues[p.rank].Deliver(rec)
+				k()
+			})
+			return
+		}
+		if err := p.ep.EnqBytesTask(t, rec, p.l.refs[dst], memory.FlagRef{}, k); err != nil {
+			panic(fmt.Sprintf("am: rank %d -> %d: %v", p.rank, dst, err))
+		}
+	})
+}
+
+// ServeWhileTask turns t into the port's message loop: every arriving
+// record is dispatched to its task handler, and done is checked after
+// each dispatch — when it reports true the loop returns and the task
+// ends. A server that never finishes passes a false-returning done and
+// is spawned as a daemon. The port's queue must have exactly one
+// consumer.
+func (p *Port) ServeWhileTask(t *sim.Task, done func() bool) {
+	p.serveStep(t, done)
+}
+
+func (p *Port) serveStep(t *sim.Task, done func() bool) {
+	q := p.l.queues[p.rank]
+	rec, ok := q.TryTake()
+	if !ok {
+		q.TakeAsync(func(r []byte) {
+			p.stash = r
+			p.l.f.Cl.Eng.WakeTask(t)
+		})
+		t.Park(func() {
+			rec := p.stash
+			p.stash = nil
+			p.dispatchTask(t, rec, done)
+		})
+		return
+	}
+	p.dispatchTask(t, rec, done)
+}
+
+// dispatchTask charges the receive-side costs (queue pop plus handler
+// invocation, as Recv + dispatch would) and runs the task handler, whose
+// continuation loops or finishes the serve.
+func (p *Port) dispatchTask(t *sim.Task, rec []byte, done func() bool) {
+	h, src, args, payload := decode(rec)
+	a := p.l.f.A
+	n := msgHeader + 8*len(args) + len(payload)
+	cost := p.l.f.RecvCost() + a.Instr(2.0) + 2*a.CacheMiss + arch.XferTime(n, a.PIOBW)
+	p.ep.CPU().ComputeTask(t, cost, func() {
+		p.delivered++
+		th := p.l.taskHandlers[h]
+		if th == nil {
+			panic(fmt.Sprintf("am: handler %d is poll-registered; it cannot run on a task serve loop", h))
+		}
+		th(p, t, src, args, payload, func() {
+			if done() {
+				return
+			}
+			p.serveStep(t, done)
+		})
+	})
+}

@@ -31,6 +31,7 @@ import (
 	"mproxy/internal/sim"
 	"mproxy/internal/trace"
 	"mproxy/internal/workload"
+	"mproxy/internal/workload/openloop"
 )
 
 // Schema identifies the Suite JSON layout. Bump only with a migration in
@@ -77,13 +78,14 @@ func Run(opt Options) (Suite, error) {
 	// The microbenchmark rows keep full counts under -quick: they cost
 	// tens of milliseconds each and need that window length (and the same
 	// setup-cost amortization) for per-op figures stable enough to gate at
-	// 10%. Quick only switches figure8 to test scale, which dominates
-	// wall-clock.
+	// 10%. Quick trims the serving sweep and switches figure8 to test
+	// scale, which dominate wall-clock.
 	suite := []bm{
 		{"engine-events", 2_000_000, 0, benchEngineEvents},
 		{"engine-timer", 1_000_000, 0, benchEngineTimer},
 		{"engine-traced", 1_000_000, 0, benchEngineTraced},
 		{"pingpong-e2e", 2_000, 0, benchPingPong},
+		{"serving-smoke", 4_000, 1_000, benchServing},
 		{"figure8-small", 3, 0, benchFigure8(opt.Quick)},
 	}
 	for _, b := range suite {
@@ -242,6 +244,34 @@ func benchPingPong(ops int64) error {
 		}
 	})
 	return eng.Run()
+}
+
+// benchServing measures the open-loop serving stack end-to-end: a small
+// MP1 fat-tree cluster under the Poisson generator, one measured request
+// per op. The row stacks multi-switch routing, AM dispatch, KV service
+// and replication on top of the engine, so a regression anywhere in the
+// serving path moves it even when the microloops hold steady.
+func benchServing(ops int64) error {
+	a, ok := arch.ByName("MP1")
+	if !ok {
+		return fmt.Errorf("unknown arch MP1")
+	}
+	res, err := openloop.Run(openloop.Config{
+		Arch: a, Nodes: 4, Clients: 2, Proxies: 1,
+		Topo: "fat-tree", CommandQueueCap: 64,
+		ValueBytes: 64, ScanCount: 16, Replication: 2,
+		Keys: 1024, Theta: 0.99,
+		Requests: int(ops), Warmup: int(ops / 10),
+		LoadUs: []float64{320},
+		Seed:   7,
+	})
+	if err != nil {
+		return err
+	}
+	if got := int64(res.Points[0].Latency.Count); got != ops {
+		return fmt.Errorf("measured %d of %d requests", got, ops)
+	}
+	return nil
 }
 
 // benchFigure8 measures application wall-clock: the Sample kernel on MP1

@@ -143,8 +143,8 @@ func TestRunQuickSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(s.Results) != 5 {
-		t.Fatalf("suite has %d results, want 5", len(s.Results))
+	if len(s.Results) != 6 {
+		t.Fatalf("suite has %d results, want 6", len(s.Results))
 	}
 	reparsed, err := ParseJSON(s.JSON())
 	if err != nil {

@@ -127,6 +127,12 @@ func (f *Fabric) ship(node *machine.Node, pkt *packet) {
 		f.relShip(pkt, false)
 		return
 	}
+	if ic := f.Cl.Net; ic != nil {
+		// Multi-switch machine: the interconnect owns the path from the
+		// source link through the switches; the fabric stays the sink.
+		ic.Ship(node.ID, f.nodeOf(pkt.to).ID, HeaderSize+len(pkt.data), f, pkt, false)
+		return
+	}
 	if f.taskMode {
 		node.OutLink.SendToSink(HeaderSize+len(pkt.data), f, pkt)
 		return
@@ -159,6 +165,10 @@ func (f *Fabric) DeliverPacket(arg any, fate machine.PacketFate) {
 func (f *Fabric) shipOverlapped(node *machine.Node, pkt *packet) {
 	if f.relE != nil {
 		f.relShip(pkt, true)
+		return
+	}
+	if ic := f.Cl.Net; ic != nil {
+		ic.Ship(node.ID, f.nodeOf(pkt.to).ID, HeaderSize+len(pkt.data), f, pkt, true)
 		return
 	}
 	if f.taskMode {

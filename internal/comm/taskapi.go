@@ -1,0 +1,100 @@
+package comm
+
+import (
+	"fmt"
+
+	"mproxy/internal/arch"
+	"mproxy/internal/machine"
+	"mproxy/internal/memory"
+	"mproxy/internal/sim"
+)
+
+// Task-side submission paths. The serving workloads run every client and
+// server as a run-to-completion sim.Task in BOTH execution modes — only
+// the communication agents switch representation with the engine's
+// ExecMode — so these paths must work over either fabric flavor: the
+// pre-built ep.work item and the deliver path are already
+// mode-appropriate, and the task-side CPU charging below is mode-blind.
+// Cost accounting mirrors the blocking API call for call.
+
+// EnqBytesTask is EnqBytes for a run-to-completion caller: k runs once
+// the submission has been charged and handed to the send path (not when
+// the record arrives — ENQ is asynchronous either way).
+func (ep *Endpoint) EnqBytesTask(t *sim.Task, data []byte, rq memory.QueueRef, lsync memory.FlagRef, k func()) error {
+	if _, err := ep.f.Cl.Reg.CheckQueue(ep.rank, rq, "ENQ"); err != nil {
+		return err
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	ep.record(OpEnq, len(data))
+	ep.submitTask(t, request{kind: OpEnq, from: ep.rank, payload: buf, rq: rq, n: len(data), fsync: lsync}, k)
+	return nil
+}
+
+// submitTask is submit in continuation-passing style.
+func (ep *Endpoint) submitTask(t *sim.Task, r request, k func()) {
+	f := ep.f
+	r.issued = f.Cl.Eng.Now()
+	if !f.forceRemote && f.nodeOf(f.targetRank(r)) == ep.cpu.Node {
+		f.stats.Intra++
+		f.intraTask(ep, t, r, k)
+		return
+	}
+	switch f.A.Kind {
+	case arch.Proxy:
+		ep.cpu.ComputeTask(t, 2*f.A.AgentMiss+f.A.Instr(0.2), func() {
+			ep.enqueueCmdTask(t, r, k)
+		})
+	case arch.CustomHW:
+		ep.cpu.ComputeTask(t, f.A.ComputeOvh, func() {
+			node := ep.cpu.Node
+			if f.taskMode {
+				box := f.newReqBox()
+				box.r = r
+				node.Agent.Submit(machine.Work{TFn: hwSendWork, Arg: box})
+			} else {
+				node.Agent.Submit(f.hwSendProcWork(node, r))
+			}
+			k()
+		})
+	default:
+		panic("comm: task submission is not supported under the system-call design point")
+	}
+}
+
+// enqueueCmdTask writes the command into the user's ring, spinning one
+// polling period per retry while the ring is full, exactly like submit's
+// blocking loop.
+func (ep *Endpoint) enqueueCmdTask(t *sim.Task, r request, k func()) {
+	if err := ep.cmdq.Enqueue(ep.rank, r); err != nil {
+		ep.cpu.ComputeTask(t, ep.f.A.PollDelay(), func() { ep.enqueueCmdTask(t, r, k) })
+		return
+	}
+	node := ep.cpu.Node
+	ep.f.scanners[node.ID][ep.proxyIdx].MarkNonEmpty(ep.cmdqIdx)
+	node.Agents[ep.proxyIdx].Submit(ep.work)
+	k()
+}
+
+// intraTask is intra for the task-side operations the serving workloads
+// use (ENQ is the only primitive the AM layer submits).
+func (f *Fabric) intraTask(ep *Endpoint, t *sim.Task, r request, k func()) {
+	A := f.A
+	copyCost := 2*A.CacheMiss + arch.XferTime(r.n, A.MemBW)
+	switch r.kind {
+	case OpEnq:
+		ep.cpu.ComputeTask(t, copyCost+A.CacheMiss, func() {
+			f.depositQueue(r.rq, f.readSource(r))
+			f.Cl.Reg.Signal(r.fsync)
+			f.opDone(OpEnq, r.issued)
+			k()
+		})
+	default:
+		panic(fmt.Sprintf("comm: intra-node %v unsupported on the task path", r.kind))
+	}
+}
+
+// RecvCost returns the user-level dequeue cost charged per received
+// record, exported for run-to-completion receive loops layered above
+// (the blocking Recv/TryRecv charge it internally).
+func (f *Fabric) RecvCost() sim.Time { return f.dequeueCost() }

@@ -1,0 +1,68 @@
+package fault
+
+// Keyed random streams for workload generators.
+//
+// The fault plane's internal streams are keyed (seed, component, seq) and
+// folded through three mixer rounds (see splitmix.go). Workload layers —
+// open-loop arrival processes, key-popularity draws, request-type mixes —
+// need the same reproducibility contract (a stream is a pure function of
+// its key, never of call order or global state), but their draws must not
+// overlap the fault plane's: a client whose arrival schedule reuses the
+// packet-drop stream would correlate load with loss. Exported streams
+// therefore prepend a Domain word and fold FOUR mixer rounds; the fault
+// plane folds three with no domain word, so no exported key can collide
+// with an internal one short of a mixer-chain collision.
+//
+// Keying by the client's own identity (component = global client rank) —
+// never by the client count — is what makes schedules stable under
+// reconfiguration: the same seed reproduces client 7's exact arrival
+// sequence whether the run has 8 clients or 8000.
+
+// Domain separates independent stream families drawn under one seed.
+// Each generator kind gets its own domain so that, e.g., a client's
+// arrival stream and its key-popularity stream are unrelated even though
+// both are keyed by the same (seed, client) pair.
+type Domain uint64
+
+const (
+	// DomainArrival keys open-loop inter-arrival draws (component =
+	// client rank, seq = load-point index).
+	DomainArrival Domain = 1 + iota
+	// DomainKey keys key-popularity draws (Zipfian and uniform).
+	DomainKey
+	// DomainOpMix keys request-type selection (GET/PUT/SCAN).
+	DomainOpMix
+	// DomainState keys modulated-process state transitions (MMPP on/off).
+	DomainState
+)
+
+// Stream is an exported deterministic splitmix64 draw sequence for one
+// (seed, domain, component, seq) key.
+type Stream struct {
+	s stream
+}
+
+// NewStream derives the stream for (seed, domain, component, seq). The
+// extra domain round keeps every exported stream disjoint from the fault
+// plane's three-round internal streams under the same seed.
+func NewStream(seed uint64, d Domain, component, seq uint64) Stream {
+	s := mix64(seed)
+	s = mix64(s ^ mix64(uint64(d)+0xd1342543de82ef95))
+	s = mix64(s ^ mix64(component+0x632be59bd9b4e019))
+	s = mix64(s ^ mix64(seq+0x9e6c63d0876a9a47))
+	return Stream{s: stream{state: s}}
+}
+
+// Uint64 returns the next raw 64-bit draw.
+func (s *Stream) Uint64() uint64 { return s.s.next() }
+
+// Float64 returns a uniform draw in [0, 1).
+func (s *Stream) Float64() float64 { return s.s.float64() }
+
+// Intn returns a uniform draw in [0, n). It panics if n <= 0.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("fault: Intn with non-positive bound")
+	}
+	return int(s.s.next() % uint64(n))
+}

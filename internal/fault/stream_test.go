@@ -1,0 +1,99 @@
+package fault
+
+import "testing"
+
+// TestStreamGolden pins the exported stream outputs for a handful of keys.
+// These constants are load-bearing: open-loop arrival schedules (and the
+// serving results tables built from them) are pure functions of these
+// draws, so a change here silently re-rolls every serving experiment.
+func TestStreamGolden(t *testing.T) {
+	cases := []struct {
+		seed      uint64
+		dom       Domain
+		comp, seq uint64
+		want      [4]uint64
+	}{
+		{1, DomainArrival, 0, 0, [4]uint64{
+			0xfd45d6a473b9a4a5, 0xb9252ef2695b91b0, 0xc823361ccf5e2260, 0x3094ea054bdb4c00}},
+		{1, DomainArrival, 1, 0, [4]uint64{
+			0xbb2d7fd050c70033, 0xf5dc245d04e8667d, 0x5ce5c723a07ebd20, 0x64e98ccbc4c9952e}},
+		{1, DomainKey, 0, 0, [4]uint64{
+			0x138d91867d3a6950, 0x079651b5c698f6c0, 0x17ba2d136e3f7e85, 0xec33b830069547ac}},
+		{7, DomainOpMix, 3, 2, [4]uint64{
+			0x275b75a1ff8c60b0, 0xa4f76df5f6954254, 0x6d5c2cf32675c9c5, 0xf93dd5759006c242}},
+	}
+	for _, c := range cases {
+		s := NewStream(c.seed, c.dom, c.comp, c.seq)
+		for i, want := range c.want {
+			if got := s.Uint64(); got != want {
+				t.Errorf("NewStream(%d,%d,%d,%d) draw %d = %#x, want %#x",
+					c.seed, c.dom, c.comp, c.seq, i, got, want)
+			}
+		}
+	}
+}
+
+// TestStreamDisjointFromPlane verifies the domain-separation contract:
+// an exported stream never reproduces the fault plane's internal stream
+// for the same (seed, component, seq) key, so arrival schedules and fault
+// schedules drawn under one seed are unrelated.
+func TestStreamDisjointFromPlane(t *testing.T) {
+	for comp := uint64(0); comp < 8; comp++ {
+		for seq := uint64(0); seq < 8; seq++ {
+			internal := newStream(1, comp, seq)
+			for _, d := range []Domain{DomainArrival, DomainKey, DomainOpMix, DomainState} {
+				ext := NewStream(1, d, comp, seq)
+				same := 0
+				in := internal
+				for i := 0; i < 8; i++ {
+					if ext.Uint64() == in.next() {
+						same++
+					}
+				}
+				if same == 8 {
+					t.Fatalf("domain %d stream (comp=%d seq=%d) collides with the fault plane's", d, comp, seq)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamStableAcrossClientCounts is the reconfiguration property:
+// client c's draw sequence is keyed by c alone, so the same seed yields
+// the same per-client schedule no matter how many other clients exist.
+func TestStreamStableAcrossClientCounts(t *testing.T) {
+	schedule := func(clients int) [][]uint64 {
+		out := make([][]uint64, clients)
+		for c := 0; c < clients; c++ {
+			s := NewStream(42, DomainArrival, uint64(c), 0)
+			for i := 0; i < 16; i++ {
+				out[c] = append(out[c], s.Uint64())
+			}
+		}
+		return out
+	}
+	small, big := schedule(4), schedule(64)
+	for c := range small {
+		for i := range small[c] {
+			if small[c][i] != big[c][i] {
+				t.Fatalf("client %d draw %d changed with client count: %#x vs %#x",
+					c, i, small[c][i], big[c][i])
+			}
+		}
+	}
+}
+
+// TestStreamDomainsIndependent checks that the four domains give distinct
+// sequences for one (seed, component, seq) key.
+func TestStreamDomainsIndependent(t *testing.T) {
+	doms := []Domain{DomainArrival, DomainKey, DomainOpMix, DomainState}
+	firsts := map[uint64]Domain{}
+	for _, d := range doms {
+		s := NewStream(9, d, 5, 1)
+		v := s.Uint64()
+		if prev, dup := firsts[v]; dup {
+			t.Fatalf("domains %d and %d share first draw %#x", prev, d, v)
+		}
+		firsts[v] = d
+	}
+}

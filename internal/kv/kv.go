@@ -1,0 +1,244 @@
+// Package kv is a sharded key-value service built on the active-message
+// layer: GET/PUT/SCAN requests travel as AM requests into per-server
+// remote queues — scanned by the message proxies on the proxy design
+// points, so the paper's protection semantics carry over unchanged — and
+// replies come back the same way. Keys shard across servers by hash;
+// PUTs fan out to a configurable number of replicas, and the primary
+// acknowledges the client only after every replica has. Values are
+// synthesized (the simulator models time and bytes, not contents), but
+// each server keeps a real per-key version map so store state — and with
+// it replica traffic — is exact.
+package kv
+
+import (
+	"fmt"
+
+	"mproxy/internal/am"
+	"mproxy/internal/sim"
+)
+
+// Op enumerates the service's operations.
+type Op int
+
+const (
+	OpGet Op = iota
+	OpPut
+	OpScan
+	numOps
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "GET"
+	case OpPut:
+		return "PUT"
+	case OpScan:
+		return "SCAN"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// maxScanPayload caps a SCAN reply's payload bytes, like a real
+// service's response-size limit.
+const maxScanPayload = 4096
+
+// Config parameterizes a service instance.
+type Config struct {
+	// Servers lists the server ranks in shard order.
+	Servers []int
+	// ValueBytes is the synthesized value size for GETs and PUTs.
+	ValueBytes int
+	// ScanCount is the number of records a SCAN returns.
+	ScanCount int
+	// Replication is the number of copies a PUT writes (1 = primary
+	// only); clamped to the server count.
+	Replication int
+}
+
+// repWait tracks one replicated PUT at its primary until every follower
+// has acknowledged.
+type repWait struct {
+	need   int
+	client int
+	flags  int64
+	issued int64
+}
+
+// Service is the cluster-wide KV state: handler ids, per-server version
+// stores, and in-flight replication bookkeeping.
+type Service struct {
+	l   *am.Layer
+	cfg Config
+	idx map[int]int // server rank -> shard index
+
+	stores  []map[uint64]uint64 // per shard: key -> version
+	pending []map[uint64]*repWait
+	nextRep uint64
+	val     []byte // shared synthesized-value scratch
+
+	served     [numOps]int64
+	replicated int64
+
+	// OnReply, when set, observes every reply arriving at a client:
+	// the client's rank, the operation, and the request's echoed flags
+	// and issue timestamp. The open-loop workload points this at its
+	// latency recorder.
+	OnReply func(client int, op Op, flags, issuedNs int64)
+
+	hGet, hPut, hScan       int
+	hRep, hRepAck           int
+	hGetRe, hPutRe, hScanRe int
+}
+
+// New registers the service's handlers on l. Call before communication
+// starts, like any AM registration.
+func New(l *am.Layer, cfg Config) *Service {
+	if len(cfg.Servers) == 0 {
+		panic("kv: no servers")
+	}
+	if cfg.Replication < 1 {
+		cfg.Replication = 1
+	}
+	if cfg.Replication > len(cfg.Servers) {
+		cfg.Replication = len(cfg.Servers)
+	}
+	s := &Service{l: l, cfg: cfg, idx: make(map[int]int, len(cfg.Servers))}
+	for i, rank := range cfg.Servers {
+		s.idx[rank] = i
+		s.stores = append(s.stores, make(map[uint64]uint64))
+		s.pending = append(s.pending, make(map[uint64]*repWait))
+	}
+	s.hGet = l.RegisterTask(s.onGet)
+	s.hPut = l.RegisterTask(s.onPut)
+	s.hScan = l.RegisterTask(s.onScan)
+	s.hRep = l.RegisterTask(s.onRep)
+	s.hRepAck = l.RegisterTask(s.onRepAck)
+	s.hGetRe = s.replyHandler(OpGet)
+	s.hPutRe = s.replyHandler(OpPut)
+	s.hScanRe = s.replyHandler(OpScan)
+	return s
+}
+
+func (s *Service) replyHandler(op Op) int {
+	return s.l.RegisterTask(func(p *am.Port, t *sim.Task, src int, args []int64, payload []byte, k func()) {
+		if s.OnReply != nil {
+			s.OnReply(p.Rank(), op, args[0], args[1])
+		}
+		k()
+	})
+}
+
+// Primary returns the rank of the server owning key's shard.
+func (s *Service) Primary(key uint64) int {
+	return s.cfg.Servers[int(mix(key)%uint64(len(s.cfg.Servers)))]
+}
+
+// Served returns how many requests of op the servers have processed.
+func (s *Service) Served(op Op) int64 { return s.served[op] }
+
+// Replicated returns how many follower copies PUTs have written.
+func (s *Service) Replicated() int64 { return s.replicated }
+
+// GetTask issues a GET for key from the client behind p. flags and
+// issuedNs are echoed verbatim in the reply; k runs at submission.
+func (s *Service) GetTask(p *am.Port, t *sim.Task, key uint64, flags, issuedNs int64, k func()) {
+	p.SendTask(t, s.Primary(key), s.hGet, []int64{flags, issuedNs, int64(key)}, nil, k)
+}
+
+// PutTask issues a PUT of the configured value size for key.
+func (s *Service) PutTask(p *am.Port, t *sim.Task, key uint64, flags, issuedNs int64, k func()) {
+	p.SendTask(t, s.Primary(key), s.hPut, []int64{flags, issuedNs, int64(key)}, s.value(s.cfg.ValueBytes), k)
+}
+
+// ScanTask issues a SCAN of ScanCount records starting at key.
+func (s *Service) ScanTask(p *am.Port, t *sim.Task, key uint64, flags, issuedNs int64, k func()) {
+	p.SendTask(t, s.Primary(key), s.hScan, []int64{flags, issuedNs, int64(key)}, nil, k)
+}
+
+func (s *Service) onGet(p *am.Port, t *sim.Task, src int, args []int64, payload []byte, k func()) {
+	si := s.idx[p.Rank()]
+	_ = s.stores[si][uint64(args[2])] // version lookup
+	s.served[OpGet]++
+	p.SendTask(t, src, s.hGetRe, args[:2], s.value(s.cfg.ValueBytes), k)
+}
+
+func (s *Service) onPut(p *am.Port, t *sim.Task, src int, args []int64, payload []byte, k func()) {
+	si := s.idx[p.Rank()]
+	key := uint64(args[2])
+	s.stores[si][key]++
+	s.served[OpPut]++
+	if s.cfg.Replication == 1 {
+		p.SendTask(t, src, s.hPutRe, args[:2], nil, k)
+		return
+	}
+	id := s.nextRep
+	s.nextRep++
+	s.pending[si][id] = &repWait{need: s.cfg.Replication - 1, client: src, flags: args[0], issued: args[1]}
+	s.sendReps(p, t, si, id, key, 1, k)
+}
+
+// sendReps chains the follower writes of a replicated PUT: copies land
+// on the Replication-1 servers after the primary in shard order.
+func (s *Service) sendReps(p *am.Port, t *sim.Task, si int, id, key uint64, j int, k func()) {
+	if j >= s.cfg.Replication {
+		k()
+		return
+	}
+	dst := s.cfg.Servers[(si+j)%len(s.cfg.Servers)]
+	p.SendTask(t, dst, s.hRep, []int64{int64(id), int64(key)}, nil, func() {
+		s.sendReps(p, t, si, id, key, j+1, k)
+	})
+}
+
+func (s *Service) onRep(p *am.Port, t *sim.Task, src int, args []int64, payload []byte, k func()) {
+	si := s.idx[p.Rank()]
+	s.stores[si][uint64(args[1])]++
+	s.replicated++
+	p.SendTask(t, src, s.hRepAck, args[:1], nil, k)
+}
+
+func (s *Service) onRepAck(p *am.Port, t *sim.Task, src int, args []int64, payload []byte, k func()) {
+	si := s.idx[p.Rank()]
+	id := uint64(args[0])
+	w := s.pending[si][id]
+	if w == nil {
+		panic(fmt.Sprintf("kv: server %d acked unknown replication %d", src, id))
+	}
+	if w.need--; w.need > 0 {
+		k()
+		return
+	}
+	delete(s.pending[si], id)
+	p.SendTask(t, w.client, s.hPutRe, []int64{w.flags, w.issued}, nil, k)
+}
+
+func (s *Service) onScan(p *am.Port, t *sim.Task, src int, args []int64, payload []byte, k func()) {
+	si := s.idx[p.Rank()]
+	_ = s.stores[si][uint64(args[2])]
+	s.served[OpScan]++
+	n := s.cfg.ScanCount * s.cfg.ValueBytes
+	if n > maxScanPayload {
+		n = maxScanPayload
+	}
+	p.SendTask(t, src, s.hScanRe, args[:2], s.value(n), k)
+}
+
+// value returns an n-byte synthesized payload. The scratch is shared:
+// every AM submission copies the record at send time, so reuse is safe.
+func (s *Service) value(n int) []byte {
+	if cap(s.val) < n {
+		s.val = make([]byte, n)
+	}
+	return s.val[:n]
+}
+
+// mix is the splitmix64 finalizer, used to spread keys across shards.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -88,6 +88,21 @@ type Config struct {
 // Procs returns the total number of compute processors.
 func (c Config) Procs() int { return c.Nodes * c.ProcsPerNode }
 
+// Interconnect routes inter-node packets through a multi-switch network.
+// Without one, a cluster models the paper's single-switch machine: a
+// packet serializes on the source node's OutLink and arrives at the
+// destination after one wire latency. An interconnect instead owns the
+// path from the source OutLink onward — intermediate switch hops, per-hop
+// serialization and latency — and delivers to the same PacketSink the
+// flat path would have. Implementations live in machine/topo.
+type Interconnect interface {
+	// Ship sends bytes from node src to node dst, delivering (arg, fate)
+	// to sink at the far end. When overlapped is set the first hop charges
+	// no serialization time (cut-through under a DMA stream the sender
+	// already paid for), matching Link.SendOverlappedToSink.
+	Ship(src, dst int, bytes int, sink PacketSink, arg any, overlapped bool)
+}
+
 // Cluster is a simulated SMP cluster under one architecture design point.
 type Cluster struct {
 	Eng   *sim.Engine
@@ -96,7 +111,13 @@ type Cluster struct {
 	Reg   *memory.Registry
 	Nodes []*Node
 	CPUs  []*CPU // indexed by global rank
+	// Net, when non-nil, routes inter-node packets through a multi-switch
+	// topology instead of the flat source-link -> destination model.
+	Net Interconnect
 }
+
+// SetInterconnect installs (or, with nil, removes) a multi-switch network.
+func (c *Cluster) SetInterconnect(ic Interconnect) { c.Net = ic }
 
 // New builds a cluster of cfg.Nodes SMPs under design point a.
 func New(eng *sim.Engine, cfg Config, a arch.Params) *Cluster {
@@ -208,6 +229,38 @@ func (c *CPU) Compute(p *sim.Proc, d sim.Time) {
 	}
 	c.computing = false
 	c.busyTotal += d
+}
+
+// ComputeTask is Compute for a run-to-completion task: k runs once the
+// interval (extended by any interrupt time stolen while it runs) has
+// elapsed. A zero interval runs k inline without touching the engine.
+func (c *CPU) ComputeTask(t *sim.Task, d sim.Time, k func()) {
+	if d < 0 {
+		panic("machine: negative compute time")
+	}
+	if d == 0 {
+		k()
+		return
+	}
+	c.computing = true
+	c.steal = 0
+	c.computeStep(t, d, d, k)
+}
+
+// computeStep holds for one slice, then either extends the interval by
+// the stolen time or completes, mirroring Compute's steal loop.
+func (c *CPU) computeStep(t *sim.Task, total, remaining sim.Time, k func()) {
+	t.Hold(remaining, func() {
+		if c.steal > 0 {
+			more := c.steal
+			c.steal = 0
+			c.computeStep(t, total, more, k)
+			return
+		}
+		c.computing = false
+		c.busyTotal += total
+		k()
+	})
 }
 
 // Interrupt steals cost cycles from the CPU (system-call receive path). If

@@ -1,0 +1,271 @@
+package topo
+
+import (
+	"fmt"
+
+	"mproxy/internal/machine"
+	"mproxy/internal/sim"
+)
+
+// hop is one packet in flight through the topology. The struct rides the
+// link layer's sink path from switch to switch and is recycled through
+// the Net's freelist, so steady-state traffic forwards without
+// allocating.
+type hop struct {
+	at    int32 // element the packet is currently heading to
+	dst   int32 // destination node
+	hops  int32 // links traversed so far (including the one in flight)
+	bytes int
+	sink  machine.PacketSink
+	arg   any
+	fate  machine.PacketFate // fault verdicts accumulated along the path
+}
+
+// Net routes a cluster's inter-node packets through a Graph. It
+// implements machine.Interconnect on the sending side and
+// machine.PacketSink on the receiving side: each link delivers to the
+// Net, which either forwards on the next switch's output port or hands
+// the packet to its real sink at the destination node. Every switch port
+// is a machine.Link at the cluster's network bandwidth and wire latency,
+// so intermediate hops serialize store-and-forward and per-hop latency
+// adds up exactly as the flat model's single hop would.
+type Net struct {
+	cl    *machine.Cluster
+	g     Graph
+	adj   [][]int32         // per switch: neighbor element ids, ascending
+	links [][]*machine.Link // per switch: output link per port
+	tiers [][]Tier          // per switch: tier per port
+	route [][]uint16        // per switch: destination node -> port
+	free  []*hop
+
+	delivered int64
+	totalHops int64
+}
+
+// NewNet wires a Net for cl over g. The caller installs it with
+// cl.SetInterconnect. Switch links never carry a fault plane — the fault
+// surface stays the node output links, as in the flat model.
+func NewNet(cl *machine.Cluster, g Graph) *Net {
+	if g.Nodes != cl.Cfg.Nodes {
+		panic(fmt.Sprintf("topo: graph has %d nodes, cluster %d", g.Nodes, cl.Cfg.Nodes))
+	}
+	n := &Net{cl: cl, g: g}
+	n.adj, n.tiers = neighbors(g)
+	n.links = make([][]*machine.Link, g.Switches)
+	for s := range n.links {
+		n.links[s] = make([]*machine.Link, len(n.adj[s]))
+		for pi := range n.adj[s] {
+			n.links[s][pi] = machine.NewLink(cl.Eng,
+				fmt.Sprintf("%s.sw%d.p%d", g.Kind, s, pi),
+				cl.Arch.NetBW, cl.Arch.NetLatency)
+		}
+	}
+	n.route = routes(g, n.adj)
+	return n
+}
+
+// neighbors builds each switch's port list: every attached node and
+// every cabled switch, sorted by element id so port numbering — and with
+// it route tie-breaking — is a pure function of the graph.
+func neighbors(g Graph) ([][]int32, [][]Tier) {
+	adj := make([][]int32, g.Switches)
+	tiers := make([][]Tier, g.Switches)
+	add := func(s int, v int32, t Tier) {
+		pi := len(adj[s])
+		for pi > 0 && adj[s][pi-1] > v {
+			pi--
+		}
+		adj[s] = append(adj[s], 0)
+		tiers[s] = append(tiers[s], 0)
+		copy(adj[s][pi+1:], adj[s][pi:])
+		copy(tiers[s][pi+1:], tiers[s][pi:])
+		adj[s][pi], tiers[s][pi] = v, t
+	}
+	for node, up := range g.Up {
+		add(int(up)-g.Nodes, int32(node), TierEdge)
+	}
+	for _, e := range g.Edges {
+		add(int(e.A)-g.Nodes, e.B, e.Tier)
+		add(int(e.B)-g.Nodes, e.A, e.Tier)
+	}
+	return adj, tiers
+}
+
+// routes builds the per-switch forwarding tables by BFS from every
+// destination node: a switch forwards toward the lowest-numbered port
+// whose neighbor is nearest the destination, which makes every route
+// minimal-hop and deterministic.
+func routes(g Graph, adj [][]int32) [][]uint16 {
+	nElem := g.Nodes + g.Switches
+	nbr := make([][]int32, nElem)
+	for node, up := range g.Up {
+		nbr[node] = []int32{up}
+	}
+	for s := range adj {
+		nbr[g.Nodes+s] = adj[s]
+	}
+	route := make([][]uint16, g.Switches)
+	for s := range route {
+		route[s] = make([]uint16, g.Nodes)
+	}
+	dist := make([]int32, nElem)
+	queue := make([]int32, 0, nElem)
+	for dst := 0; dst < g.Nodes; dst++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[dst] = 0
+		queue = append(queue[:0], int32(dst))
+		for qi := 0; qi < len(queue); qi++ {
+			v := queue[qi]
+			for _, w := range nbr[v] {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		for s := range adj {
+			best, bestD := -1, int32(1<<30)
+			for pi, v := range adj[s] {
+				if d := dist[v]; d >= 0 && d < bestD {
+					best, bestD = pi, d
+				}
+			}
+			if best < 0 {
+				panic(fmt.Sprintf("topo: node %d unreachable from switch %d", dst, s))
+			}
+			route[s][dst] = uint16(best)
+		}
+	}
+	return route
+}
+
+func (n *Net) newHop() *hop {
+	if k := len(n.free); k > 0 {
+		h := n.free[k-1]
+		n.free[k-1] = nil
+		n.free = n.free[:k-1]
+		return h
+	}
+	return &hop{}
+}
+
+// Ship implements machine.Interconnect: the packet serializes on the
+// source node's output link toward its edge switch, then forwards hop by
+// hop along the routing tables until the destination node, where (arg,
+// accumulated fate) reach the sink exactly as a flat-model delivery
+// would.
+func (n *Net) Ship(src, dst int, bytes int, sink machine.PacketSink, arg any, overlapped bool) {
+	h := n.newHop()
+	h.at = n.g.Up[src]
+	h.dst = int32(dst)
+	h.hops = 1
+	h.bytes = bytes
+	h.sink, h.arg = sink, arg
+	out := n.cl.Nodes[src].OutLink
+	if overlapped {
+		out.SendOverlappedToSink(bytes, n, h)
+	} else {
+		out.SendToSink(bytes, n, h)
+	}
+}
+
+// DeliverPacket implements machine.PacketSink for the topology's own
+// links: a packet arriving at a switch forwards on the routed port; one
+// arriving at its destination node is handed to the real sink.
+func (n *Net) DeliverPacket(arg any, fate machine.PacketFate) {
+	h := arg.(*hop)
+	if fate.Corrupt {
+		h.fate.Corrupt = true
+		h.fate.CorruptBit = fate.CorruptBit
+	}
+	at := int(h.at)
+	if at < n.g.Nodes {
+		sink, a, f, hops := h.sink, h.arg, h.fate, h.hops
+		h.sink, h.arg, h.fate = nil, nil, machine.PacketFate{}
+		n.free = append(n.free, h)
+		n.delivered++
+		n.totalHops += int64(hops)
+		sink.DeliverPacket(a, f)
+		return
+	}
+	s := at - n.g.Nodes
+	pi := n.route[s][h.dst]
+	h.at = n.adj[s][pi]
+	h.hops++
+	n.links[s][pi].SendToSink(h.bytes, n, h)
+}
+
+// Hops walks the routing tables from src to dst without simulating and
+// returns the number of links a packet traverses, or -1 on a routing
+// loop. Same-node traffic still climbs to the edge switch and back: the
+// interconnect only sees packets the transport did not short-circuit.
+func (n *Net) Hops(src, dst int) int {
+	at := int(n.g.Up[src])
+	hops := 1
+	for at >= n.g.Nodes {
+		if hops > n.g.Switches+2 {
+			return -1
+		}
+		s := at - n.g.Nodes
+		pi := n.route[s][dst]
+		at = int(n.adj[s][pi])
+		hops++
+	}
+	if at != dst {
+		return -1
+	}
+	return hops
+}
+
+// Delivered returns the number of packets handed to their final sink.
+func (n *Net) Delivered() int64 { return n.delivered }
+
+// MeanHops returns the average link count over delivered packets.
+func (n *Net) MeanHops() float64 {
+	if n.delivered == 0 {
+		return 0
+	}
+	return float64(n.totalHops) / float64(n.delivered)
+}
+
+// TierUtil is one tier's aggregate link load.
+type TierUtil struct {
+	Tier  Tier
+	Links int
+	// Util is the mean utilization across the tier's links over the
+	// elapsed window.
+	Util float64
+}
+
+// TierUtilization summarizes per-tier link load over the elapsed
+// simulated time. Node output links count toward the edge tier alongside
+// the switches' down-links.
+func (n *Net) TierUtilization(elapsed sim.Time) []TierUtil {
+	var busy [numTiers]sim.Time
+	var cnt [numTiers]int
+	for _, nd := range n.cl.Nodes {
+		busy[TierEdge] += nd.OutLink.BusyTime()
+		cnt[TierEdge]++
+	}
+	for s := range n.links {
+		for pi, l := range n.links[s] {
+			t := n.tiers[s][pi]
+			busy[t] += l.BusyTime()
+			cnt[t]++
+		}
+	}
+	var out []TierUtil
+	for t := Tier(0); t < numTiers; t++ {
+		if cnt[t] == 0 {
+			continue
+		}
+		u := TierUtil{Tier: t, Links: cnt[t]}
+		if elapsed > 0 {
+			u.Util = float64(busy[t]) / float64(elapsed) / float64(cnt[t])
+		}
+		out = append(out, u)
+	}
+	return out
+}

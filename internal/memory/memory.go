@@ -34,9 +34,13 @@ type Segment struct {
 	Data  []byte
 	// Ranks below 64 — every configuration in the paper — are tracked in
 	// a bitmask so the per-transfer protection check stays off the heap
-	// and out of the map code; larger ranks spill to the map.
+	// and out of the map code; larger ranks spill to the map. world
+	// short-circuits both for world-readable segments, which keeps a
+	// 1000-node serving cluster's grants O(1) instead of O(ranks) map
+	// inserts.
 	aclLow uint64
 	acl    map[int]bool
+	world  bool
 }
 
 // Grant permits rank to address this segment.
@@ -58,6 +62,9 @@ func (s *Segment) GrantAll(n int) {
 	}
 }
 
+// GrantWorld permits every rank, present and future, in O(1).
+func (s *Segment) GrantWorld() { s.world = true }
+
 // Revoke removes rank's permission. The owner's access cannot be revoked.
 func (s *Segment) Revoke(rank int) {
 	if rank >= 0 && rank < 64 {
@@ -69,7 +76,7 @@ func (s *Segment) Revoke(rank int) {
 
 // Allowed reports whether rank may address this segment.
 func (s *Segment) Allowed(rank int) bool {
-	if rank == s.Owner {
+	if s.world || rank == s.Owner {
 		return true
 	}
 	if rank >= 0 && rank < 64 {
@@ -125,6 +132,7 @@ type RQueue struct {
 	Owner  int
 	aclLow uint64 // ranks 0..63, same split as Segment
 	acl    map[int]bool
+	world  bool
 
 	entries  [][]byte
 	getters  []*sim.Proc
@@ -153,9 +161,12 @@ func (q *RQueue) GrantAll(n int) {
 	}
 }
 
+// GrantWorld permits every rank, present and future, in O(1).
+func (q *RQueue) GrantWorld() { q.world = true }
+
 // Allowed reports whether rank may operate on this queue.
 func (q *RQueue) Allowed(rank int) bool {
-	if rank == q.Owner {
+	if q.world || rank == q.Owner {
 		return true
 	}
 	if rank >= 0 && rank < 64 {

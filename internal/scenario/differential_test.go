@@ -21,6 +21,28 @@ func diffScale(spec Spec) Spec {
 			spec.Reps = 2
 		}
 	}
+	// The serving presets shrink unconditionally: the 1k-node sweeps issue
+	// over a million requests each and belong to ci.sh full, not go test.
+	// The shrunk runs still walk every protocol path (multi-switch routing,
+	// replication fan-out, open-loop pacing) in both execution modes.
+	if spec.Kind == KindServing {
+		if spec.Topology.Nodes > 8 {
+			spec.Topology.Nodes = 8
+		}
+		if sv := spec.Serving; sv != nil {
+			shrunk := *sv
+			if shrunk.Requests > 800 {
+				shrunk.Requests = 800
+			}
+			if shrunk.Warmup > 100 {
+				shrunk.Warmup = 100
+			}
+			if len(shrunk.LoadUs) > 2 {
+				shrunk.LoadUs = shrunk.LoadUs[:2]
+			}
+			spec.Serving = &shrunk
+		}
+	}
 	return spec
 }
 

@@ -1,0 +1,78 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+
+	"mproxy/internal/workload/openloop"
+)
+
+// renderServing reproduces the open-loop serving experiment: clients on
+// every node drive the sharded AM-based KV service through the selected
+// multi-switch interconnect while seeded open-loop generators schedule
+// arrivals, and each design point's sweep reports per-load tail latency
+// plus the saturation knee.
+func renderServing(s Spec, opt options, w io.Writer) error {
+	sv := *s.Serving
+	label := sv.Topo
+	topoName := sv.Topo
+	if topoName == "flat" {
+		topoName = "" // openloop's single-switch model
+	}
+	fmt.Fprintf(w, "Open-loop KV serving on %s: %d nodes x %d clients, %d proxies/node\n",
+		label, s.Topology.Nodes, sv.Clients, s.Topology.Proxies)
+	fmt.Fprintf(w, "  %d-byte values, scans of %d, replication %d, %d keys (zipf %.2f), %s arrivals\n",
+		sv.ValueBytes, sv.ScanCount, sv.Replication, sv.Keys, sv.Theta, sv.Arrival)
+	fmt.Fprintf(w, "  %d measured + %d warmup requests per load point; latency measured from the scheduled arrival\n",
+		sv.Requests, sv.Warmup)
+
+	for _, a := range specArchs(s) {
+		theta := sv.Theta
+		if theta < 0 {
+			theta = 0 // spec sentinel for uniform keys
+		}
+		res, err := openloop.Run(openloop.Config{
+			Arch:            a,
+			Nodes:           s.Topology.Nodes,
+			Clients:         sv.Clients,
+			Proxies:         s.Topology.Proxies,
+			Topo:            topoName,
+			CommandQueueCap: s.CommandQueueCap,
+			ValueBytes:      sv.ValueBytes,
+			ScanCount:       sv.ScanCount,
+			Replication:     sv.Replication,
+			Keys:            sv.Keys,
+			Theta:           theta,
+			Arrival:         sv.Arrival,
+			Requests:        sv.Requests,
+			Warmup:          sv.Warmup,
+			LoadUs:          sv.LoadUs,
+			Seed:            s.Fault.Seed,
+		})
+		if err != nil {
+			return fmt.Errorf("scenario: serving %s: %w", a.Name, err)
+		}
+		fmt.Fprintf(w, "\n%s:\n", a.Name)
+		fmt.Fprintf(w, "  %12s %12s %12s %9s %9s %9s %7s\n",
+			"us/client", "offered/s", "achieved/s", "p50 us", "p99 us", "p999 us", "hops")
+		var kneePt openloop.Point
+		for _, pt := range res.Points {
+			fmt.Fprintf(w, "  %12.1f %12.0f %12.0f %9.1f %9.1f %9.1f %7.2f\n",
+				pt.LoadUs, pt.OfferedRPS, pt.AchievedRPS,
+				pt.Latency.P50Us, pt.Latency.P99Us, pt.Latency.P999Us, pt.MeanHops)
+			if pt.LoadUs == res.KneeLoadUs {
+				kneePt = pt
+			}
+		}
+		if len(kneePt.Tiers) > 0 {
+			fmt.Fprintf(w, "  tier utilization at the knee:")
+			for _, tu := range kneePt.Tiers {
+				fmt.Fprintf(w, " %s %.1f%% (%d links)", tu.Tier, 100*tu.Util, tu.Links)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "  saturation: %.0f req/s at %g us/client (p99 %.1f us); %d requests issued\n",
+			res.SaturationRPS, res.KneeLoadUs, kneePt.Latency.P99Us, res.TotalIssued)
+	}
+	return nil
+}

@@ -120,6 +120,8 @@ func runKind(s Spec, opt options, w io.Writer) error {
 		return renderLoss(s, opt, w)
 	case KindProf:
 		return renderProf(s, opt, w)
+	case KindServing:
+		return renderServing(s, opt, w)
 	}
 	// Validate accepted the kind; every kind must be dispatched above.
 	panic("scenario: unhandled kind " + s.Kind)

@@ -35,13 +35,14 @@ const (
 	KindQueue       = "queue"        // Section 5.4 queueing analysis
 	KindLoss        = "loss"         // reliable-transport loss sweep
 	KindProf        = "prof"         // profiled phase-breakdown scenarios
+	KindServing     = "serving"      // open-loop KV serving sweep (serving*.txt)
 )
 
 // Kinds lists every valid Spec.Kind.
 var Kinds = []string{
 	KindModel, KindMicroParams, KindMicroTable4, KindMicroSweep,
 	KindAppsList, KindAppsFigure8, KindAppsTable6,
-	KindSMP, KindQueue, KindLoss, KindProf,
+	KindSMP, KindQueue, KindLoss, KindProf, KindServing,
 }
 
 // Topology describes the simulated cluster shape for kinds that run
@@ -97,6 +98,38 @@ type OutSpec struct {
 	// Breakdown prints the prof kind's measured-vs-model tables; default
 	// true.
 	Breakdown *bool `json:"breakdown,omitempty"`
+}
+
+// ServingSpec parameterizes the serving kind: the open-loop KV sweep of
+// internal/workload/openloop. The cluster shape comes from Topology
+// (Nodes, Proxies); the fields here describe the service and the
+// generator.
+type ServingSpec struct {
+	// Topo selects the interconnect: "fat-tree", "dragonfly", or "flat"
+	// for the paper's single-switch model.
+	Topo string `json:"topo,omitempty"`
+	// Clients is the client processes per node; slot 0 of every node is
+	// the KV server.
+	Clients int `json:"clients,omitempty"`
+
+	ValueBytes  int `json:"value_bytes,omitempty"`
+	ScanCount   int `json:"scan_count,omitempty"`
+	Replication int `json:"replication,omitempty"`
+	// Keys is the key-space size; Theta the Zipfian skew (negative =
+	// uniform, since 0 means "use the default").
+	Keys  int     `json:"keys,omitempty"`
+	Theta float64 `json:"theta,omitempty"`
+	// Arrival is the arrival process: "poisson" or "onoff" (bursty
+	// interrupted-Poisson).
+	Arrival string `json:"arrival,omitempty"`
+
+	// Requests and Warmup are per-load-point request counts across all
+	// clients; warmup requests run but are not measured.
+	Requests int `json:"requests,omitempty"`
+	Warmup   int `json:"warmup,omitempty"`
+	// LoadUs is the sweep ladder: per-client mean inter-arrival time in
+	// microseconds, ordered lightest load (largest) first.
+	LoadUs []float64 `json:"load_us,omitempty"`
 }
 
 // ModelParams are the Section 4 analytic-model primitives.
@@ -160,6 +193,9 @@ type Spec struct {
 
 	// Model overrides the Section 4 analytic-model primitives.
 	Model *ModelParams `json:"model,omitempty"`
+
+	// Serving parameterizes the serving kind's open-loop KV sweep.
+	Serving *ServingSpec `json:"serving,omitempty"`
 
 	Fault FaultSpec `json:"fault,omitzero"`
 	Obs   ObsSpec   `json:"obs,omitzero"`
@@ -280,6 +316,54 @@ func (s Spec) Normalize() Spec {
 			m := DefaultModelParams()
 			s.Model = &m
 		}
+	case KindServing:
+		if len(s.Archs) == 0 {
+			s.Archs = []string{"MP1"}
+		}
+		if s.Topology.Nodes == 0 {
+			s.Topology.Nodes = 16
+		}
+		if s.Topology.Proxies == 0 {
+			s.Topology.Proxies = 1
+		}
+		sv := ServingSpec{}
+		if s.Serving != nil {
+			sv = *s.Serving
+		}
+		if sv.Topo == "" {
+			sv.Topo = "fat-tree"
+		}
+		if sv.Clients == 0 {
+			sv.Clients = 2
+		}
+		if sv.ValueBytes == 0 {
+			sv.ValueBytes = 64
+		}
+		if sv.ScanCount == 0 {
+			sv.ScanCount = 16
+		}
+		if sv.Replication == 0 {
+			sv.Replication = 2
+		}
+		if sv.Keys == 0 {
+			sv.Keys = 1 << 16
+		}
+		if sv.Theta == 0 {
+			sv.Theta = 0.99
+		}
+		if sv.Arrival == "" {
+			sv.Arrival = "poisson"
+		}
+		if sv.Requests == 0 {
+			sv.Requests = 20000
+		}
+		if sv.Warmup == 0 {
+			sv.Warmup = 2000
+		}
+		if len(sv.LoadUs) == 0 {
+			sv.LoadUs = []float64{40, 20, 10, 5}
+		}
+		s.Serving = &sv
 	}
 	if s.Fault.Seed == 0 {
 		s.Fault.Seed = 1
@@ -359,6 +443,11 @@ func (s Spec) Validate() error {
 	if _, err := fault.Parse(s.Fault.Spec, s.Fault.Seed); err != nil {
 		return fmt.Errorf("scenario: bad fault spec: %w", err)
 	}
+	if s.Kind == KindServing {
+		if err := s.validateServing(); err != nil {
+			return err
+		}
+	}
 	switch s.Obs.Metrics {
 	case "", "text", "json":
 	default:
@@ -368,6 +457,42 @@ func (s Spec) Validate() error {
 	case "", "table", "csv":
 	default:
 		return fmt.Errorf(`scenario: format must be "table" or "csv", got %q`, s.Out.Format)
+	}
+	return nil
+}
+
+// validateServing checks the serving kind's extra constraints.
+func (s Spec) validateServing() error {
+	for _, name := range s.Archs {
+		if a, ok := arch.ByName(name); ok && a.Kind == arch.Syscall {
+			return fmt.Errorf("scenario: serving does not support the syscall design point %s (no run-to-completion form)", name)
+		}
+	}
+	if s.Fault.Spec != "" {
+		return fmt.Errorf("scenario: serving does not support fault injection (dropped requests would stall the open-loop accounting)")
+	}
+	sv := s.Serving
+	if sv == nil {
+		return nil // Normalize fills the defaults
+	}
+	switch sv.Topo {
+	case "", "flat", "fat-tree", "dragonfly":
+	default:
+		return fmt.Errorf("scenario: unknown serving topology %q (want flat, fat-tree or dragonfly)", sv.Topo)
+	}
+	switch sv.Arrival {
+	case "", "poisson", "onoff":
+	default:
+		return fmt.Errorf("scenario: unknown arrival process %q (want poisson or onoff)", sv.Arrival)
+	}
+	if sv.Clients < 0 || sv.ValueBytes < 0 || sv.ScanCount < 0 ||
+		sv.Replication < 0 || sv.Keys < 0 || sv.Requests < 0 || sv.Warmup < 0 {
+		return fmt.Errorf("scenario: serving counts must be non-negative, got %+v", *sv)
+	}
+	for _, u := range sv.LoadUs {
+		if u <= 0 {
+			return fmt.Errorf("scenario: serving load points must be positive, got %g us", u)
+		}
 	}
 	return nil
 }

@@ -30,6 +30,12 @@ func TestValidateRejectsBadSpecs(t *testing.T) {
 		{"bad topology", Spec{Kind: KindSMP, Topology: Topology{Nodes: -2}}, "topology"},
 		{"bad format", Spec{Kind: KindMicroSweep, Out: OutSpec{Format: "xml"}}, "format"},
 		{"bad metrics", Spec{Kind: KindMicroTable4, Obs: ObsSpec{Metrics: "yaml"}}, "metrics"},
+		{"serving syscall arch", Spec{Kind: KindServing, Archs: []string{"SW1"}}, "syscall design point"},
+		{"serving fault spec", Spec{Kind: KindServing, Fault: FaultSpec{Spec: "drop=1e-3"}}, "fault injection"},
+		{"serving bad topo", Spec{Kind: KindServing, Serving: &ServingSpec{Topo: "torus"}}, "serving topology"},
+		{"serving bad arrival", Spec{Kind: KindServing, Serving: &ServingSpec{Arrival: "bursty"}}, "arrival process"},
+		{"serving negative count", Spec{Kind: KindServing, Serving: &ServingSpec{Clients: -1}}, "non-negative"},
+		{"serving zero load point", Spec{Kind: KindServing, Serving: &ServingSpec{LoadUs: []float64{40, 0}}}, "load points"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 )
 
@@ -50,7 +51,7 @@ func TestQuantileDuplicateHeavy(t *testing.T) {
 	}
 	h.Add(1 << 20)
 	p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
-	// Bucket bounds: 1000 lies in [512, 1024), so the upper bound is 1023.
+	// Bucket bounds: 1000 lies in sub-bucket [992, 1024), upper bound 1023.
 	if p50 != 1023 || p99 != 1023 {
 		t.Errorf("duplicate-heavy p50=%d p99=%d, want both 1023", p50, p99)
 	}
@@ -131,6 +132,64 @@ func TestMergeEmptyAndNil(t *testing.T) {
 	empty.Merge(&before)
 	if empty != before {
 		t.Errorf("merge into empty = %+v, want %+v", empty, before)
+	}
+}
+
+// TestQuantileAccuracy pins the log-linear layout's resolution contract
+// against exact order statistics: for random sample sets, every reported
+// quantile must be an upper bound on the exact sorted-sample quantile and
+// within 1/16 relative error of it (exact below 16). This is the property
+// that makes p999 trustworthy at microsecond (≈ thousand-nanosecond)
+// scale, where the old power-of-two buckets were 2x wide.
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	quantiles := []float64{0.5, 0.9, 0.99, 0.999}
+	for trial := 0; trial < 30; trial++ {
+		n := 1000 + rng.Intn(9000)
+		samples := make([]int64, n)
+		var h Hist
+		for i := range samples {
+			// Mix scales so the tail spans several powers of two.
+			v := rng.Int63n(1 << uint(4+rng.Intn(28)))
+			samples[i] = v
+			h.Add(v)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for _, q := range quantiles {
+			target := int(q * float64(n))
+			if target == 0 {
+				target = 1
+			}
+			exact := samples[target-1] // q-quantile as an order statistic
+			got := h.Quantile(q)
+			if got < exact {
+				t.Fatalf("trial %d: Quantile(%v) = %d below exact %d", trial, q, got, exact)
+			}
+			slack := exact/16 + 1
+			if got > exact+slack {
+				t.Fatalf("trial %d: Quantile(%v) = %d exceeds exact %d by more than 1/16 (+%d)",
+					trial, q, got, exact, got-exact)
+			}
+		}
+	}
+}
+
+// TestBucketLayout checks the bucket index/bound functions are mutually
+// consistent and tile the value range without gaps.
+func TestBucketLayout(t *testing.T) {
+	for v := int64(0); v < 1<<14; v++ {
+		i := bucketOf(v)
+		if hi := bucketHi(i); v > hi {
+			t.Fatalf("value %d lands in bucket %d whose upper bound %d is below it", v, i, hi)
+		}
+		if i > 0 {
+			if lo := bucketHi(i-1) + 1; v < lo {
+				t.Fatalf("value %d lands in bucket %d starting above it (%d)", v, i, lo)
+			}
+		}
+	}
+	if got := bucketOf(int64(^uint64(0) >> 1)); got != histBuckets-1 {
+		t.Fatalf("max int64 lands in bucket %d, want %d", got, histBuckets-1)
 	}
 }
 

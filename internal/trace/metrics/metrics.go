@@ -24,14 +24,44 @@ var durationKinds = map[trace.Kind]bool{
 	trace.KOpDone:  true, // one-way operation latency
 }
 
-// Hist is a power-of-two bucket histogram of nanosecond durations.
-// Bucket i counts values v with 2^(i-1) <= v < 2^i (bucket 0 counts v=0).
+// histBuckets is the bucket count of the log-linear layout below:
+// 16 exact buckets for v < 16, then 16 sub-buckets per power of two for
+// the 59 exponents 4..62 a positive int64 can carry (16 + 59*16 = 960).
+const histBuckets = 960
+
+// Hist is a log-linear (HDR-style) bucket histogram of nanosecond
+// durations. Values below 16 count exactly; every larger value lands in
+// one of 16 linear sub-buckets of its power-of-two range, so any bucket's
+// bounds are within 1/16 (6.25%) of each other. That resolution is what
+// keeps tail quantiles (p99, p999) honest at microsecond scale — the old
+// power-of-two buckets quantized a 1000 ns p999 into "somewhere below
+// 1024", a 2x-wide answer.
 type Hist struct {
-	Buckets [65]uint64
+	Buckets [histBuckets]uint64
 	N       uint64
 	Sum     int64
 	Min     int64
 	Max     int64
+}
+
+// bucketOf maps a non-negative value to its bucket index.
+func bucketOf(v int64) int {
+	if v < 16 {
+		return int(v)
+	}
+	msb := bits.Len64(uint64(v)) - 1 // >= 4
+	sub := int(v>>(uint(msb)-4)) & 15
+	return 16 + (msb-4)*16 + sub
+}
+
+// bucketHi returns the bucket's inclusive upper bound.
+func bucketHi(i int) int64 {
+	if i < 16 {
+		return int64(i)
+	}
+	msb := (i-16)/16 + 4
+	sub := (i - 16) % 16
+	return int64(16+sub+1)<<(uint(msb)-4) - 1
 }
 
 // Add folds a value into the histogram. Negative values clamp to zero.
@@ -47,7 +77,7 @@ func (h *Hist) Add(v int64) {
 	}
 	h.N++
 	h.Sum += v
-	h.Buckets[bits.Len64(uint64(v))]++
+	h.Buckets[bucketOf(v)]++
 }
 
 // Mean returns the average value.
@@ -78,8 +108,9 @@ func (h *Hist) Merge(other *Hist) {
 	}
 }
 
-// Quantile returns an upper bound on the q-quantile (0 < q <= 1), at
-// power-of-two resolution.
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1): the
+// containing bucket's upper bound, clamped to the observed Max. Values
+// below 16 resolve exactly; larger ones to within 1/16 relative error.
 func (h *Hist) Quantile(q float64) int64 {
 	if h.N == 0 {
 		return 0
@@ -92,10 +123,7 @@ func (h *Hist) Quantile(q float64) int64 {
 	for i, c := range h.Buckets {
 		seen += c
 		if seen >= target {
-			if i == 0 {
-				return 0
-			}
-			hi := int64(1)<<i - 1
+			hi := bucketHi(i)
 			if hi > h.Max {
 				hi = h.Max
 			}
@@ -115,6 +143,7 @@ type HistSnapshot struct {
 	P50Us  float64 `json:"p50_us"`
 	P95Us  float64 `json:"p95_us"`
 	P99Us  float64 `json:"p99_us"`
+	P999Us float64 `json:"p999_us"`
 }
 
 // Snapshot summarizes the histogram in microseconds (the paper's unit).
@@ -127,6 +156,7 @@ func (h *Hist) Snapshot() HistSnapshot {
 		P50Us:  float64(h.Quantile(0.50)) / 1e3,
 		P95Us:  float64(h.Quantile(0.95)) / 1e3,
 		P99Us:  float64(h.Quantile(0.99)) / 1e3,
+		P999Us: float64(h.Quantile(0.999)) / 1e3,
 	}
 }
 

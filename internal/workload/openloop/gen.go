@@ -1,0 +1,122 @@
+package openloop
+
+import (
+	"math"
+
+	"mproxy/internal/fault"
+)
+
+// arrivals generates one client's open-loop request schedule: absolute
+// arrival times in nanoseconds, drawn from the client's own keyed
+// streams so the schedule is a pure function of (seed, client rank,
+// load-point index) — independent of how many other clients exist and
+// of how the simulation interleaves.
+type arrivals struct {
+	s      fault.Stream // inter-arrival draws
+	st     fault.Stream // on/off state sojourns (onoff only)
+	meanNs float64      // overall mean inter-arrival
+	onoff  bool
+	clock  float64 // last arrival time
+	onEnd  float64 // current ON window's end (onoff only)
+}
+
+// onOffSojourns is the mean ON (and OFF) window length in units of the
+// mean inter-arrival time. With equal on/off sojourns the process is ON
+// half the time, so the ON-state rate is doubled to preserve the overall
+// mean — a classic interrupted-Poisson burst shape.
+const onOffSojourns = 32
+
+func newArrivals(seed uint64, client, point uint64, meanUs float64, onoff bool) *arrivals {
+	a := &arrivals{
+		s:      fault.NewStream(seed, fault.DomainArrival, client, point),
+		meanNs: meanUs * 1e3,
+		onoff:  onoff,
+	}
+	if onoff {
+		a.st = fault.NewStream(seed, fault.DomainState, client, point)
+		a.onEnd = a.expSt(onOffSojourns * a.meanNs)
+	}
+	return a
+}
+
+// exp draws an exponential with the given mean from the arrival stream.
+func (a *arrivals) exp(mean float64) float64 {
+	return -math.Log(1-a.s.Float64()) * mean
+}
+
+// expSt draws an exponential from the state stream.
+func (a *arrivals) expSt(mean float64) float64 {
+	return -math.Log(1-a.st.Float64()) * mean
+}
+
+// next returns the next absolute arrival time in nanoseconds.
+func (a *arrivals) next() int64 {
+	if !a.onoff {
+		a.clock += a.exp(a.meanNs)
+		return int64(a.clock)
+	}
+	for {
+		t := a.clock + a.exp(a.meanNs/2) // doubled rate while ON
+		if t <= a.onEnd {
+			a.clock = t
+			return int64(t)
+		}
+		// The window closed before this arrival: jump over an OFF
+		// sojourn into the next ON window and redraw.
+		start := a.onEnd + a.expSt(onOffSojourns*a.meanNs)
+		a.clock = start
+		a.onEnd = start + a.expSt(onOffSojourns*a.meanNs)
+	}
+}
+
+// zipfParams holds the key-space-wide constants of YCSB's Zipfian
+// generator. Computing zetan is O(n) in the key count, so the params are
+// built once per run and shared by every client's generator.
+type zipfParams struct {
+	n     int
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+}
+
+func zipfFor(n int, theta float64) *zipfParams {
+	z := &zipfParams{n: n, theta: theta}
+	if theta <= 0 {
+		return z
+	}
+	for i := 1; i <= n; i++ {
+		z.zetan += 1 / math.Pow(float64(i), theta)
+	}
+	zeta2 := 1 + math.Pow(0.5, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/z.zetan)
+	return z
+}
+
+// zipfGen draws keys with YCSB's Zipfian generator (theta-skewed over
+// [0, n)), or uniformly when theta is zero. Each client has its own draw
+// stream over the shared params.
+type zipfGen struct {
+	s fault.Stream
+	p *zipfParams
+}
+
+func (z *zipfGen) next() uint64 {
+	if z.p.theta <= 0 {
+		return uint64(z.s.Intn(z.p.n))
+	}
+	u := z.s.Float64()
+	uz := u * z.p.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.p.theta) {
+		return 1
+	}
+	k := uint64(float64(z.p.n) * math.Pow(z.p.eta*u-z.p.eta+1, z.p.alpha))
+	if k >= uint64(z.p.n) {
+		k = uint64(z.p.n) - 1
+	}
+	return k
+}

@@ -1,0 +1,312 @@
+// Package openloop drives the KV service with seeded open-loop request
+// generators and reports tail latency. Open-loop means arrivals are
+// scheduled by the generator's clock, not by reply receipt: a request's
+// latency is measured from its *scheduled* arrival time, so queueing that
+// builds up when the service saturates is charged to the requests — the
+// coordinated-omission-free methodology closed-loop harnesses get wrong.
+// Each client draws its schedule, key popularity, and op mix from its own
+// keyed splitmix64 streams (see internal/fault), so a run is a pure
+// function of (seed, topology, load ladder). Sweeping the ladder from
+// light to heavy load exposes the saturation knee: the last offered load
+// whose p99 stays within 3x of the lightest point's.
+package openloop
+
+import (
+	"fmt"
+
+	"mproxy/internal/am"
+	"mproxy/internal/arch"
+	"mproxy/internal/comm"
+	"mproxy/internal/fault"
+	"mproxy/internal/kv"
+	"mproxy/internal/machine"
+	"mproxy/internal/machine/topo"
+	"mproxy/internal/sim"
+	"mproxy/internal/trace/metrics"
+)
+
+// Config parameterizes a serving sweep. Every load point builds a fresh
+// cluster, so points are independent and any one can be rerun alone.
+type Config struct {
+	Arch    arch.Params
+	Nodes   int
+	Clients int // client processes per node (slot 0 is the KV server)
+	Proxies int // proxy processors per node (message-proxy archs)
+	// Topo selects the interconnect: "" for the flat single-switch
+	// model, else a topo.ByName kind ("fat-tree", "dragonfly").
+	Topo            string
+	CommandQueueCap int
+
+	ValueBytes  int
+	ScanCount   int
+	Replication int
+	Keys        int     // key-space size
+	Theta       float64 // Zipfian skew (0 = uniform)
+	Arrival     string  // "poisson" (default) or "onoff"
+
+	Requests int // measured requests per load point, across all clients
+	Warmup   int // unmeasured lead-in requests per load point
+	// LoadUs is the sweep ladder: per-client mean inter-arrival time in
+	// microseconds per point, ordered lightest load (largest) first.
+	LoadUs []float64
+	Seed   uint64
+}
+
+// opMix is the fixed GET/PUT/SCAN request mix (YCSB-style read-heavy).
+const (
+	pGet = 0.70
+	pPut = 0.25 // SCAN takes the remaining 5%
+)
+
+// Point is one load point's outcome.
+type Point struct {
+	LoadUs      float64              `json:"load_us"`
+	OfferedRPS  float64              `json:"offered_rps"`
+	AchievedRPS float64              `json:"achieved_rps"`
+	Latency     metrics.HistSnapshot `json:"latency"`
+	Gets        int64                `json:"gets"`
+	Puts        int64                `json:"puts"`
+	Scans       int64                `json:"scans"`
+	Replicated  int64                `json:"replicated"`
+	Issued      int64                `json:"issued"`
+	MeanHops    float64              `json:"mean_hops,omitempty"`
+	Tiers       []topo.TierUtil      `json:"tiers,omitempty"`
+	ElapsedUs   float64              `json:"elapsed_us"`
+}
+
+// Result is a full sweep: every point plus the saturation summary.
+type Result struct {
+	Points []Point `json:"points"`
+	// KneeLoadUs is the heaviest load whose p99 stayed within 3x of the
+	// lightest point's p99; SaturationRPS is its achieved throughput.
+	KneeLoadUs    float64 `json:"knee_load_us"`
+	SaturationRPS float64 `json:"saturation_rps"`
+	TotalIssued   int64   `json:"total_issued"`
+}
+
+// Run executes the sweep.
+func Run(cfg Config) (Result, error) {
+	if cfg.Nodes <= 0 || cfg.Clients <= 0 {
+		return Result{}, fmt.Errorf("openloop: need nodes and clients, got %d x %d", cfg.Nodes, cfg.Clients)
+	}
+	if cfg.Requests <= 0 || len(cfg.LoadUs) == 0 {
+		return Result{}, fmt.Errorf("openloop: need requests and a load ladder")
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 1 << 16
+	}
+	switch cfg.Arrival {
+	case "", "poisson", "onoff":
+	default:
+		return Result{}, fmt.Errorf("openloop: unknown arrival process %q (want poisson or onoff)", cfg.Arrival)
+	}
+	zp := zipfFor(cfg.Keys, cfg.Theta)
+	var res Result
+	for idx, loadUs := range cfg.LoadUs {
+		if loadUs <= 0 {
+			return Result{}, fmt.Errorf("openloop: load point %d is %v us", idx, loadUs)
+		}
+		pt, err := runPoint(&cfg, zp, idx, loadUs)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Points = append(res.Points, pt)
+		res.TotalIssued += pt.Issued
+	}
+	res.KneeLoadUs, res.SaturationRPS = knee(res.Points)
+	return res, nil
+}
+
+// knee finds the saturation point: the last point (in ladder order) whose
+// p99 is within 3x of the first point's. Beyond it the latency curve has
+// left the flat region — the classic tail-latency definition of usable
+// capacity.
+func knee(pts []Point) (loadUs, rps float64) {
+	if len(pts) == 0 {
+		return 0, 0
+	}
+	limit := 3 * pts[0].Latency.P99Us
+	best := pts[0]
+	for _, p := range pts[1:] {
+		if p.Latency.P99Us <= limit {
+			best = p
+		}
+	}
+	return best.LoadUs, best.AchievedRPS
+}
+
+// share splits total across n parties: party i gets the floor share plus
+// one of the remainder if i is low enough.
+func share(total, n, i int) int {
+	s := total / n
+	if i < total%n {
+		s++
+	}
+	return s
+}
+
+// client is one generator process: an issuer task walking its arrival
+// schedule and a receiver task serving replies on the same port.
+type client struct {
+	eng   *sim.Engine
+	svc   *kv.Service
+	port  *am.Port
+	arr   *arrivals
+	keys  zipfGen
+	ops   fault.Stream
+	quota int // total requests to issue
+	warm  int // leading requests that are unmeasured
+	sent  int
+}
+
+func (c *client) issue(t *sim.Task) { c.step(t) }
+
+func (c *client) step(t *sim.Task) {
+	if c.sent >= c.quota {
+		return // task settles; the receiver finishes on the last reply
+	}
+	at := c.arr.next()
+	if now := int64(c.eng.Now()); at > now {
+		t.Hold(sim.Time(at-now), func() { c.fire(t, at) })
+		return
+	}
+	// Behind schedule: the open-loop clock does not wait for the
+	// service, so issue immediately but timestamp the scheduled arrival.
+	c.fire(t, at)
+}
+
+func (c *client) fire(t *sim.Task, at int64) {
+	var flags int64
+	if c.sent >= c.warm {
+		flags = 1 // measured
+	}
+	c.sent++
+	key := c.keys.next()
+	u := c.ops.Float64()
+	k := func() { c.step(t) }
+	switch {
+	case u < pGet:
+		c.svc.GetTask(c.port, t, key, flags, at, k)
+	case u < pGet+pPut:
+		c.svc.PutTask(c.port, t, key, flags, at, k)
+	default:
+		c.svc.ScanTask(c.port, t, key, flags, at, k)
+	}
+}
+
+func runPoint(cfg *Config, zp *zipfParams, idx int, loadUs float64) (Point, error) {
+	eng := sim.NewEngine()
+	ppn := 1 + cfg.Clients
+	cl := machine.New(eng, machine.Config{
+		Nodes:          cfg.Nodes,
+		ProcsPerNode:   ppn,
+		ProxiesPerNode: cfg.Proxies,
+	}, cfg.Arch)
+	var net *topo.Net
+	if cfg.Topo != "" {
+		g, err := topo.ByName(cfg.Topo, cfg.Nodes)
+		if err != nil {
+			return Point{}, err
+		}
+		net = topo.NewNet(cl, g)
+		cl.SetInterconnect(net)
+	}
+	f := comm.NewWith(cl, comm.Options{CommandQueueCap: cfg.CommandQueueCap})
+	l := am.New(f)
+	servers := make([]int, cfg.Nodes)
+	for n := range servers {
+		servers[n] = n * ppn // slot 0 on every node
+	}
+	svc := kv.New(l, kv.Config{
+		Servers:     servers,
+		ValueBytes:  cfg.ValueBytes,
+		ScanCount:   cfg.ScanCount,
+		Replication: cfg.Replication,
+	})
+
+	active := cfg.Nodes * cfg.Clients
+	got := make([]int64, active)
+	quota := make([]int64, active)
+	var hist metrics.Hist
+	var ops [3]int64
+	var measured, minIssued, lastReply int64
+	minIssued = -1
+	svc.OnReply = func(rank int, op kv.Op, flags, issued int64) {
+		ci := (rank/ppn)*cfg.Clients + rank%ppn - 1
+		got[ci]++
+		if flags&1 == 0 {
+			return
+		}
+		now := int64(eng.Now())
+		hist.Add(now - issued)
+		ops[op]++
+		measured++
+		if minIssued < 0 || issued < minIssued {
+			minIssued = issued
+		}
+		if now > lastReply {
+			lastReply = now
+		}
+	}
+
+	for _, rank := range servers {
+		port := l.Port(rank)
+		eng.SpawnTaskDaemon(fmt.Sprintf("kv.server.%d", rank), func(t *sim.Task) {
+			port.ServeWhileTask(t, func() bool { return false })
+		})
+	}
+
+	onoff := cfg.Arrival == "onoff"
+	var issuedTotal int64
+	for n := 0; n < cfg.Nodes; n++ {
+		for s := 0; s < cfg.Clients; s++ {
+			rank := n*ppn + 1 + s
+			ci := n*cfg.Clients + s
+			q := share(cfg.Warmup+cfg.Requests, active, ci)
+			if q == 0 {
+				continue
+			}
+			quota[ci] = int64(q)
+			issuedTotal += int64(q)
+			c := &client{
+				eng:   eng,
+				svc:   svc,
+				port:  l.Port(rank),
+				arr:   newArrivals(cfg.Seed, uint64(rank), uint64(idx), loadUs, onoff),
+				keys:  zipfGen{s: fault.NewStream(cfg.Seed, fault.DomainKey, uint64(rank), uint64(idx)), p: zp},
+				ops:   fault.NewStream(cfg.Seed, fault.DomainOpMix, uint64(rank), uint64(idx)),
+				quota: q,
+				warm:  share(cfg.Warmup, active, ci),
+			}
+			eng.SpawnTask(fmt.Sprintf("kv.client.%d", rank), c.issue)
+			port, qci := c.port, ci
+			eng.SpawnTask(fmt.Sprintf("kv.recv.%d", rank), func(t *sim.Task) {
+				port.ServeWhileTask(t, func() bool { return got[qci] >= quota[qci] })
+			})
+		}
+	}
+
+	if err := eng.Run(); err != nil {
+		return Point{}, fmt.Errorf("openloop: load point %v us: %w", loadUs, err)
+	}
+
+	pt := Point{
+		LoadUs:     loadUs,
+		OfferedRPS: float64(active) * 1e6 / loadUs,
+		Latency:    hist.Snapshot(),
+		Gets:       ops[kv.OpGet],
+		Puts:       ops[kv.OpPut],
+		Scans:      ops[kv.OpScan],
+		Replicated: svc.Replicated(),
+		Issued:     issuedTotal,
+		ElapsedUs:  eng.Now().Micros(),
+	}
+	if window := lastReply - minIssued; window > 0 && minIssued >= 0 {
+		pt.AchievedRPS = float64(measured) * 1e9 / float64(window)
+	}
+	if net != nil {
+		pt.MeanHops = net.MeanHops()
+		pt.Tiers = net.TierUtilization(eng.Now())
+	}
+	return pt, nil
+}

@@ -1,0 +1,173 @@
+package openloop
+
+import (
+	"math"
+	"testing"
+
+	"mproxy/internal/arch"
+	"mproxy/internal/fault"
+)
+
+func mustArch(t *testing.T, name string) arch.Params {
+	t.Helper()
+	a, ok := arch.ByName(name)
+	if !ok {
+		t.Fatalf("unknown arch %q", name)
+	}
+	return a
+}
+
+func smokeConfig(t *testing.T) Config {
+	return Config{
+		Arch:            mustArch(t, "MP1"),
+		Nodes:           4,
+		Clients:         2,
+		Topo:            "fat-tree",
+		CommandQueueCap: 64,
+		ValueBytes:      64,
+		ScanCount:       8,
+		Replication:     2,
+		Keys:            1 << 10,
+		Theta:           0.99,
+		Requests:        400,
+		Warmup:          80,
+		LoadUs:          []float64{40, 10},
+		Seed:            7,
+	}
+}
+
+func TestRunCountsAndKnee(t *testing.T) {
+	cfg := smokeConfig(t)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(res.Points))
+	}
+	wantIssued := int64(cfg.Requests + cfg.Warmup)
+	for i, pt := range res.Points {
+		if pt.Issued != wantIssued {
+			t.Errorf("point %d issued %d, want %d", i, pt.Issued, wantIssued)
+		}
+		if got := pt.Latency.Count; got != uint64(cfg.Requests) {
+			t.Errorf("point %d measured %d replies, want %d", i, got, cfg.Requests)
+		}
+		if pt.Gets+pt.Puts+pt.Scans != int64(cfg.Requests) {
+			t.Errorf("point %d op counts %d+%d+%d != %d", i, pt.Gets, pt.Puts, pt.Scans, cfg.Requests)
+		}
+		if pt.Gets <= pt.Puts || pt.Puts <= pt.Scans {
+			t.Errorf("point %d mix not read-heavy: GET %d PUT %d SCAN %d", i, pt.Gets, pt.Puts, pt.Scans)
+		}
+		// Replication 2 writes one follower copy per PUT, warmup included.
+		if pt.Replicated < pt.Puts {
+			t.Errorf("point %d replicated %d < measured puts %d", i, pt.Replicated, pt.Puts)
+		}
+		if pt.Latency.P50Us <= 0 || pt.Latency.P999Us < pt.Latency.P99Us || pt.Latency.P99Us < pt.Latency.P50Us {
+			t.Errorf("point %d quantiles disordered: %+v", i, pt.Latency)
+		}
+		if pt.MeanHops < 2 {
+			t.Errorf("point %d mean hops %v, want >= 2 through the fat-tree", i, pt.MeanHops)
+		}
+		if pt.AchievedRPS <= 0 {
+			t.Errorf("point %d achieved rate %v", i, pt.AchievedRPS)
+		}
+	}
+	if res.TotalIssued != 2*wantIssued {
+		t.Errorf("total issued %d, want %d", res.TotalIssued, 2*wantIssued)
+	}
+	if res.KneeLoadUs == 0 || res.SaturationRPS == 0 {
+		t.Errorf("no knee reported: %+v", res)
+	}
+	// The heavier point offers 4x the load of the lighter one.
+	if r := res.Points[1].OfferedRPS / res.Points[0].OfferedRPS; math.Abs(r-4) > 1e-9 {
+		t.Errorf("offered ratio %v, want 4", r)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := smokeConfig(t)
+	cfg.LoadUs = []float64{20}
+	cfg.Requests, cfg.Warmup = 200, 40
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Points[0].ElapsedUs != b.Points[0].ElapsedUs ||
+		a.Points[0].Latency != b.Points[0].Latency ||
+		a.Points[0].Gets != b.Points[0].Gets {
+		t.Errorf("reruns differ:\n%+v\n%+v", a.Points[0], b.Points[0])
+	}
+}
+
+func TestRunOnOffTailsHeavier(t *testing.T) {
+	cfg := smokeConfig(t)
+	cfg.Topo = "" // flat model keeps this fast
+	cfg.LoadUs = []float64{20}
+	cfg.Requests, cfg.Warmup = 600, 100
+	pois, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Arrival = "onoff"
+	burst, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bursty arrivals at the same mean rate must not improve the tail.
+	if burst.Points[0].Latency.P99Us < pois.Points[0].Latency.P99Us {
+		t.Errorf("on/off p99 %v below poisson p99 %v",
+			burst.Points[0].Latency.P99Us, pois.Points[0].Latency.P99Us)
+	}
+}
+
+func TestArrivalsMeanAndSchedule(t *testing.T) {
+	// The empirical mean inter-arrival must track the configured mean,
+	// and the schedule must be monotone (sub-ns draws may truncate to the
+	// same nanosecond, so non-decreasing, not strictly increasing).
+	for _, onoff := range []bool{false, true} {
+		a := newArrivals(1, 42, 0, 10, onoff) // 10 us mean
+		const n = 200000
+		var last int64
+		for i := 0; i < n; i++ {
+			v := a.next()
+			if v < last {
+				t.Fatalf("onoff=%v: arrival %d decreasing: %d after %d", onoff, i, v, last)
+			}
+			last = v
+		}
+		mean := float64(last) / n / 1e3
+		if math.Abs(mean-10) > 1.0 {
+			t.Errorf("onoff=%v: empirical mean %.2f us, want ~10", onoff, mean)
+		}
+	}
+}
+
+func TestZipfSkewAndBounds(t *testing.T) {
+	zp := zipfFor(1024, 0.99)
+	z := zipfGen{s: fault.NewStream(3, fault.DomainKey, 0, 0), p: zp}
+	counts := make(map[uint64]int)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		k := z.next()
+		if k >= 1024 {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	if counts[0] < n/20 {
+		t.Errorf("hottest key drew %d of %d; want Zipfian skew", counts[0], n)
+	}
+	uni := zipfGen{s: fault.NewStream(3, fault.DomainKey, 0, 1), p: zipfFor(1024, 0)}
+	uc := make(map[uint64]int)
+	for i := 0; i < n; i++ {
+		uc[uni.next()]++
+	}
+	if uc[0] > n/100 {
+		t.Errorf("uniform hottest key drew %d of %d; too skewed", uc[0], n)
+	}
+}
