@@ -53,7 +53,7 @@ if ! cmp -s "$tmpdir/chrome.json" internal/prof/testdata/pingpong-mp1-chrome.jso
     exit 1
 fi
 
-echo "== bench shard (schema + regression gate vs BENCH_7.json)"
+echo "== bench shard (schema + regression gate vs BENCH_8.json)"
 # 15% tolerance plus one retry: the shared runners' noise is one-sided
 # (load spikes only ever slow a rep down) and an occasional spike exceeds
 # any tolerance a real regression should be allowed to hide in. A genuine
@@ -61,7 +61,7 @@ echo "== bench shard (schema + regression gate vs BENCH_7.json)"
 bench_ok=0
 for attempt in 1 2; do
     if "$tmpdir/mproxy" bench -quick -out "$tmpdir/bench.json" \
-        -baseline BENCH_7.json -tolerance 0.15 2>"$tmpdir/bench.log"; then
+        -baseline BENCH_8.json -tolerance 0.15 2>"$tmpdir/bench.log"; then
         bench_ok=1
         break
     fi
@@ -73,6 +73,24 @@ done
 # just on a regression failure.
 cat "$tmpdir/bench.log"
 grep -q '"schema": "mproxy-bench/v1"' "$tmpdir/bench.json"
+
+echo "== forensics shard (flight-recorder byte-identity)"
+# The serving-forensics bench row above bounds the recorder's overhead
+# (its BENCH_8.json baseline sits ~4% over recorder-off serving-smoke);
+# this shard pins its *output*: the slowest-requests table, the windowed
+# series JSON, and the Chrome exemplars must reproduce byte-identically.
+mkdir "$tmpdir/forensics"
+"$tmpdir/mproxy" run -forensics "$tmpdir/forensics" serving-smoke-forensics >/dev/null 2>/dev/null
+for f in serving_smoke_forensics.slowest.txt \
+         serving_smoke_forensics.flight.json \
+         serving_smoke_forensics.chrome.json
+do
+    if ! cmp -s "$tmpdir/forensics/$f" "results/forensics/$f"; then
+        echo "mproxy run serving-smoke-forensics no longer reproduces results/forensics/$f byte-identically"
+        echo "re-bless with: go test ./cmd/mproxy -run TestForensicsByteIdentity -update"
+        exit 1
+    fi
+done
 
 echo "== race shard (differential equivalence + concurrent fabrics)"
 go test -race -run 'TestDifferential|TestConcurrentFabricsDistinctQueueCaps' \

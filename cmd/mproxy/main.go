@@ -359,13 +359,14 @@ func buildBench(args []string, stdout, stderr io.Writer) (scenario.Spec, bool, i
 func buildRun(args []string, stdout, stderr io.Writer) (scenario.Spec, bool, int) {
 	fs := newFlagSet("run", stderr)
 	manifestOut := fs.String("manifest", "", "also write the run manifest JSON to this file")
+	forensics := fs.String("forensics", "", "override the serving forensics output directory (must exist; empty keeps the spec's)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile (post-run, after GC) to this file")
 	if err := fs.Parse(args); err != nil {
 		return scenario.Spec{}, true, 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: mproxy run [-manifest file] [-cpuprofile file] [-memprofile file] <preset|spec.json>")
+		fmt.Fprintln(stderr, "usage: mproxy run [-manifest file] [-forensics dir] [-cpuprofile file] [-memprofile file] <preset|spec.json>")
 		return scenario.Spec{}, true, 2
 	}
 	target := fs.Arg(0)
@@ -386,6 +387,9 @@ func buildRun(args []string, stdout, stderr io.Writer) (scenario.Spec, bool, int
 			fmt.Fprintln(stderr, "mproxy run:", rerr)
 			return scenario.Spec{}, true, 1
 		}
+	}
+	if *forensics != "" {
+		spec.Obs.Forensics = *forensics
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -437,6 +441,9 @@ func runList(stdout io.Writer) int {
 		target := ""
 		if p.Results != "" {
 			target = " -> results/" + p.Results
+		}
+		if dir := p.Spec.Obs.Forensics; dir != "" {
+			target += " [forensics -> " + dir + "/]"
 		}
 		fmt.Fprintf(stdout, "  %-20s %s%s\n", name, p.Desc, target)
 	}

@@ -90,6 +90,74 @@ func TestUnknownPresetListsNames(t *testing.T) {
 	}
 }
 
+// A forensics run pointed at a missing directory must fail before any
+// simulation happens, with a clear error naming the path; pinned by a
+// golden like the unknown-preset message.
+func TestForensicsBadDirErrorsEarly(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"run", "-forensics", "no-such-dir", "serving-smoke-forensics"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("stdout not empty — the run simulated before failing:\n%s", stdout.String())
+	}
+	golden := filepath.Join("testdata", "run-forensics-bad-dir.golden")
+	if *update {
+		if err := os.WriteFile(golden, stderr.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(stderr.Bytes(), want) {
+		t.Errorf("stderr drifted from %s:\ngot:\n%s\nwant:\n%s", golden, stderr.Bytes(), want)
+	}
+}
+
+// The forensics preset regenerates its three checked-in side-channel
+// files byte-identically into any directory: the slowest-requests
+// table, the windowed series JSON, and the Chrome exemplar trace.
+func TestForensicsByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving sweep is not short")
+	}
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"run", "-forensics", dir, "serving-smoke-forensics"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "forensics: wrote serving_smoke_forensics.slowest.txt") {
+		t.Errorf("stdout missing the forensics note:\n%s", stdout.String())
+	}
+	for _, f := range []string{
+		"serving_smoke_forensics.slowest.txt",
+		"serving_smoke_forensics.flight.json",
+		"serving_smoke_forensics.chrome.json",
+	} {
+		got, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatalf("forensics run did not write %s: %v", f, err)
+		}
+		blessed := filepath.Join("..", "..", "results", "forensics", f)
+		if *update {
+			if err := os.WriteFile(blessed, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(blessed)
+		if err != nil {
+			t.Fatalf("missing blessed forensics file (run with -update): %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s no longer reproduces results/forensics/%s byte-identically", f, f)
+		}
+	}
+}
+
 // Experiment subcommands emit exactly one manifest JSON line on stderr.
 func TestManifestOnStderr(t *testing.T) {
 	var stdout, stderr bytes.Buffer

@@ -161,6 +161,15 @@ func (p *Port) Store(dst int, local, remote memory.Addr, n int, handler int, arg
 	p.Send(dst, handler, args, nil)
 }
 
+// Pending returns the number of records waiting in the port's message
+// queue — the depth a newly dispatched request found behind itself.
+func (p *Port) Pending() int { return p.l.queues[p.rank].Len() }
+
+// RecordBytes returns the wire size of an active-message record with
+// nargs argument words and payload bytes: the AM header plus args plus
+// payload. The network adds comm.HeaderSize per packet on top.
+func RecordBytes(nargs, payload int) int { return msgHeader + 8*nargs + payload }
+
 // Poll dispatches one pending message, if any. Returns whether a message
 // was processed.
 func (p *Port) Poll() bool {

@@ -30,6 +30,7 @@ import (
 	"mproxy/internal/memory"
 	"mproxy/internal/sim"
 	"mproxy/internal/trace"
+	"mproxy/internal/trace/flight"
 	"mproxy/internal/workload"
 	"mproxy/internal/workload/openloop"
 )
@@ -85,7 +86,8 @@ func Run(opt Options) (Suite, error) {
 		{"engine-timer", 1_000_000, 0, benchEngineTimer},
 		{"engine-traced", 1_000_000, 0, benchEngineTraced},
 		{"pingpong-e2e", 2_000, 0, benchPingPong},
-		{"serving-smoke", 4_000, 1_000, benchServing},
+		{"serving-smoke", 4_000, 1_000, benchServing(nil)},
+		{"serving-forensics", 4_000, 1_000, benchServing(&flight.Config{})},
 		{"figure8-small", 3, 0, benchFigure8(opt.Quick)},
 	}
 	for _, b := range suite {
@@ -250,28 +252,37 @@ func benchPingPong(ops int64) error {
 // MP1 fat-tree cluster under the Poisson generator, one measured request
 // per op. The row stacks multi-switch routing, AM dispatch, KV service
 // and replication on top of the engine, so a regression anywhere in the
-// serving path moves it even when the microloops hold steady.
-func benchServing(ops int64) error {
-	a, ok := arch.ByName("MP1")
-	if !ok {
-		return fmt.Errorf("unknown arch MP1")
+// serving path moves it even when the microloops hold steady. A non-nil
+// fcfg turns the flight recorder on (the serving-forensics row), pinning
+// the recorder's bounded-overhead contract against the identical
+// recorder-off configuration.
+func benchServing(fcfg *flight.Config) func(ops int64) error {
+	return func(ops int64) error {
+		a, ok := arch.ByName("MP1")
+		if !ok {
+			return fmt.Errorf("unknown arch MP1")
+		}
+		res, err := openloop.Run(openloop.Config{
+			Arch: a, Nodes: 4, Clients: 2, Proxies: 1,
+			Topo: "fat-tree", CommandQueueCap: 64,
+			ValueBytes: 64, ScanCount: 16, Replication: 2,
+			Keys: 1024, Theta: 0.99,
+			Requests: int(ops), Warmup: int(ops / 10),
+			LoadUs: []float64{320},
+			Seed:   7,
+			Flight: fcfg,
+		})
+		if err != nil {
+			return err
+		}
+		if got := int64(res.Points[0].Latency.Count); got != ops {
+			return fmt.Errorf("measured %d of %d requests", got, ops)
+		}
+		if fcfg != nil && res.Points[0].Flight == nil {
+			return fmt.Errorf("flight recorder produced no data")
+		}
+		return nil
 	}
-	res, err := openloop.Run(openloop.Config{
-		Arch: a, Nodes: 4, Clients: 2, Proxies: 1,
-		Topo: "fat-tree", CommandQueueCap: 64,
-		ValueBytes: 64, ScanCount: 16, Replication: 2,
-		Keys: 1024, Theta: 0.99,
-		Requests: int(ops), Warmup: int(ops / 10),
-		LoadUs: []float64{320},
-		Seed:   7,
-	})
-	if err != nil {
-		return err
-	}
-	if got := int64(res.Points[0].Latency.Count); got != ops {
-		return fmt.Errorf("measured %d of %d requests", got, ops)
-	}
-	return nil
 }
 
 // benchFigure8 measures application wall-clock: the Sample kernel on MP1

@@ -143,8 +143,8 @@ func TestRunQuickSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(s.Results) != 6 {
-		t.Fatalf("suite has %d results, want 6", len(s.Results))
+	if len(s.Results) != 7 {
+		t.Fatalf("suite has %d results, want 7", len(s.Results))
 	}
 	reparsed, err := ParseJSON(s.JSON())
 	if err != nil {

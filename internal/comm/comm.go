@@ -152,7 +152,12 @@ type Fabric struct {
 	// scanners holds the per-(node, proxy) round-robin command-queue
 	// scanner used by the message proxy design points.
 	scanners [][]*proxy.Scanner[request]
-	stats    Stats
+	// cmdqNames mirrors the scanners' registration order with the trace
+	// component name of each command queue ("rank<N>.cmdq"), so the pick
+	// sites can emit which queue a scan dequeued without formatting on
+	// the hot path.
+	cmdqNames [][][]string
+	stats     Stats
 
 	// forceRemote disables the intra-node shared-memory fast path,
 	// pushing same-node operations through the agent and loopback network
@@ -201,8 +206,10 @@ func NewWith(cl *machine.Cluster, opt Options) *Fabric {
 	}
 	if f.A.Kind == arch.Proxy {
 		f.scanners = make([][]*proxy.Scanner[request], len(cl.Nodes))
+		f.cmdqNames = make([][][]string, len(cl.Nodes))
 		for i, nd := range cl.Nodes {
 			f.scanners[i] = make([]*proxy.Scanner[request], len(nd.Agents))
+			f.cmdqNames[i] = make([][]string, len(nd.Agents))
 			for k := range nd.Agents {
 				s := proxy.NewScanner[request]()
 				// Scan passes feed the trace stream under the serving
@@ -228,6 +235,8 @@ func NewWith(cl *machine.Cluster, opt Options) *Fabric {
 			nProxies := len(cpu.Node.Agents)
 			ep.proxyIdx = cpu.Slot % nProxies
 			ep.cmdqIdx = f.scanners[cpu.Node.ID][ep.proxyIdx].Register(ep.cmdq)
+			ep.cmdqComp = fmt.Sprintf("rank%d.cmdq", cpu.Rank)
+			f.cmdqNames[cpu.Node.ID][ep.proxyIdx] = append(f.cmdqNames[cpu.Node.ID][ep.proxyIdx], ep.cmdqComp)
 			// The proxy-service work item is identical for every operation
 			// this endpoint submits (the request travels via the command
 			// queue, not the closure), so build it once instead of
@@ -298,12 +307,17 @@ func (f *Fabric) Registry() *memory.Registry { return f.Cl.Reg }
 // Endpoint is one compute process's handle on the communication system. It
 // must be bound to the simulated process before use.
 type Endpoint struct {
-	f        *Fabric
-	cpu      *machine.CPU
-	rank     int
-	proc     *sim.Proc
-	cmdq     *proxy.CommandQueue[request]
-	cmdqIdx  int
+	f       *Fabric
+	cpu     *machine.CPU
+	rank    int
+	proc    *sim.Proc
+	cmdq    *proxy.CommandQueue[request]
+	cmdqIdx int
+	// cmdqComp is the command queue's trace component name, emitted on
+	// every command enqueue so span assembly can pair a proxy's pickup
+	// with the exact command it dequeued (the agent work tokens are
+	// fungible: a scan may service another endpoint's command).
+	cmdqComp string
 	proxyIdx int // which of the node's proxies serves this endpoint
 	// work is the pre-built proxy work item submitted once per operation
 	// (proxy design points only).
@@ -542,6 +556,7 @@ func (ep *Endpoint) submit(r request) {
 				err = ep.cmdq.Enqueue(ep.rank, r)
 			}
 		}
+		f.Cl.Eng.Emit(trace.KEnqueue, ep.cmdqComp, int64(ep.cmdq.Len()))
 		node := ep.cpu.Node
 		f.scanners[node.ID][ep.proxyIdx].MarkNonEmpty(ep.cmdqIdx)
 		node.Agents[ep.proxyIdx].Submit(ep.work)

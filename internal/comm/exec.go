@@ -4,6 +4,7 @@ import (
 	"mproxy/internal/machine"
 	"mproxy/internal/memory"
 	"mproxy/internal/sim"
+	"mproxy/internal/trace"
 )
 
 // Run-to-completion protocol paths. Each agent carries one agentExec: a
@@ -545,11 +546,12 @@ func (fr *agentExec) pageDMADone() {
 func mpServiceWork(a *machine.Agent, _ any) {
 	fr := a.Exec().(*agentExec)
 	f := fr.f
-	r, _, ok := f.scanners[fr.node.ID][fr.scanIdx].Next()
+	r, qi, ok := f.scanners[fr.node.ID][fr.scanIdx].Next()
 	if !ok {
 		a.WorkDone() // stale scan hint; the command was already consumed
 		return
 	}
+	f.Cl.Eng.Emit(trace.KDequeue, f.cmdqNames[fr.node.ID][fr.scanIdx][qi], 0)
 	fr.r = r
 	A := f.A
 	// Dequeue entry (read miss), decode command and allocate a CCB,

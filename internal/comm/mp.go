@@ -3,6 +3,7 @@ package comm
 import (
 	"mproxy/internal/machine"
 	"mproxy/internal/sim"
+	"mproxy/internal/trace"
 )
 
 // Message-proxy paths. The proxy is the node's Agent; every work item
@@ -17,10 +18,11 @@ import (
 // queues round-robin, dequeue, decode, attach the user's address space, and
 // dispatch to the send routine.
 func (f *Fabric) proxyServiceOne(ap *sim.Proc, node *machine.Node, idx int) {
-	r, _, ok := f.scanners[node.ID][idx].Next()
+	r, qi, ok := f.scanners[node.ID][idx].Next()
 	if !ok {
 		return // stale scan hint; the command was already consumed
 	}
+	f.Cl.Eng.Emit(trace.KDequeue, f.cmdqNames[node.ID][idx][qi], 0)
 	A := f.A
 	// Dequeue entry (read miss), decode command and allocate a CCB,
 	// vm_att to the user's space.

@@ -7,6 +7,7 @@ import (
 	"mproxy/internal/machine"
 	"mproxy/internal/memory"
 	"mproxy/internal/sim"
+	"mproxy/internal/trace"
 )
 
 // Task-side submission paths. The serving workloads run every client and
@@ -70,6 +71,7 @@ func (ep *Endpoint) enqueueCmdTask(t *sim.Task, r request, k func()) {
 		ep.cpu.ComputeTask(t, ep.f.A.PollDelay(), func() { ep.enqueueCmdTask(t, r, k) })
 		return
 	}
+	ep.f.Cl.Eng.Emit(trace.KEnqueue, ep.cmdqComp, int64(ep.cmdq.Len()))
 	node := ep.cpu.Node
 	ep.f.scanners[node.ID][ep.proxyIdx].MarkNonEmpty(ep.cmdqIdx)
 	node.Agents[ep.proxyIdx].Submit(ep.work)

@@ -15,6 +15,7 @@ import (
 
 	"mproxy/internal/am"
 	"mproxy/internal/sim"
+	"mproxy/internal/trace/flight"
 )
 
 // Op enumerates the service's operations.
@@ -86,6 +87,13 @@ type Service struct {
 	// latency recorder.
 	OnReply func(client int, op Op, flags, issuedNs int64)
 
+	// Flight, when set, receives per-request phase marks: handler start
+	// at the primary, service completion, last follower ack, and reply
+	// delivery. Request identity rides the high bits of the flags word
+	// (flight.FlagsWithID), which the protocol already echoes — argument
+	// values never affect simulated cost, so recording is timing-free.
+	Flight *flight.Recorder
+
 	hGet, hPut, hScan       int
 	hRep, hRepAck           int
 	hGetRe, hPutRe, hScanRe int
@@ -122,6 +130,11 @@ func New(l *am.Layer, cfg Config) *Service {
 
 func (s *Service) replyHandler(op Op) int {
 	return s.l.RegisterTask(func(p *am.Port, t *sim.Task, src int, args []int64, payload []byte, k func()) {
+		if s.Flight != nil {
+			if fid := flight.FlagsID(args[0]); fid != 0 {
+				s.Flight.Done(fid)
+			}
+		}
 		if s.OnReply != nil {
 			s.OnReply(p.Rank(), op, args[0], args[1])
 		}
@@ -129,9 +142,45 @@ func (s *Service) replyHandler(op Op) int {
 	})
 }
 
+// ShardIndex returns the shard index owning key.
+func (s *Service) ShardIndex(key uint64) int {
+	return int(mix(key) % uint64(len(s.cfg.Servers)))
+}
+
 // Primary returns the rank of the server owning key's shard.
 func (s *Service) Primary(key uint64) int {
-	return s.cfg.Servers[int(mix(key)%uint64(len(s.cfg.Servers)))]
+	return s.cfg.Servers[s.ShardIndex(key)]
+}
+
+// WireBytes returns the AM record sizes of op's request and reply as
+// they travel the network (the per-packet comm.HeaderSize comes on top).
+func (s *Service) WireBytes(op Op) (req, rep int) {
+	switch op {
+	case OpGet:
+		return am.RecordBytes(3, 0), am.RecordBytes(2, s.cfg.ValueBytes)
+	case OpPut:
+		return am.RecordBytes(3, s.cfg.ValueBytes), am.RecordBytes(2, 0)
+	case OpScan:
+		n := s.cfg.ScanCount * s.cfg.ValueBytes
+		if n > maxScanPayload {
+			n = maxScanPayload
+		}
+		return am.RecordBytes(3, 0), am.RecordBytes(2, n)
+	}
+	return 0, 0
+}
+
+// flightServe marks a tracked request's handler start on the flight
+// recorder (sampling the AM queue depth behind it) and wraps k to mark
+// service completion once the reply or last replica write is submitted.
+func (s *Service) flightServe(p *am.Port, flags int64, k func()) func() {
+	fid := flight.FlagsID(flags)
+	if s.Flight == nil || fid == 0 {
+		return k
+	}
+	s.Flight.ServerStart(fid, p.Pending())
+	rec := s.Flight
+	return func() { rec.ServiceDone(fid); k() }
 }
 
 // Served returns how many requests of op the servers have processed.
@@ -160,6 +209,7 @@ func (s *Service) onGet(p *am.Port, t *sim.Task, src int, args []int64, payload 
 	si := s.idx[p.Rank()]
 	_ = s.stores[si][uint64(args[2])] // version lookup
 	s.served[OpGet]++
+	k = s.flightServe(p, args[0], k)
 	p.SendTask(t, src, s.hGetRe, args[:2], s.value(s.cfg.ValueBytes), k)
 }
 
@@ -168,6 +218,7 @@ func (s *Service) onPut(p *am.Port, t *sim.Task, src int, args []int64, payload 
 	key := uint64(args[2])
 	s.stores[si][key]++
 	s.served[OpPut]++
+	k = s.flightServe(p, args[0], k)
 	if s.cfg.Replication == 1 {
 		p.SendTask(t, src, s.hPutRe, args[:2], nil, k)
 		return
@@ -210,6 +261,11 @@ func (s *Service) onRepAck(p *am.Port, t *sim.Task, src int, args []int64, paylo
 		return
 	}
 	delete(s.pending[si], id)
+	if s.Flight != nil {
+		if fid := flight.FlagsID(w.flags); fid != 0 {
+			s.Flight.RepAcked(fid)
+		}
+	}
 	p.SendTask(t, w.client, s.hPutRe, []int64{w.flags, w.issued}, nil, k)
 }
 
@@ -217,6 +273,7 @@ func (s *Service) onScan(p *am.Port, t *sim.Task, src int, args []int64, payload
 	si := s.idx[p.Rank()]
 	_ = s.stores[si][uint64(args[2])]
 	s.served[OpScan]++
+	k = s.flightServe(p, args[0], k)
 	n := s.cfg.ScanCount * s.cfg.ValueBytes
 	if n > maxScanPayload {
 		n = maxScanPayload

@@ -61,8 +61,20 @@ func NewNet(cl *machine.Cluster, g Graph) *Net {
 		}
 	}
 	n.route = routes(g, n.adj)
+	if netHook != nil {
+		netHook(n)
+	}
 	return n
 }
+
+// netHook, when set, observes every Net the process builds — the
+// timeline sampler uses it to probe switch links, mirroring
+// machine.OnNewCluster.
+var netHook func(*Net)
+
+// OnNewNet installs (or, with nil, removes) a hook invoked with every
+// Net built by NewNet.
+func OnNewNet(fn func(*Net)) { netHook = fn }
 
 // neighbors builds each switch's port list: every attached node and
 // every cabled switch, sorted by element id so port numbering — and with
@@ -217,6 +229,69 @@ func (n *Net) Hops(src, dst int) int {
 		return -1
 	}
 	return hops
+}
+
+// EachLink visits every switch output link with its tier, in switch
+// then port order — the deterministic order the links were built in.
+func (n *Net) EachLink(f func(t Tier, l *machine.Link)) {
+	for s := range n.links {
+		for pi, l := range n.links[s] {
+			f(n.tiers[s][pi], l)
+		}
+	}
+}
+
+// RouteTiers returns the tier of each link a packet from src to dst
+// traverses, in path order: the node's output link first (edge), then
+// every switch output port down to the destination node. Returns nil on
+// a routing loop. Same-node traffic never reaches the interconnect.
+func (n *Net) RouteTiers(src, dst int) []Tier {
+	out := []Tier{TierEdge}
+	at := int(n.g.Up[src])
+	for at >= n.g.Nodes {
+		if len(out) > n.g.Switches+2 {
+			return nil
+		}
+		s := at - n.g.Nodes
+		pi := n.route[s][dst]
+		out = append(out, n.tiers[s][pi])
+		at = int(n.adj[s][pi])
+	}
+	return out
+}
+
+// NumTiers bounds the Tier enum for dense per-tier accounting.
+const NumTiers = int(numTiers)
+
+// TierLinks returns each tier's link count (indexed by Tier), node
+// output links counting toward the edge tier as in TierUtilization.
+func (n *Net) TierLinks() []int {
+	cnt := make([]int, NumTiers)
+	cnt[TierEdge] = len(n.cl.Nodes)
+	for s := range n.links {
+		for pi := range n.links[s] {
+			cnt[n.tiers[s][pi]]++
+		}
+	}
+	return cnt
+}
+
+// TierBusy fills busy (length NumTiers) with each tier's cumulative
+// busy nanoseconds up to the present instant and returns it. The
+// windowed forensics series diffs successive snapshots.
+func (n *Net) TierBusy(busy []int64) []int64 {
+	for i := range busy {
+		busy[i] = 0
+	}
+	for _, nd := range n.cl.Nodes {
+		busy[TierEdge] += int64(nd.OutLink.BusyTime())
+	}
+	for s := range n.links {
+		for pi, l := range n.links[s] {
+			busy[n.tiers[s][pi]] += int64(l.BusyTime())
+		}
+	}
+	return busy
 }
 
 // Delivered returns the number of packets handed to their final sink.

@@ -68,6 +68,14 @@ func Run(spec Spec, w io.Writer) (Manifest, error) {
 	if err != nil {
 		return Manifest{}, err
 	}
+	if dir := spec.Obs.Forensics; dir != "" {
+		// Fail before simulating: a long sweep that cannot write its
+		// forensics at the end would waste the whole run.
+		st, err := os.Stat(dir)
+		if err != nil || !st.IsDir() {
+			return Manifest{}, fmt.Errorf("scenario: forensics output directory %q does not exist (create it, or point -forensics elsewhere)", dir)
+		}
+	}
 	opt, faultDesc, err := resolve(spec)
 	if err != nil {
 		return Manifest{}, err

@@ -76,9 +76,18 @@ type ObsSpec struct {
 	Prof      string `json:"prof,omitempty"`    // profile JSON output path
 	Chrome    string `json:"chrome,omitempty"`  // Chrome trace-event output path
 	Breakdown bool   `json:"breakdown,omitempty"`
+	// Forensics, when set, directs the serving kind's flight-recorder
+	// output — the slowest-requests table, the per-shard/per-tier
+	// windowed series JSON, and the Chrome exemplar trace — into this
+	// directory, which must already exist. Serving-only. Unlike the
+	// collectors above it is wired per run (no process-wide tracer), so
+	// it never degrades the worker pool and never perturbs timing.
+	Forensics string `json:"forensics,omitempty"`
 }
 
-// Enabled reports whether any collector is requested.
+// Enabled reports whether any process-wide collector is requested.
+// Forensics is deliberately excluded: the flight recorder travels with
+// the serving driver, not the global tracer.
 func (o ObsSpec) Enabled() bool {
 	return o.Trace || o.Metrics != "" || o.Prof != "" || o.Chrome != "" || o.Breakdown
 }
@@ -447,6 +456,9 @@ func (s Spec) Validate() error {
 		if err := s.validateServing(); err != nil {
 			return err
 		}
+	}
+	if s.Obs.Forensics != "" && s.Kind != KindServing {
+		return fmt.Errorf("scenario: forensics output is only available for the serving kind, got %q", s.Kind)
 	}
 	switch s.Obs.Metrics {
 	case "", "text", "json":

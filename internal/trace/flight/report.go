@@ -1,0 +1,187 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// NamedPoint labels one load point's harvested data for the report
+// renderers: the design point and the ladder position it came from.
+type NamedPoint struct {
+	Arch   string
+	LoadUs float64
+	Data   PointData
+}
+
+func usf(ns int64) float64 { return float64(ns) / 1e3 }
+
+// round6 trims derived ratios to a stable, readable precision.
+func round6(x float64) float64 { return math.Round(x*1e6) / 1e6 }
+
+// WriteSlowest renders the byte-deterministic slowest-requests table:
+// per load point, the reservoir's records slowest-first with their full
+// hop/phase/shard attribution. opName maps Record.Op to its wire name.
+func WriteSlowest(w io.Writer, points []NamedPoint, opName func(uint8) string) {
+	fmt.Fprintf(w, "flight recorder: slowest requests\n")
+	fmt.Fprintf(w, "segments tile scheduled->done exactly; wire_us is the modeled minimum\n")
+	fmt.Fprintf(w, "transit over the route, the rest of req/reply flight is queueing\n")
+	for _, p := range points {
+		d := &p.Data
+		fmt.Fprintf(w, "\n== %s @ %g us/client: tracked %d dropped %d late %d clamped %d\n",
+			p.Arch, p.LoadUs, d.Tracked, d.Dropped, d.Late, d.Clamped)
+		fmt.Fprintf(w, " %2s %-4s %9s %6s %6s %5s %4s %4s %4s %9s %9s %9s %9s %9s %8s\n",
+			"#", "op", "lat_us", "clnt", "srv", "shard", "hops", "cmdq", "srvq",
+			"backlog", "req_fl", "service", "rep_wait", "reply_fl", "wire_us")
+		for i := range d.Slowest {
+			r := &d.Slowest[i]
+			fmt.Fprintf(w, " %2d %-4s %9.1f %6d %6d %5d %4d %4d %4d %9.1f %9.1f %9.1f %9.1f %9.1f %8.1f\n",
+				i+1, opName(r.Op), usf(r.Latency()), r.Client, r.Server, r.Shard,
+				r.Hops, r.CmdQDepth, r.SrvQDepth,
+				usf(r.Seg[SegSched]), usf(r.Seg[SegReq]), usf(r.Seg[SegService]),
+				usf(r.Seg[SegRepWait]), usf(r.Seg[SegReply]),
+				usf(r.WireReqNs+r.WireRepNs))
+			route := ""
+			if i < len(d.Routes) && len(d.Routes[i]) > 0 {
+				route = "  route " + strings.Join(d.Routes[i], ">")
+			}
+			fmt.Fprintf(w, "    key %016x  issued %.1f us%s\n", r.Key, usf(r.ScheduledNs), route)
+		}
+	}
+}
+
+// jsonSeg is one segment of a slow request in the report JSON.
+type jsonSeg struct {
+	Name string  `json:"name"`
+	Us   float64 `json:"us"`
+}
+
+type jsonSlow struct {
+	ID        uint64    `json:"id"`
+	Op        string    `json:"op"`
+	Client    int32     `json:"client"`
+	Server    int32     `json:"server"`
+	Shard     int32     `json:"shard"`
+	Key       string    `json:"key"`
+	Hops      int32     `json:"hops"`
+	CmdQDepth int32     `json:"cmdq_depth"`
+	SrvQDepth int32     `json:"srvq_depth"`
+	IssuedUs  float64   `json:"issued_us"`
+	LatencyUs float64   `json:"latency_us"`
+	WireUs    float64   `json:"wire_us"`
+	Segments  []jsonSeg `json:"segments"`
+	Route     []string  `json:"route,omitempty"`
+}
+
+type jsonShard struct {
+	Shard     int32   `json:"shard"`
+	Arrivals  int32   `json:"arrivals"`
+	Dones     int32   `json:"dones"`
+	RPS       float64 `json:"rps"`
+	DepthMean float64 `json:"depth_mean"`
+	DepthMax  int32   `json:"depth_max"`
+	LatMeanUs float64 `json:"lat_mean_us"`
+}
+
+type jsonTier struct {
+	Name string  `json:"name"`
+	Util float64 `json:"util"`
+}
+
+type jsonWindow struct {
+	StartUs float64     `json:"start_us"`
+	EndUs   float64     `json:"end_us"`
+	Shards  []jsonShard `json:"shards,omitempty"`
+	Tiers   []jsonTier  `json:"tiers,omitempty"`
+}
+
+type jsonPoint struct {
+	Arch     string       `json:"arch"`
+	LoadUs   float64      `json:"load_us"`
+	Tracked  uint64       `json:"tracked"`
+	Dropped  uint64       `json:"dropped"`
+	WindowUs float64      `json:"window_us"`
+	Tiers    []TierInfo   `json:"tiers,omitempty"`
+	Series   []jsonWindow `json:"series"`
+	Slowest  []jsonSlow   `json:"slowest"`
+}
+
+type jsonReport struct {
+	Schema string      `json:"schema"`
+	Points []jsonPoint `json:"points"`
+}
+
+// ReportJSON renders the per-shard and per-tier windowed time series
+// plus the slowest-request records as deterministic JSON.
+func ReportJSON(points []NamedPoint, opName func(uint8) string) ([]byte, error) {
+	rep := jsonReport{Schema: "mproxy-forensics/v1"}
+	for _, p := range points {
+		d := &p.Data
+		jp := jsonPoint{
+			Arch: p.Arch, LoadUs: p.LoadUs,
+			Tracked: d.Tracked, Dropped: d.Dropped,
+			WindowUs: usf(d.WindowNs), Tiers: d.Tiers,
+		}
+		for wi := range d.Windows {
+			win := &d.Windows[wi]
+			jw := jsonWindow{StartUs: usf(win.StartNs), EndUs: usf(win.EndNs)}
+			winNs := win.EndNs - win.StartNs
+			for _, row := range win.ShardRows() {
+				js := jsonShard{
+					Shard: row.Shard, Arrivals: row.Arrivals, Dones: row.Dones,
+					DepthMax: row.DepthMax,
+				}
+				if winNs > 0 {
+					js.RPS = round6(float64(row.Dones) * 1e9 / float64(winNs))
+				}
+				if row.Arrivals > 0 {
+					js.DepthMean = round6(float64(row.DepthSum) / float64(row.Arrivals))
+				}
+				if row.Dones > 0 {
+					js.LatMeanUs = round6(usf(row.LatSumNs) / float64(row.Dones))
+				}
+				jw.Shards = append(jw.Shards, js)
+			}
+			for ti, busy := range win.TierBusy() {
+				links := d.Tiers[ti].Links
+				if links == 0 || winNs <= 0 {
+					continue
+				}
+				jw.Tiers = append(jw.Tiers, jsonTier{
+					Name: d.Tiers[ti].Name,
+					Util: round6(float64(busy) / float64(winNs) / float64(links)),
+				})
+			}
+			if len(jw.Shards) == 0 && len(jw.Tiers) == 0 {
+				continue
+			}
+			jp.Series = append(jp.Series, jw)
+		}
+		for i := range d.Slowest {
+			r := &d.Slowest[i]
+			js := jsonSlow{
+				ID: r.ID, Op: opName(r.Op), Client: r.Client, Server: r.Server,
+				Shard: r.Shard, Key: fmt.Sprintf("%016x", r.Key), Hops: r.Hops,
+				CmdQDepth: r.CmdQDepth, SrvQDepth: r.SrvQDepth,
+				IssuedUs:  usf(r.ScheduledNs),
+				LatencyUs: usf(r.Latency()),
+				WireUs:    usf(r.WireReqNs + r.WireRepNs),
+			}
+			for s := Seg(0); s < NumSegs; s++ {
+				js.Segments = append(js.Segments, jsonSeg{Name: s.String(), Us: usf(r.Seg[s])})
+			}
+			if i < len(d.Routes) {
+				js.Route = d.Routes[i]
+			}
+			jp.Slowest = append(jp.Slowest, js)
+		}
+		rep.Points = append(rep.Points, jp)
+	}
+	b, err := json.MarshalIndent(rep, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// These tests pin the histogram's behavior at the extremes the open-loop
+// serving driver actually hits: sub-bucket latencies (the intra-node
+// fast path completes in a handful of nanoseconds, inside the 16 exact
+// buckets) and saturation tails that reach the top power-of-two ranges,
+// where Quantile's answer must clamp to the observed Max rather than a
+// bucket bound gigantic compared to any real sample.
+
+// TestSubBucketExact pins the layout contract for v < 16: each value has
+// its own bucket, so every quantile of a sub-bucket population is exact,
+// not an upper bound.
+func TestSubBucketExact(t *testing.T) {
+	for v := int64(0); v < 16; v++ {
+		var h Hist
+		for i := 0; i < 100; i++ {
+			h.Add(v)
+		}
+		for _, q := range []float64{0.001, 0.5, 0.999, 1} {
+			if got := h.Quantile(q); got != v {
+				t.Errorf("Quantile(%v) of 100x%d = %d, want exact", q, v, got)
+			}
+		}
+	}
+	// Mixed sub-bucket population: quantiles equal the exact order
+	// statistics under the floor(q*N) target (p999 of 16 samples is the
+	// 15th order statistic, p100 the largest value).
+	var h Hist
+	for v := int64(0); v < 16; v++ {
+		h.Add(v)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0.0625, 0}, {0.5, 7}, {0.75, 11}, {0.999, 14}, {1, 15}} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("mixed sub-bucket Quantile(%v) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestNegativeClampsToZero pins Add's floor: negative durations (which a
+// buggy probe could produce) count as zero, keeping Sum and Min sane.
+func TestNegativeClampsToZero(t *testing.T) {
+	var h Hist
+	h.Add(-1)
+	h.Add(-1 << 40)
+	if h.Min != 0 || h.Max != 0 || h.Sum != 0 || h.N != 2 {
+		t.Errorf("negative adds: %+v, want two zero samples", h)
+	}
+	if got := h.Quantile(0.999); got != 0 {
+		t.Errorf("all-negative Quantile(0.999) = %d, want 0", got)
+	}
+}
+
+// TestMaxBucketClamp drives the top of the value range: the largest
+// int64s land in the final bucket, whose upper bound is MaxInt64, and
+// Quantile must clamp that bound to the observed Max so a single huge
+// outlier reports its own value, not 2^63-1.
+func TestMaxBucketClamp(t *testing.T) {
+	if got := bucketOf(math.MaxInt64); got != histBuckets-1 {
+		t.Fatalf("MaxInt64 lands in bucket %d, want %d", got, histBuckets-1)
+	}
+	if got := bucketHi(histBuckets - 1); got != math.MaxInt64 {
+		t.Fatalf("top bucket upper bound = %d, want MaxInt64", got)
+	}
+	outlier := int64(1)<<62 + 12345
+	var h Hist
+	for i := 0; i < 999; i++ {
+		h.Add(1000)
+	}
+	h.Add(outlier)
+	if got := h.Quantile(1); got != outlier {
+		t.Errorf("p100 = %d, want the outlier %d (bucket bound must clamp to Max)", got, outlier)
+	}
+	// All mass beyond the second-to-last bucket bound: p999 clamps too.
+	var top Hist
+	for i := 0; i < 1000; i++ {
+		top.Add(outlier)
+	}
+	if got := top.Quantile(0.999); got != outlier {
+		t.Errorf("saturated p999 = %d, want clamp to Max %d", got, outlier)
+	}
+}
+
+// TestP999MonotoneUnderMerge is the tail-quantile contract the per-shard
+// serving metrics rely on when windows merge into the run summary:
+// folding shard histograms together (in any order) must leave the
+// quantile curve monotone in q, and the merged p999 must remain a valid
+// upper bound on the exact combined order statistic, within the layout's
+// 1/16 resolution. Samples deliberately span the extremes: sub-bucket
+// values, microsecond midrange, and top-range outliers.
+func TestP999MonotoneUnderMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	grid := []float64{0.5, 0.9, 0.99, 0.999, 0.9999, 1}
+	for trial := 0; trial < 30; trial++ {
+		shards := make([]*Hist, 2+rng.Intn(5))
+		var samples []int64
+		for i := range shards {
+			shards[i] = &Hist{}
+			for k := 200 + rng.Intn(800); k > 0; k-- {
+				var v int64
+				switch rng.Intn(10) {
+				case 0: // sub-bucket
+					v = rng.Int63n(16)
+				case 1: // top-range outlier
+					v = int64(1)<<uint(50+rng.Intn(12)) + rng.Int63n(1<<20)
+				default: // microsecond midrange
+					v = rng.Int63n(1 << uint(8+rng.Intn(16)))
+				}
+				shards[i].Add(v)
+				samples = append(samples, v)
+			}
+		}
+		var merged, reversed Hist
+		for _, s := range shards {
+			merged.Merge(s)
+		}
+		for i := len(shards) - 1; i >= 0; i-- {
+			reversed.Merge(shards[i])
+		}
+		if merged != reversed {
+			t.Fatalf("trial %d: merge order changed the histogram", trial)
+		}
+		prev := int64(-1)
+		for _, q := range grid {
+			got := merged.Quantile(q)
+			if got < prev {
+				t.Fatalf("trial %d: quantile curve not monotone: Quantile(%v)=%d after %d",
+					trial, q, got, prev)
+			}
+			prev = got
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for _, q := range []float64{0.999, 0.9999} {
+			target := int(q * float64(len(samples)))
+			if target == 0 {
+				target = 1
+			}
+			exact := samples[target-1]
+			got := merged.Quantile(q)
+			if got < exact {
+				t.Fatalf("trial %d: merged Quantile(%v) = %d below exact %d", trial, q, got, exact)
+			}
+			if slack := exact/16 + 1; got > exact+slack {
+				t.Fatalf("trial %d: merged Quantile(%v) = %d exceeds exact %d beyond 1/16",
+					trial, q, got, exact)
+			}
+		}
+	}
+}

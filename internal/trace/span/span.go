@@ -7,11 +7,25 @@
 // from event order and the engine's context-switch events:
 //
 //	KOpSubmit            the issuing process opens a span
-//	KEnqueue  (user ctx) the command reached the agent's work queue
-//	KPoll                the agent picked the item up (queue wait ends)
+//	KEnqueue  (user ctx) the command reached a queue feeding the agent:
+//	                     the per-user command queue ("rank<N>.cmdq") under
+//	                     the proxy design points, the agent's work queue
+//	                     ("<agent>.q") otherwise
+//	KPoll                the agent picked a work item up
+//	KDequeue  (.cmdq)    the proxy's scan drained a specific command queue;
+//	                     the span that queue carries binds to the running
+//	                     work item (queue wait ends)
 //	KSchedule/KFire      a packet launched during service crosses the wire
 //	KEnqueue  (eng ctx)  the delivery reached the receiving agent's queue
 //	KOpDone              the data deposited; the span closes
+//
+// The command-queue events exist because proxy work tokens are fungible:
+// the agent work item submitted for one endpoint's command may service a
+// different endpoint's queue (the scan is round-robin across the node's
+// registered queues). Pairing spans with work items in FIFO order would
+// cross identities whenever two endpoints on a node have commands in
+// flight; riding the span on the command queue itself keeps attribution
+// exact.
 //
 // Phase boundaries chain through a per-span monotone mark, so the phase
 // durations of every span sum exactly to Done-Submit — the assembler
@@ -239,6 +253,10 @@ type workItem struct {
 	// deqReq marks the first delivery hop of a DEQ: its service parks the
 	// span until the remote queue produces a record.
 	deqReq bool
+	// probes and headChecks stash scan work observed before the item bound
+	// a span (proxy tokens bind at the command-queue dequeue, which the
+	// scan itself precedes); the rebind transfers them to the span.
+	probes, headChecks int64
 }
 
 // schedInfo remembers who created an engine event, so the packet-flight
@@ -270,6 +288,8 @@ type Assembler struct {
 	qfifo     map[string][]*workItem // per-agent work-queue mirror
 	ready     map[string]*workItem   // dequeued, awaiting KPoll
 	active    map[string]*workItem   // in service
+	cmdq      map[string][]*Span     // per-command-queue span FIFO (proxy)
+	owed      map[string]int         // user procs whose span rode the cmdq
 	dormant   []*Span                // DEQ spans parked on empty remote queues
 	openByOp  map[string][]*Span
 	lastAt    int64
@@ -293,6 +313,8 @@ func (a *Assembler) resetRun() {
 	a.qfifo = make(map[string][]*workItem)
 	a.ready = make(map[string]*workItem)
 	a.active = make(map[string]*workItem)
+	a.cmdq = make(map[string][]*Span)
+	a.owed = make(map[string]int)
 	a.dormant = nil
 	a.openByOp = make(map[string][]*Span)
 }
@@ -322,9 +344,16 @@ func (a *Assembler) Stats() Stats {
 
 // agentOf maps an agent work-queue trace name to its agent, following the
 // machine.NewAgent contract that agent queues are named "<agent>.q" (the
-// only named sim.Queues in the tree).
+// only named sim.Queues in the tree). Command-queue components
+// ("rank<N>.cmdq") do not match: their suffix is ".cmdq", not ".q".
 func agentOf(comp string) (string, bool) {
 	return strings.CutSuffix(comp, ".q")
+}
+
+// isCmdq reports whether comp names a per-user command queue, following
+// the comm fabric contract that they are named "rank<N>.cmdq".
+func isCmdq(comp string) bool {
+	return strings.HasSuffix(comp, ".cmdq")
 }
 
 // Record implements trace.Tracer.
@@ -388,8 +417,16 @@ func (a *Assembler) Record(ev trace.Event) {
 		}
 		a.openByOp[sp.Op] = append(a.openByOp[sp.Op], sp)
 	case trace.KEnqueue:
+		if isCmdq(ev.Comp) {
+			a.onCmdqEnqueue(ev)
+			return
+		}
 		a.onEnqueue(ev)
 	case trace.KDequeue:
+		if isCmdq(ev.Comp) {
+			a.onCmdqDequeue(ev)
+			return
+		}
 		agent, ok := agentOf(ev.Comp)
 		if !ok {
 			return
@@ -426,10 +463,19 @@ func (a *Assembler) Record(ev trace.Event) {
 		}
 	case trace.KScan:
 		agent := strings.TrimSuffix(ev.Comp, ".scan")
-		if item := a.active[agent]; item != nil && item.span != nil && !item.span.closed {
+		if item := a.active[agent]; item != nil {
 			s := trace.DecodeScanArg(ev.Arg)
-			item.span.Probes += s.Probes
-			item.span.HeadChecks += s.HeadChecks
+			if sp := item.span; sp != nil {
+				if !sp.closed {
+					sp.Probes += s.Probes
+					sp.HeadChecks += s.HeadChecks
+				}
+			} else {
+				// The scan precedes the command-queue dequeue that binds
+				// this item's span; stash until the rebind.
+				item.probes += s.Probes
+				item.headChecks += s.HeadChecks
+			}
 		}
 	case trace.KOpDone:
 		a.onDone(ev)
@@ -482,10 +528,63 @@ func (a *Assembler) onEnqueue(ev trace.Event) {
 			item.send = true
 			sp.phase(PhaseSubmit, sp.Origin, ev.At)
 		}
+	case a.owed[a.cur] > 0:
+		// Proxy notification token: the span already rode the command
+		// queue at onCmdqEnqueue; this work item stays span-less until
+		// the scan's dequeue binds whichever span it actually drains.
+		a.owed[a.cur]--
 	default:
 		a.stats.UnattributedItems++
 	}
 	a.qfifo[agent] = append(a.qfifo[agent], item)
+}
+
+// onCmdqEnqueue records a user command entering its per-user command
+// queue under the proxy design points: the submit phase ends here, and
+// the span rides the command queue — not the agent work token — so the
+// round-robin scan's pick binds the right identity.
+func (a *Assembler) onCmdqEnqueue(ev trace.Event) {
+	if a.cur == "" {
+		a.cmdq[ev.Comp] = append(a.cmdq[ev.Comp], nil)
+		a.stats.UnattributedItems++
+		return
+	}
+	a.owed[a.cur]++
+	sp := a.pending[a.cur]
+	if sp != nil {
+		delete(a.pending, a.cur)
+		sp.phase(PhaseSubmit, sp.Origin, ev.At)
+	} else {
+		a.stats.UnattributedItems++
+	}
+	a.cmdq[ev.Comp] = append(a.cmdq[ev.Comp], sp)
+}
+
+// onCmdqDequeue binds the oldest span waiting in the drained command
+// queue to the agent work item currently in service: command-queue wait
+// ends, and the rest of the item's service attributes to this span.
+func (a *Assembler) onCmdqDequeue(ev trace.Event) {
+	fifo := a.cmdq[ev.Comp]
+	if len(fifo) == 0 {
+		a.stats.FifoDesyncs++
+		return
+	}
+	sp := fifo[0]
+	a.cmdq[ev.Comp] = fifo[1:]
+	item := a.active[a.cur]
+	if item == nil {
+		a.stats.FifoDesyncs++
+		return
+	}
+	item.span = sp
+	if sp == nil || sp.closed {
+		return
+	}
+	sp.Route = append(sp.Route, a.cur)
+	sp.phase(PhaseCmdQueue, a.cur+".q", ev.At)
+	sp.Probes += item.probes
+	sp.HeadChecks += item.headChecks
+	item.probes, item.headChecks = 0, 0
 }
 
 // commitTent resolves a user-context schedule as a wire flight: under the

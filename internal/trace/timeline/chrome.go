@@ -112,3 +112,51 @@ func ChromeTrace(spans []*span.Span, windows []Window) ([]byte, error) {
 	}
 	return json.MarshalIndent(chromeFile{TraceEvents: evs, DisplayTimeUnit: "ms"}, "", " ")
 }
+
+// Slice is one complete interval on a named track, for renderers that
+// build Chrome traces from sources other than the span assembler — the
+// flight recorder's exemplar dumps use it.
+type Slice struct {
+	Track   string
+	Name    string
+	StartNs int64
+	DurNs   int64
+	Cat     string
+	Args    map[string]any
+}
+
+// ChromeSlices renders labeled intervals as Chrome trace-event JSON with
+// the same deterministic shaping as ChromeTrace: one process (named
+// process), tracks sorted by name, slices in input order.
+func ChromeSlices(process string, slices []Slice) ([]byte, error) {
+	const pid = 1
+	evs := []chromeEvent{{
+		Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]any{"name": process},
+	}}
+	var names []string
+	seen := make(map[string]bool)
+	for _, s := range slices {
+		if !seen[s.Track] {
+			seen[s.Track] = true
+			names = append(names, s.Track)
+		}
+	}
+	sort.Strings(names)
+	tids := make(map[string]int, len(names))
+	for i, n := range names {
+		tids[n] = i + 1
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: i + 1,
+			Args: map[string]any{"name": n},
+		})
+	}
+	for _, s := range slices {
+		d := us(s.DurNs)
+		evs = append(evs, chromeEvent{
+			Name: s.Name, Ph: "X", Pid: pid, Tid: tids[s.Track],
+			Ts: us(s.StartNs), Dur: &d, Cat: s.Cat, Args: s.Args,
+		})
+	}
+	return json.MarshalIndent(chromeFile{TraceEvents: evs, DisplayTimeUnit: "ms"}, "", " ")
+}

@@ -1,0 +1,99 @@
+package timeline
+
+import (
+	"strings"
+	"testing"
+
+	"mproxy/internal/arch"
+	"mproxy/internal/machine"
+	"mproxy/internal/machine/topo"
+	"mproxy/internal/sim"
+)
+
+// TestNetProbesCoverSwitchLinks checks a multi-switch interconnect's
+// links all get utilization probes, tiered by kind, and that Attach's
+// construction hook wires them automatically.
+func TestNetProbesCoverSwitchLinks(t *testing.T) {
+	a, _ := arch.ByName("MP1")
+	eng := sim.NewEngine()
+	cl := machine.New(eng, machine.Config{Nodes: 16, ProcsPerNode: 2, ProxiesPerNode: 1}, a)
+	g, err := topo.ByName("fat-tree", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := topo.NewNet(cl, g)
+
+	ps := NetProbes(n)
+	want := 0
+	n.EachLink(func(topo.Tier, *machine.Link) { want++ })
+	if want == 0 || len(ps) != want {
+		t.Fatalf("probes cover %d of %d switch links", len(ps), want)
+	}
+	kinds := map[string]bool{}
+	for _, p := range ps {
+		if p.Busy == nil || p.Util == nil {
+			t.Fatalf("probe %s missing busy/util accessors", p.Name)
+		}
+		if !strings.HasPrefix(p.Kind, "switch.") {
+			t.Fatalf("probe %s kind %q, want switch.<tier>", p.Name, p.Kind)
+		}
+		kinds[p.Kind] = true
+	}
+	if !kinds["switch.edge"] || !kinds["switch.core"] {
+		t.Fatalf("probe kinds %v missing edge/core tiers", kinds)
+	}
+
+	// Attach: a fresh cluster+net lands every switch link in the sampler.
+	s := NewSampler(1000)
+	Attach(s)
+	defer Detach()
+	eng2 := sim.NewEngine()
+	cl2 := machine.New(eng2, machine.Config{Nodes: 16, ProcsPerNode: 2, ProxiesPerNode: 1}, a)
+	topo.NewNet(cl2, g)
+	got := 0
+	for _, p := range s.probeNames() {
+		if strings.Contains(p, ".sw") {
+			got++
+		}
+	}
+	if got != want {
+		t.Fatalf("Attach wired %d switch-link probes, want %d", got, want)
+	}
+}
+
+// probeNames exposes the sampler's probe set to the test.
+func (s *Sampler) probeNames() []string {
+	var out []string
+	for _, st := range s.probes {
+		out = append(out, st.Name)
+	}
+	return out
+}
+
+// TestChromeSlicesDeterministic pins the generic slice writer's
+// determinism and shaping: sorted tracks, input-order events.
+func TestChromeSlicesDeterministic(t *testing.T) {
+	slices := []Slice{
+		{Track: "b", Name: "x", StartNs: 1000, DurNs: 500, Cat: "PUT"},
+		{Track: "a", Name: "y", StartNs: 2000, DurNs: 250, Cat: "GET",
+			Args: map[string]any{"shard": 3}},
+	}
+	j1, err := ChromeSlices("flight", slices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := ChromeSlices("flight", slices)
+	if string(j1) != string(j2) {
+		t.Fatal("ChromeSlices not deterministic")
+	}
+	out := string(j1)
+	for _, want := range []string{`"flight"`, `"thread_name"`, `"x"`, `"shard": 3`, `"displayTimeUnit": "ms"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %s:\n%s", want, out)
+		}
+	}
+	// Track "a" sorts first: it must get tid 1.
+	if strings.Index(out, `"name": "a"`) > strings.Index(out, `"name": "b"`) {
+		t.Fatal("tracks not sorted by name")
+	}
+}

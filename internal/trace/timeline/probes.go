@@ -6,6 +6,7 @@ import (
 	"mproxy/internal/arch"
 	"mproxy/internal/comm"
 	"mproxy/internal/machine"
+	"mproxy/internal/machine/topo"
 	"mproxy/internal/sim"
 )
 
@@ -65,18 +66,39 @@ func FabricProbes(f *comm.Fabric) []Probe {
 	return ps
 }
 
-// Attach wires the sampler to every cluster and fabric the process builds
-// from now on, via the machine/comm construction hooks — the same pattern
-// the tracecli uses for the global tracer. Each new cluster replaces the
-// probe set (keeping windows already collected); its fabric's command
-// queues are appended when the fabric is built moments later.
+// NetProbes builds utilization probes for every switch output link of a
+// multi-switch interconnect, so topology runs show per-tier wire load in
+// Chrome trace/utilization reports alongside the node NICs (which only
+// cover the edge).
+func NetProbes(n *topo.Net) []Probe {
+	var ps []Probe
+	n.EachLink(func(t topo.Tier, l *machine.Link) {
+		ps = append(ps, Probe{
+			Name: l.Name(), Kind: "switch." + t.String(),
+			Busy: func() int64 { return int64(l.BusyTime()) },
+			Util: func(since, busyAt int64) float64 {
+				return l.UtilizationSince(sim.Time(since), sim.Time(busyAt))
+			},
+		})
+	})
+	return ps
+}
+
+// Attach wires the sampler to every cluster, interconnect and fabric the
+// process builds from now on, via the machine/topo/comm construction
+// hooks — the same pattern the tracecli uses for the global tracer. Each
+// new cluster replaces the probe set (keeping windows already
+// collected); its interconnect's switch links and its fabric's command
+// queues are appended when those are built moments later.
 func Attach(s *Sampler) {
 	machine.OnNewCluster(func(c *machine.Cluster) { s.SetProbes(ClusterProbes(c)) })
+	topo.OnNewNet(func(n *topo.Net) { s.AddProbes(NetProbes(n)) })
 	comm.OnNewFabric(func(f *comm.Fabric) { s.AddProbes(FabricProbes(f)) })
 }
 
 // Detach removes the construction hooks installed by Attach.
 func Detach() {
 	machine.OnNewCluster(nil)
+	topo.OnNewNet(nil)
 	comm.OnNewFabric(nil)
 }

@@ -1,0 +1,109 @@
+package openloop
+
+import (
+	"reflect"
+	"testing"
+
+	"mproxy/internal/trace/flight"
+)
+
+// TestFlightHeisenbergFree checks the flight recorder never perturbs the
+// simulation: a recorder-on run reproduces the recorder-off latency
+// results bit for bit. Request IDs ride the high bits of the echoed
+// flags word, whose value never affects simulated cost.
+func TestFlightHeisenbergFree(t *testing.T) {
+	cfg := smokeConfig(t)
+	off, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Flight = &flight.Config{TopK: 8}
+	on, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range off.Points {
+		po, pn := off.Points[i], on.Points[i]
+		pn.Flight = nil
+		if !reflect.DeepEqual(po, pn) {
+			t.Fatalf("point %d differs with recorder on:\noff %+v\non  %+v", i, po, pn)
+		}
+	}
+	if off.KneeLoadUs != on.KneeLoadUs || off.SaturationRPS != on.SaturationRPS {
+		t.Fatalf("knee moved: off (%v, %v) on (%v, %v)",
+			off.KneeLoadUs, off.SaturationRPS, on.KneeLoadUs, on.SaturationRPS)
+	}
+}
+
+// TestFlightRecordsTileAndTrack checks every harvested record against
+// the invariants the forensics report relies on: segments tile the
+// measured latency exactly, hop counts match the topology, wire
+// minimums fit inside their flight segments, and the windowed series
+// conserves the measured request count.
+func TestFlightRecordsTileAndTrack(t *testing.T) {
+	cfg := smokeConfig(t)
+	cfg.Flight = &flight.Config{TopK: 16}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi, pt := range res.Points {
+		fd := pt.Flight
+		if fd == nil {
+			t.Fatalf("point %d has no flight data", pi)
+		}
+		if fd.Tracked != uint64(cfg.Requests) {
+			t.Errorf("point %d tracked %d, want %d", pi, fd.Tracked, cfg.Requests)
+		}
+		if fd.Dropped != 0 || fd.Late != 0 || fd.Clamped != 0 {
+			t.Errorf("point %d quality counters moved: %+v", pi, fd)
+		}
+		if len(fd.Slowest) != 16 {
+			t.Errorf("point %d reservoir has %d records, want 16", pi, len(fd.Slowest))
+		}
+		for i := range fd.Slowest {
+			r := &fd.Slowest[i]
+			var sum int64
+			for _, s := range r.Seg {
+				sum += s
+			}
+			if sum != r.Latency() {
+				t.Errorf("point %d record %d: segments sum %d != latency %d", pi, i, sum, r.Latency())
+			}
+			if i > 0 && r.Latency() > fd.Slowest[i-1].Latency() {
+				t.Errorf("point %d reservoir not sorted at %d", pi, i)
+			}
+			if r.Seg[flight.SegReq] < r.WireReqNs {
+				t.Errorf("point %d record %d: req segment %d below wire minimum %d",
+					pi, i, r.Seg[flight.SegReq], r.WireReqNs)
+			}
+			if r.Seg[flight.SegReply] < r.WireRepNs {
+				t.Errorf("point %d record %d: reply segment %d below wire minimum %d",
+					pi, i, r.Seg[flight.SegReply], r.WireRepNs)
+			}
+			if i < len(fd.Routes) {
+				if got := len(fd.Routes[i]); got != int(r.Hops) {
+					t.Errorf("point %d record %d: route has %d links, hops %d", pi, i, got, r.Hops)
+				}
+			}
+			if r.Op == uint8(1) && r.Seg[flight.SegRepWait] == 0 && cfg.Replication > 1 {
+				t.Errorf("point %d record %d: replicated PUT with zero replica-wait", pi, i)
+			}
+			if r.Op != uint8(1) && r.Seg[flight.SegRepWait] != 0 {
+				t.Errorf("point %d record %d: non-PUT with replica-wait %d", pi, i, r.Seg[flight.SegRepWait])
+			}
+		}
+		var dones uint64
+		for wi := range fd.Windows {
+			for _, row := range fd.Windows[wi].ShardRows() {
+				dones += uint64(row.Dones)
+			}
+		}
+		if dones != fd.Tracked {
+			t.Errorf("point %d series has %d completions, tracked %d", pi, dones, fd.Tracked)
+		}
+		if len(fd.Tiers) == 0 {
+			t.Errorf("point %d has no tier series despite fat-tree", pi)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"mproxy/internal/machine"
 	"mproxy/internal/machine/topo"
 	"mproxy/internal/sim"
+	"mproxy/internal/trace/flight"
 	"mproxy/internal/trace/metrics"
 )
 
@@ -46,6 +47,13 @@ type Config struct {
 
 	Requests int // measured requests per load point, across all clients
 	Warmup   int // unmeasured lead-in requests per load point
+	// Flight, when set, runs a flight recorder per load point: every
+	// measured request gets an end-to-end phase record, and the point's
+	// harvest (slowest requests, windowed per-shard/per-tier series)
+	// lands in Point.Flight. Recording is timing-free — request IDs ride
+	// the high bits of the echoed flags word, whose value never affects
+	// simulated cost — so results match a recorder-off run exactly.
+	Flight *flight.Config
 	// LoadUs is the sweep ladder: per-client mean inter-arrival time in
 	// microseconds per point, ordered lightest load (largest) first.
 	LoadUs []float64
@@ -72,6 +80,9 @@ type Point struct {
 	MeanHops    float64              `json:"mean_hops,omitempty"`
 	Tiers       []topo.TierUtil      `json:"tiers,omitempty"`
 	ElapsedUs   float64              `json:"elapsed_us"`
+	// Flight is the flight recorder's harvest, present when
+	// Config.Flight was set.
+	Flight *flight.PointData `json:"-"`
 }
 
 // Result is a full sweep: every point plus the saturation summary.
@@ -157,6 +168,14 @@ type client struct {
 	quota int // total requests to issue
 	warm  int // leading requests that are unmeasured
 	sent  int
+
+	// Flight-recorder context, nil/zero when recording is off.
+	rec     *flight.Recorder
+	net     *topo.Net
+	rank    int
+	ppn     int
+	perHop  *[3]int64 // per-hop modeled request wire ns by op
+	perHopR *[3]int64 // per-hop modeled reply wire ns by op
 }
 
 func (c *client) issue(t *sim.Task) { c.step(t) }
@@ -177,21 +196,57 @@ func (c *client) step(t *sim.Task) {
 
 func (c *client) fire(t *sim.Task, at int64) {
 	var flags int64
-	if c.sent >= c.warm {
-		flags = 1 // measured
+	measured := c.sent >= c.warm
+	if measured {
+		flags = 1
 	}
 	c.sent++
 	key := c.keys.next()
 	u := c.ops.Float64()
-	k := func() { c.step(t) }
+	var op kv.Op
 	switch {
 	case u < pGet:
-		c.svc.GetTask(c.port, t, key, flags, at, k)
+		op = kv.OpGet
 	case u < pGet+pPut:
+		op = kv.OpPut
+	default:
+		op = kv.OpScan
+	}
+	if measured && c.rec != nil {
+		flags = flight.FlagsWithID(flags, c.track(op, key, at))
+	}
+	k := func() { c.step(t) }
+	switch op {
+	case kv.OpGet:
+		c.svc.GetTask(c.port, t, key, flags, at, k)
+	case kv.OpPut:
 		c.svc.PutTask(c.port, t, key, flags, at, k)
 	default:
 		c.svc.ScanTask(c.port, t, key, flags, at, k)
 	}
+}
+
+// track opens the flight record for a measured request: route length
+// and modeled wire minimums from the topology, command-queue depth at
+// enqueue from the endpoint's probe accessor.
+func (c *client) track(op kv.Op, key uint64, at int64) uint64 {
+	server := c.svc.Primary(key)
+	shard := c.svc.ShardIndex(key)
+	hops := 0
+	if sn, dn := c.rank/c.ppn, server/c.ppn; sn != dn {
+		if c.net != nil {
+			hops = c.net.Hops(sn, dn)
+		} else {
+			hops = 1 // flat model: the single shared switch
+		}
+	}
+	depth := 0
+	if q := c.port.Endpoint().CommandQueue(); q != nil {
+		depth = q.Len()
+	}
+	return c.rec.Issue(uint8(op), int32(c.rank), int32(server), int32(shard),
+		int32(hops), int32(depth), key, at,
+		int64(hops)*c.perHop[op], int64(hops)*c.perHopR[op])
 }
 
 func runPoint(cfg *Config, zp *zipfParams, idx int, loadUs float64) (Point, error) {
@@ -223,6 +278,41 @@ func runPoint(cfg *Config, zp *zipfParams, idx int, loadUs float64) (Point, erro
 		ScanCount:   cfg.ScanCount,
 		Replication: cfg.Replication,
 	})
+
+	var rec *flight.Recorder
+	var perHop, perHopR [3]int64
+	if cfg.Flight != nil {
+		fc := *cfg.Flight
+		fc.Shards = cfg.Nodes
+		rec = flight.New(fc, func() int64 { return int64(eng.Now()) })
+		svc.Flight = rec
+		for op := kv.OpGet; op <= kv.OpScan; op++ {
+			req, rep := svc.WireBytes(op)
+			perHop[op] = int64(arch.XferTime(comm.HeaderSize+req, cfg.Arch.NetBW) + cfg.Arch.NetLatency)
+			perHopR[op] = int64(arch.XferTime(comm.HeaderSize+rep, cfg.Arch.NetBW) + cfg.Arch.NetLatency)
+		}
+		if net != nil {
+			links := net.TierLinks()
+			var meta []flight.TierInfo
+			var idxs []int
+			for t := 0; t < topo.NumTiers; t++ {
+				if links[t] == 0 {
+					continue
+				}
+				meta = append(meta, flight.TierInfo{Name: topo.Tier(t).String(), Links: links[t]})
+				idxs = append(idxs, t)
+			}
+			full := make([]int64, topo.NumTiers)
+			rec.SetTiers(meta, func(buf []int64) []int64 {
+				net.TierBusy(full)
+				buf = buf[:0]
+				for _, ti := range idxs {
+					buf = append(buf, full[ti])
+				}
+				return buf
+			})
+		}
+	}
 
 	active := cfg.Nodes * cfg.Clients
 	got := make([]int64, active)
@@ -277,7 +367,12 @@ func runPoint(cfg *Config, zp *zipfParams, idx int, loadUs float64) (Point, erro
 				ops:   fault.NewStream(cfg.Seed, fault.DomainOpMix, uint64(rank), uint64(idx)),
 				quota: q,
 				warm:  share(cfg.Warmup, active, ci),
+				rec:   rec,
+				net:   net,
+				rank:  rank,
+				ppn:   ppn,
 			}
+			c.perHop, c.perHopR = &perHop, &perHopR
 			eng.SpawnTask(fmt.Sprintf("kv.client.%d", rank), c.issue)
 			port, qci := c.port, ci
 			eng.SpawnTask(fmt.Sprintf("kv.recv.%d", rank), func(t *sim.Task) {
@@ -307,6 +402,28 @@ func runPoint(cfg *Config, zp *zipfParams, idx int, loadUs float64) (Point, erro
 	if net != nil {
 		pt.MeanHops = net.MeanHops()
 		pt.Tiers = net.TierUtilization(eng.Now())
+	}
+	if rec != nil {
+		pd := rec.Finish()
+		if net != nil {
+			// Resolve route tiers for the retained stragglers only: the
+			// hot path stores hop counts, never per-request paths.
+			for i := range pd.Slowest {
+				r := &pd.Slowest[i]
+				sn, dn := int(r.Client)/ppn, int(r.Server)/ppn
+				if sn == dn {
+					pd.Routes = append(pd.Routes, nil)
+					continue
+				}
+				tiers := net.RouteTiers(sn, dn)
+				names := make([]string, len(tiers))
+				for j, tt := range tiers {
+					names[j] = tt.String()
+				}
+				pd.Routes = append(pd.Routes, names)
+			}
+		}
+		pt.Flight = &pd
 	}
 	return pt, nil
 }
