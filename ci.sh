@@ -53,7 +53,7 @@ if ! cmp -s "$tmpdir/chrome.json" internal/prof/testdata/pingpong-mp1-chrome.jso
     exit 1
 fi
 
-echo "== bench shard (schema + regression gate vs BENCH_8.json)"
+echo "== bench shard (schema + regression gate vs BENCH_9.json)"
 # 15% tolerance plus one retry: the shared runners' noise is one-sided
 # (load spikes only ever slow a rep down) and an occasional spike exceeds
 # any tolerance a real regression should be allowed to hide in. A genuine
@@ -61,7 +61,7 @@ echo "== bench shard (schema + regression gate vs BENCH_8.json)"
 bench_ok=0
 for attempt in 1 2; do
     if "$tmpdir/mproxy" bench -quick -out "$tmpdir/bench.json" \
-        -baseline BENCH_8.json -tolerance 0.15 2>"$tmpdir/bench.log"; then
+        -baseline BENCH_9.json -tolerance 0.15 2>"$tmpdir/bench.log"; then
         bench_ok=1
         break
     fi
@@ -76,7 +76,8 @@ grep -q '"schema": "mproxy-bench/v1"' "$tmpdir/bench.json"
 
 echo "== forensics shard (flight-recorder byte-identity)"
 # The serving-forensics bench row above bounds the recorder's overhead
-# (its BENCH_8.json baseline sits ~4% over recorder-off serving-smoke);
+# (its BENCH_9.json baseline sits a few percent over recorder-off
+# serving-smoke);
 # this shard pins its *output*: the slowest-requests table, the windowed
 # series JSON, and the Chrome exemplars must reproduce byte-identically.
 mkdir "$tmpdir/forensics"
@@ -93,7 +94,7 @@ do
 done
 
 echo "== race shard (differential equivalence + concurrent fabrics)"
-go test -race -run 'TestDifferential|TestConcurrentFabricsDistinctQueueCaps' \
+go test -race -run 'TestDifferential|TestStealRepeatRunDigest|TestConcurrentFabricsDistinctQueueCaps' \
     ./internal/regress/ ./internal/scenario/ ./internal/comm/
 
 echo "== results byte-identity (cheap presets)"
@@ -102,7 +103,8 @@ for preset_file in \
     "table3 table3.txt" \
     "table4 table4.txt" \
     "figure7 figure7.txt" \
-    "serving-smoke serving_smoke.txt"
+    "serving-smoke serving_smoke.txt" \
+    "serving-proxysweep-smoke serving_proxysweep_smoke.txt"
 do
     set -- $preset_file
     "$tmpdir/mproxy" run "$1" 2>/dev/null >"$tmpdir/out.txt"
@@ -121,7 +123,8 @@ if [ "$mode" = "full" ]; then
         "figure9-2proxies figure9_2proxies.txt" \
         "section54-queueing section54_queueing.txt" \
         "serving-fattree-1k serving.txt" \
-        "serving-dragonfly-1k serving_dragonfly.txt"
+        "serving-dragonfly-1k serving_dragonfly.txt" \
+        "serving-proxysweep serving_proxysweep.txt"
     do
         set -- $preset_file
         "$tmpdir/mproxy" run "$1" 2>/dev/null >"$tmpdir/out.txt"

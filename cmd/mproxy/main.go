@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 
 	"mproxy/internal/bench"
 	"mproxy/internal/scenario"
@@ -445,7 +446,32 @@ func runList(stdout io.Writer) int {
 		if dir := p.Spec.Obs.Forensics; dir != "" {
 			target += " [forensics -> " + dir + "/]"
 		}
+		// Multi-proxy annotations: presets that sweep the proxy grid, run
+		// more than one proxy per node, or pick a non-default scheduling
+		// policy say so — the proxy layout is the design variable the
+		// sweep kinds exist to expose. Normalize first so a sweep's
+		// default grid shows even when the preset leaves it implicit.
+		sp := p.Spec.Normalize()
+		if sv := sp.Serving; sv != nil && len(sv.ProxyCounts) > 0 {
+			target += fmt.Sprintf(" [proxies %s x %s]",
+				joinInts(sv.ProxyCounts), strings.Join(sv.Scheds, ","))
+		} else if sp.Topology.Proxies > 1 || sp.Topology.ProxySched != "" {
+			sched := sp.Topology.ProxySched
+			if sched == "" {
+				sched = "static"
+			}
+			target += fmt.Sprintf(" [%d proxies/node, %s]", sp.Topology.Proxies, sched)
+		}
 		fmt.Fprintf(stdout, "  %-20s %s%s\n", name, p.Desc, target)
 	}
 	return 0
+}
+
+// joinInts renders an int list as a comma-separated string.
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return strings.Join(parts, ",")
 }

@@ -86,8 +86,9 @@ func Run(opt Options) (Suite, error) {
 		{"engine-timer", 1_000_000, 0, benchEngineTimer},
 		{"engine-traced", 1_000_000, 0, benchEngineTraced},
 		{"pingpong-e2e", 2_000, 0, benchPingPong},
-		{"serving-smoke", 4_000, 1_000, benchServing(nil)},
-		{"serving-forensics", 4_000, 1_000, benchServing(&flight.Config{})},
+		{"serving-smoke", 4_000, 1_000, benchServing(nil, 1, "")},
+		{"serving-forensics", 4_000, 1_000, benchServing(&flight.Config{}, 1, "")},
+		{"serving-proxysched", 4_000, 1_000, benchServing(nil, 2, "steal")},
 		{"figure8-small", 3, 0, benchFigure8(opt.Quick)},
 	}
 	for _, b := range suite {
@@ -255,15 +256,19 @@ func benchPingPong(ops int64) error {
 // serving path moves it even when the microloops hold steady. A non-nil
 // fcfg turns the flight recorder on (the serving-forensics row), pinning
 // the recorder's bounded-overhead contract against the identical
-// recorder-off configuration.
-func benchServing(fcfg *flight.Config) func(ops int64) error {
+// recorder-off configuration. proxies/sched select the proxy-scheduling
+// design point: the serving-proxysched row runs two proxies per node
+// under work stealing, so the steal path's cost (idle-proxy victim
+// scans, cross-queue AgentMiss charges) is gated alongside the static
+// baseline.
+func benchServing(fcfg *flight.Config, proxies int, sched string) func(ops int64) error {
 	return func(ops int64) error {
 		a, ok := arch.ByName("MP1")
 		if !ok {
 			return fmt.Errorf("unknown arch MP1")
 		}
 		res, err := openloop.Run(openloop.Config{
-			Arch: a, Nodes: 4, Clients: 2, Proxies: 1,
+			Arch: a, Nodes: 4, Clients: 2, Proxies: proxies, ProxySched: sched,
 			Topo: "fat-tree", CommandQueueCap: 64,
 			ValueBytes: 64, ScanCount: 16, Replication: 2,
 			Keys: 1024, Theta: 0.99,

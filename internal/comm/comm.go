@@ -36,6 +36,10 @@ type Options struct {
 	// CommandQueueCap overrides the per-user command-queue capacity under
 	// the message-proxy design points (0 = DefaultCommandQueueCap).
 	CommandQueueCap int
+	// ProxySched overrides the cluster's proxy-scheduling policy (see
+	// proxy.SchedByName). Empty defers to the cluster's resolved policy,
+	// which itself defaults to static slot-modulo.
+	ProxySched string
 	// Rel, when non-nil, carries all inter-node packets over the reliable
 	// transport (see rel.go), exactly as EnableRel would.
 	Rel *rel.Config
@@ -157,6 +161,14 @@ type Fabric struct {
 	// sites can emit which queue a scan dequeued without formatting on
 	// the hot path.
 	cmdqNames [][][]string
+	// sched is the proxy-scheduling policy binding endpoint command
+	// streams to proxies (Options.ProxySched, else the cluster's).
+	sched proxy.Sched
+	// stealSeq seeds each node's deterministic victim rotation; stealWork
+	// holds the prebuilt per-(node, victim) steal work items so a steal
+	// turn submits without allocating.
+	stealSeq  []uint64
+	stealWork [][]machine.Work
 	stats     Stats
 
 	// forceRemote disables the intra-node shared-memory fast path,
@@ -192,6 +204,18 @@ func New(cl *machine.Cluster) *Fabric { return NewWith(cl, Options{}) }
 // NewWith is New under explicit per-fabric Options.
 func NewWith(cl *machine.Cluster, opt Options) *Fabric {
 	f := &Fabric{Cl: cl, A: cl.Arch, opt: opt}
+	f.sched = cl.Sched
+	if opt.ProxySched != "" {
+		s, err := proxy.SchedByName(opt.ProxySched)
+		if err != nil {
+			panic(err)
+		}
+		f.sched = s
+	}
+	if f.sched == nil {
+		// Clusters assembled outside machine.New carry no policy.
+		f.sched, _ = proxy.SchedByName("")
+	}
 	f.taskMode = cl.Eng.ExecMode() == sim.ExecTask && f.A.Kind != arch.Syscall
 	if f.taskMode {
 		// Each agent gets its resident protocol frame: the continuation
@@ -224,6 +248,9 @@ func NewWith(cl *machine.Cluster, opt Options) *Fabric {
 				nd.Agents[k].OnRestart(s.Restart)
 			}
 		}
+		if f.sched.Steal() {
+			f.installStealing()
+		}
 	}
 	if opt.Rel != nil {
 		f.EnableRel(*opt.Rel)
@@ -233,7 +260,7 @@ func NewWith(cl *machine.Cluster, opt Options) *Fabric {
 		if f.A.Kind == arch.Proxy {
 			ep.cmdq = proxy.NewCommandQueue[request](cpu.Rank, opt.queueCap())
 			nProxies := len(cpu.Node.Agents)
-			ep.proxyIdx = cpu.Slot % nProxies
+			ep.proxyIdx = f.sched.Home(cpu.Node.ID, cpu.Slot, cpu.Rank, nProxies)
 			ep.cmdqIdx = f.scanners[cpu.Node.ID][ep.proxyIdx].Register(ep.cmdq)
 			ep.cmdqComp = fmt.Sprintf("rank%d.cmdq", cpu.Rank)
 			f.cmdqNames[cpu.Node.ID][ep.proxyIdx] = append(f.cmdqNames[cpu.Node.ID][ep.proxyIdx], ep.cmdqComp)

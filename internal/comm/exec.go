@@ -47,6 +47,7 @@ const (
 	pcMPDeqDeposit
 	pcMPDeqFsync
 	pcMPAck
+	pcMPStealScan
 
 	pcHWShipPIO
 	pcHWEnqSync
@@ -73,10 +74,11 @@ const (
 
 // agentExec is one agent's protocol frame.
 type agentExec struct {
-	f       *Fabric
-	a       *machine.Agent
-	node    *machine.Node
-	scanIdx int // index of the proxy's command-queue scanner on this node
+	f        *Fabric
+	a        *machine.Agent
+	node     *machine.Node
+	scanIdx  int // index of the proxy's command-queue scanner on this node
+	stealIdx int // victim scanner index of the current stolen turn
 
 	pc    int
 	stepK func() // prebuilt fr.step, carried by every Hold/Occupy wake
@@ -254,6 +256,17 @@ func (fr *agentExec) step() {
 	case pcMPAck:
 		reg.Signal(fr.pkt.fsync)
 		fr.finish()
+	case pcMPStealScan:
+		// Stolen turn (see steal.go): the cross-queue penalty is paid,
+		// now scan the victim exactly as mpServiceWork scans home turf.
+		r, qi, ok := f.scanners[fr.node.ID][fr.stealIdx].Next()
+		if !ok {
+			fr.finish() // the victim (or another thief) got there first
+			return
+		}
+		f.Cl.Eng.Emit(trace.KDequeue, f.cmdqNames[fr.node.ID][fr.stealIdx][qi], 0)
+		fr.r = r
+		fr.hold(A.AgentMiss+A.Instr(0.5)+A.VMAtt, pcMPSend)
 
 	// ---- custom hardware: send side (hwSend) ----
 	case pcHWShipPIO:
@@ -443,14 +456,13 @@ func (fr *agentExec) deqTake(hw bool) {
 	f := fr.f
 	q, _ := f.Cl.Reg.Queue(fr.pkt.rq)
 	box := &deqReply{req: *fr.pkt}
-	node := fr.node
 	work := machine.Work{TFn: mpDeqReplyWork, Arg: box}
 	if hw {
 		work.TFn = hwDeqReplyWork
 	}
 	q.TakeAsync(func(rec []byte) {
 		box.rec = rec
-		node.AgentFor(f.Cl.CPUs[box.req.to].Slot).Submit(work)
+		f.agentForRank(box.req.to).Submit(work)
 	})
 	fr.finish()
 }

@@ -132,7 +132,7 @@ func (f *Fabric) mpRecv(ap *sim.Proc, node *machine.Node, pkt *packet) {
 		q, _ := reg.Queue(pkt.rq)
 		req := *pkt
 		q.TakeAsync(func(rec []byte) {
-			node.AgentFor(f.Cl.CPUs[req.to].Slot).Submit(machine.Work{Fn: func(ap2 *sim.Proc) {
+			f.agentForRank(req.to).Submit(machine.Work{Fn: func(ap2 *sim.Proc) {
 				n := req.n
 				if len(rec) < n {
 					n = len(rec)

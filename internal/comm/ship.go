@@ -118,6 +118,16 @@ func (f *Fabric) targetRank(r request) int {
 // nodeOf returns the node hosting a rank.
 func (f *Fabric) nodeOf(rank int) *machine.Node { return f.Cl.CPUs[rank].Node }
 
+// agentForRank returns the agent serving a rank's endpoint: the proxy
+// the scheduling policy bound the endpoint to, so a command stream's
+// receive side lands on the same core as its send side. On single-agent
+// design points (custom hardware) the endpoint's proxyIdx is zero and
+// this is the node's lone agent.
+func (f *Fabric) agentForRank(rank int) *machine.Agent {
+	cpu := f.Cl.CPUs[rank]
+	return cpu.Node.Agents[f.eps[rank].proxyIdx]
+}
+
 // ship serializes a PIO packet onto the sending node's output link,
 // through the reliable transport when one is enabled. Without it, faults
 // are terminal: a corrupted packet is discarded at the receiver (the
@@ -190,7 +200,7 @@ func (f *Fabric) shipOverlapped(node *machine.Node, pkt *packet) {
 func (f *Fabric) deliver(dest *machine.Node, pkt *packet) {
 	switch f.A.Kind {
 	case arch.Proxy:
-		ag := dest.AgentFor(f.Cl.CPUs[pkt.to].Slot)
+		ag := f.agentForRank(pkt.to)
 		if f.taskMode {
 			ag.Submit(machine.Work{TFn: mpRecvWork, Arg: pkt})
 		} else {

@@ -22,6 +22,13 @@ type harness struct {
 }
 
 func newHarness(t *testing.T, nodes, replication int) *harness {
+	return newHarnessProxies(t, nodes, replication, 1, "")
+}
+
+// newHarnessProxies builds the cluster with an explicit proxy count and
+// scheduling policy, so the semantic tests can assert the service is
+// indifferent to how command streams map onto proxy cores.
+func newHarnessProxies(t *testing.T, nodes, replication, proxies int, sched string) *harness {
 	t.Helper()
 	a, ok := arch.ByName("MP1")
 	if !ok {
@@ -29,7 +36,10 @@ func newHarness(t *testing.T, nodes, replication int) *harness {
 	}
 	eng := sim.NewEngine()
 	const ppn = 2
-	cl := machine.New(eng, machine.Config{Nodes: nodes, ProcsPerNode: ppn, ProxiesPerNode: 1}, a)
+	cl := machine.New(eng, machine.Config{
+		Nodes: nodes, ProcsPerNode: ppn,
+		ProxiesPerNode: proxies, ProxySched: sched,
+	}, a)
 	l := am.New(comm.NewWith(cl, comm.Options{CommandQueueCap: 64}))
 	servers := make([]int, nodes)
 	for n := range servers {
@@ -172,6 +182,36 @@ func TestReplicationAcksAfterFollowers(t *testing.T) {
 	h.run(t, issue)
 	if got := h.svc.Replicated(); got != puts*2 {
 		t.Errorf("Replicated() = %d, want %d (replication 3, %d PUTs)", got, puts*2, puts)
+	}
+}
+
+// TestOpsUnderProxyScheds pins the service's semantic indifference to
+// the proxy layer: with two proxies per node, every scheduling policy
+// (including work stealing) must serve the same op counts and deliver
+// every reply to the issuing client. Only timing may differ.
+func TestOpsUnderProxyScheds(t *testing.T) {
+	for _, sched := range []string{"static", "shard", "steal"} {
+		t.Run(sched, func(t *testing.T) {
+			h := newHarnessProxies(t, 3, 2, 2, sched)
+			var issue []func(p *am.Port, tk *sim.Task, k func())
+			for i := 0; i < 6; i++ {
+				key := uint64(i * 37)
+				issue = append(issue,
+					func(p *am.Port, tk *sim.Task, k func()) { h.svc.GetTask(p, tk, key, 0, 0, k) },
+					func(p *am.Port, tk *sim.Task, k func()) { h.svc.PutTask(p, tk, key, 0, 0, k) },
+				)
+			}
+			h.run(t, issue)
+			if got := h.svc.Served(kv.OpGet); got != 6 {
+				t.Errorf("%s: Served(GET) = %d, want 6", sched, got)
+			}
+			if got := h.svc.Served(kv.OpPut); got != 6 {
+				t.Errorf("%s: Served(PUT) = %d, want 6", sched, got)
+			}
+			if got := h.svc.Replicated(); got != 6 {
+				t.Errorf("%s: Replicated() = %d, want 6 (replication 2, 6 PUTs)", sched, got)
+			}
+		})
 	}
 }
 

@@ -44,6 +44,13 @@ type Agent struct {
 	stalls    int64
 	restarts  int64
 
+	// onIdle, when non-nil, runs when the agent finds its queue empty,
+	// immediately before it would block or park. It may Submit new work
+	// (which the agent then picks up without blocking); the fabric's
+	// work-stealing policy uses it to steal a scan turn from a loaded
+	// sibling proxy instead of going idle.
+	onIdle func()
+
 	// Run-to-completion mode: the agent is a sim.Task and the fields
 	// below are its resident state machine. One work item is in flight at
 	// a time, so a single reusable frame (cur, fate) suffices; the
@@ -92,7 +99,17 @@ func NewAgent(eng *sim.Engine, name string, notice sim.Time) *Agent {
 // loop is the coroutine-mode server body.
 func (a *Agent) loop(p *sim.Proc) {
 	for {
-		w := a.queue.Get(p)
+		w, ok := a.queue.TryGet()
+		if !ok && a.onIdle != nil {
+			a.onIdle()
+			w, ok = a.queue.TryGet()
+		}
+		if !ok {
+			// TryGet on an empty queue emits nothing and Get's successful
+			// take emits the same dequeue event TryGet's would have, so
+			// this try-then-block split is trace-identical to a bare Get.
+			w = a.queue.Get(p)
+		}
 		if w.w.Fn == nil && w.w.TFn == nil {
 			return // poison pill from Shutdown
 		}
@@ -132,6 +149,10 @@ func (a *Agent) loop(p *sim.Proc) {
 // decision ladder and trace emissions mirror loop turn for turn.
 func (a *Agent) awaitWork() {
 	w, ok := a.queue.TryGet()
+	if !ok && a.onIdle != nil {
+		a.onIdle()
+		w, ok = a.queue.TryGet()
+	}
 	if !ok {
 		a.queue.ParkGetter(a.task, a.awaitFn)
 		return
@@ -216,6 +237,13 @@ func (a *Agent) SetFaultPlane(p FaultPlane) { a.plane = p }
 // commands survive (they live in user memory) but the scanner's position
 // and non-empty summary are rebuilt from scratch.
 func (a *Agent) OnRestart(fn func()) { a.onRestart = fn }
+
+// OnIdle installs (or, with nil, removes) the hook run when the agent
+// finds its work queue empty, just before blocking. The hook may Submit
+// work, in which case the agent serves it without ever going idle; work
+// submitted this way arrives at the current instant and therefore pays
+// the notice delay like any item that catches the agent idle.
+func (a *Agent) OnIdle(fn func()) { a.onIdle = fn }
 
 // Stalls returns the number of stall faults the agent absorbed.
 func (a *Agent) Stalls() int64 { return a.stalls }

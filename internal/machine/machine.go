@@ -12,6 +12,7 @@ import (
 
 	"mproxy/internal/arch"
 	"mproxy/internal/memory"
+	"mproxy/internal/proxy"
 	"mproxy/internal/sim"
 	"mproxy/internal/trace"
 )
@@ -83,10 +84,38 @@ type Config struct {
 	// multiple proxies as a way past the 50% utilization wall, noting the
 	// memory bus and network interface remain the hard constraint.
 	ProxiesPerNode int
+	// ProxySched names the proxy-scheduling policy that assigns endpoint
+	// command streams to proxy processors (see proxy.SchedByName): "static"
+	// slot-modulo (the default, and the paper's binding), "shard" rank-hash
+	// affinity, or "steal" for static placement with bounded work stealing
+	// between a node's proxies. Empty means static.
+	ProxySched string
 }
 
 // Procs returns the total number of compute processors.
 func (c Config) Procs() int { return c.Nodes * c.ProcsPerNode }
+
+// Validate checks the configuration, distinguishing negative counts —
+// which historically fell through the "unset, use default" path silently —
+// from genuinely unset zero values.
+func (c Config) Validate() error {
+	if c.Nodes < 0 {
+		return fmt.Errorf("machine: negative Nodes %d", c.Nodes)
+	}
+	if c.ProcsPerNode < 0 {
+		return fmt.Errorf("machine: negative ProcsPerNode %d", c.ProcsPerNode)
+	}
+	if c.ProxiesPerNode < 0 {
+		return fmt.Errorf("machine: negative ProxiesPerNode %d", c.ProxiesPerNode)
+	}
+	if c.Nodes == 0 || c.ProcsPerNode == 0 {
+		return fmt.Errorf("machine: bad config %+v", c)
+	}
+	if _, err := proxy.SchedByName(c.ProxySched); err != nil {
+		return err
+	}
+	return nil
+}
 
 // Interconnect routes inter-node packets through a multi-switch network.
 // Without one, a cluster models the paper's single-switch machine: a
@@ -111,6 +140,10 @@ type Cluster struct {
 	Reg   *memory.Registry
 	Nodes []*Node
 	CPUs  []*CPU // indexed by global rank
+	// Sched is the resolved proxy-scheduling policy (from Cfg.ProxySched);
+	// the communication fabric consults it when binding endpoints to
+	// proxies and when enabling work stealing between a node's proxies.
+	Sched proxy.Sched
 	// Net, when non-nil, routes inter-node packets through a multi-switch
 	// topology instead of the flat source-link -> destination model.
 	Net Interconnect
@@ -121,13 +154,14 @@ func (c *Cluster) SetInterconnect(ic Interconnect) { c.Net = ic }
 
 // New builds a cluster of cfg.Nodes SMPs under design point a.
 func New(eng *sim.Engine, cfg Config, a arch.Params) *Cluster {
-	if cfg.Nodes <= 0 || cfg.ProcsPerNode <= 0 {
-		panic(fmt.Sprintf("machine: bad config %+v", cfg))
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
-	if cfg.ProxiesPerNode <= 0 {
+	if cfg.ProxiesPerNode == 0 {
 		cfg.ProxiesPerNode = 1
 	}
-	c := &Cluster{Eng: eng, Cfg: cfg, Arch: a, Reg: memory.NewRegistry(eng)}
+	sched, _ := proxy.SchedByName(cfg.ProxySched) // validated above
+	c := &Cluster{Eng: eng, Cfg: cfg, Arch: a, Reg: memory.NewRegistry(eng), Sched: sched}
 	for n := 0; n < cfg.Nodes; n++ {
 		node := &Node{
 			ID:      n,

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"strings"
 	"testing"
 
 	"mproxy/internal/arch"
@@ -73,6 +74,51 @@ func TestBadConfigPanics(t *testing.T) {
 		}
 	}()
 	New(sim.NewEngine(), Config{Nodes: 0, ProcsPerNode: 1}, arch.HW1)
+}
+
+// TestConfigValidate pins the validation split: zero means "unset, use
+// the default", negative is always an explicit error (it used to fall
+// through the <= 0 default paths silently), and unknown scheduling
+// policies are rejected by name.
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want string // substring of the error; empty means valid
+	}{
+		{Config{Nodes: 2, ProcsPerNode: 1}, ""},
+		{Config{Nodes: 2, ProcsPerNode: 1, ProxiesPerNode: 2, ProxySched: "steal"}, ""},
+		{Config{Nodes: 2, ProcsPerNode: 1, ProxiesPerNode: 0}, ""}, // unset, defaults to 1
+		{Config{Nodes: -1, ProcsPerNode: 1}, "negative Nodes"},
+		{Config{Nodes: 2, ProcsPerNode: -3}, "negative ProcsPerNode"},
+		{Config{Nodes: 2, ProcsPerNode: 1, ProxiesPerNode: -2}, "negative ProxiesPerNode"},
+		{Config{Nodes: 0, ProcsPerNode: 1}, "bad config"},
+		{Config{Nodes: 2, ProcsPerNode: 0}, "bad config"},
+		{Config{Nodes: 2, ProcsPerNode: 1, ProxySched: "lottery"}, "unknown sched policy"},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("Validate(%+v) = %v, want nil", c.cfg, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Validate(%+v) = %v, want error containing %q", c.cfg, err, c.want)
+		}
+	}
+}
+
+// TestNegativeProxiesPanics: before Config.Validate existed, a negative
+// ProxiesPerNode silently became the 1-proxy default; it must now refuse
+// to build.
+func TestNegativeProxiesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(sim.NewEngine(), Config{Nodes: 1, ProcsPerNode: 1, ProxiesPerNode: -1}, arch.MP1)
 }
 
 func TestCPUComputeWithoutInterrupts(t *testing.T) {

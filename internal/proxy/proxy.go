@@ -223,6 +223,20 @@ func (s *Scanner[T]) Next() (T, int, bool) {
 	return zero, -1, false
 }
 
+// Pending reports whether the shared non-empty bit vector marks any
+// queue. This is the cheap cross-proxy probe the work-stealing policy
+// uses to pick a victim without touching queue heads; a set bit may be
+// stale (the command was already consumed), but a failed Next probes and
+// clears every reachable stale bit, so Pending converges to false.
+func (s *Scanner[T]) Pending() bool {
+	for _, w := range s.bitvec {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 func (s *Scanner[T]) observe(probes, headChecks int64, found bool) {
 	if s.observer != nil {
 		s.observer(probes, headChecks, found)

@@ -1,0 +1,152 @@
+package proxy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSchedByName(t *testing.T) {
+	for _, name := range append(SchedNames(), "") {
+		s, err := SchedByName(name)
+		if err != nil {
+			t.Fatalf("SchedByName(%q): %v", name, err)
+		}
+		want := name
+		if want == "" {
+			want = SchedStatic
+		}
+		if s.Name() != want {
+			t.Fatalf("SchedByName(%q).Name() = %q", name, s.Name())
+		}
+	}
+	if _, err := SchedByName("round-robin"); err == nil {
+		t.Fatal("SchedByName accepted an unknown policy")
+	}
+}
+
+// TestStaticSchedIsSlotModulo pins the static policy to the binding the
+// fabric hardwired before the scheduling layer existed: slot % nProxies,
+// independent of node and rank. Every pre-refactor golden output depends
+// on this.
+func TestStaticSchedIsSlotModulo(t *testing.T) {
+	s, _ := SchedByName(SchedStatic)
+	if s.Steal() {
+		t.Fatal("static policy must not steal")
+	}
+	for node := 0; node < 3; node++ {
+		for slot := 0; slot < 7; slot++ {
+			for _, n := range []int{1, 2, 3, 4} {
+				rank := node*7 + slot
+				if got := s.Home(node, slot, rank, n); got != slot%n {
+					t.Fatalf("static.Home(node=%d, slot=%d, rank=%d, n=%d) = %d, want %d",
+						node, slot, rank, n, got, slot%n)
+				}
+			}
+		}
+	}
+}
+
+// TestShardSchedProperties: the shard-affine policy must be in range,
+// deterministic, a pure function of rank (node/slot must not matter),
+// and must actually decorrelate the slot-0 endpoints that static stacks
+// onto proxy 0 on every node.
+func TestShardSchedProperties(t *testing.T) {
+	s, _ := SchedByName(SchedShard)
+	if s.Steal() {
+		t.Fatal("shard policy must not steal")
+	}
+	for rank := 0; rank < 1000; rank++ {
+		for _, n := range []int{1, 2, 4, 8} {
+			h := s.Home(rank/4, rank%4, rank, n)
+			if h < 0 || h >= n {
+				t.Fatalf("shard.Home(rank=%d, n=%d) = %d out of range", rank, n, h)
+			}
+			if h2 := s.Home(99, 99, rank, n); h2 != h {
+				t.Fatalf("shard.Home depends on node/slot: %d vs %d", h, h2)
+			}
+		}
+	}
+	// With 4 proxies, 1024 consecutive ranks should spread roughly evenly:
+	// no proxy takes more than half the streams (static with slot 0 ranks
+	// would put 100% on proxy 0).
+	const n = 4
+	var counts [n]int
+	for rank := 0; rank < 1024; rank++ {
+		counts[s.Home(0, 0, rank, n)]++
+	}
+	for i, c := range counts {
+		if c == 0 || c > 512 {
+			t.Fatalf("shard spread degenerate: proxy %d serves %d of 1024", i, c)
+		}
+	}
+}
+
+func TestStealSchedPlacesLikeStatic(t *testing.T) {
+	st, _ := SchedByName(SchedStatic)
+	sl, _ := SchedByName(SchedSteal)
+	if !sl.Steal() {
+		t.Fatal("steal policy must steal")
+	}
+	for slot := 0; slot < 16; slot++ {
+		for _, n := range []int{1, 2, 3, 4} {
+			if sl.Home(5, slot, 80+slot, n) != st.Home(5, slot, 80+slot, n) {
+				t.Fatalf("steal placement diverges from static at slot %d, n %d", slot, n)
+			}
+		}
+	}
+}
+
+// TestScannerFairness is the round-robin starvation property: under a
+// randomized enqueue schedule, the gap between consecutive services of
+// any queue that has a pending command is bounded by the number of
+// registered queues — each Next serves the nearest marked queue after
+// the previous hit, so a waiting queue is passed over at most once per
+// service of every other queue.
+func TestScannerFairness(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 7, 1997} {
+		rng := rand.New(rand.NewSource(seed))
+		nq := 2 + rng.Intn(130) // spans multiple bit-vector words
+		s := NewScanner[int]()
+		queues := make([]*CommandQueue[int], nq)
+		for i := range queues {
+			queues[i] = NewCommandQueue[int](i, 64)
+			if s.Register(queues[i]) != i {
+				t.Fatal("registration order")
+			}
+		}
+		pending := make([]int, nq)   // commands enqueued but not yet served
+		waitedFor := make([]int, nq) // services of other queues since this one became pending
+		for step := 0; step < 4000; step++ {
+			// Random enqueue burst, leaving some steps enqueue-free so the
+			// scanner also sees empty and stale-bit passes.
+			for b := rng.Intn(3); b > 0; b-- {
+				qi := rng.Intn(nq)
+				if queues[qi].Enqueue(qi, step) == nil {
+					pending[qi]++
+					s.MarkNonEmpty(qi)
+				}
+			}
+			if rng.Intn(4) == 0 {
+				continue // let work accumulate
+			}
+			_, qi, ok := s.Next()
+			if !ok {
+				continue
+			}
+			if pending[qi] == 0 {
+				t.Fatalf("seed %d: served queue %d with nothing pending", seed, qi)
+			}
+			pending[qi]--
+			waitedFor[qi] = 0
+			for j := range waitedFor {
+				if j != qi && pending[j] > 0 {
+					waitedFor[j]++
+					if waitedFor[j] > nq {
+						t.Fatalf("seed %d: queue %d starved for %d services (nq=%d)",
+							seed, j, waitedFor[j], nq)
+					}
+				}
+			}
+		}
+	}
+}

@@ -25,7 +25,7 @@ func diffScale(spec Spec) Spec {
 	// over a million requests each and belong to ci.sh full, not go test.
 	// The shrunk runs still walk every protocol path (multi-switch routing,
 	// replication fan-out, open-loop pacing) in both execution modes.
-	if spec.Kind == KindServing {
+	if spec.Kind == KindServing || spec.Kind == KindProxySweep {
 		if spec.Topology.Nodes > 8 {
 			spec.Topology.Nodes = 8
 		}
@@ -39,6 +39,12 @@ func diffScale(spec Spec) Spec {
 			}
 			if len(shrunk.LoadUs) > 2 {
 				shrunk.LoadUs = shrunk.LoadUs[:2]
+			}
+			// The sweep grid shrinks to its interesting corner — every
+			// policy, but only the multi-proxy count that exercises the
+			// steal and shard paths alongside the single-proxy baseline.
+			if len(shrunk.ProxyCounts) > 2 {
+				shrunk.ProxyCounts = []int{1, 2}
 			}
 			spec.Serving = &shrunk
 		}
@@ -96,5 +102,71 @@ func TestDifferentialPresets(t *testing.T) {
 				t.Fatalf("manifests diverge:\n  task mode %+v\n  proc mode %+v", taskMF, procMF)
 			}
 		})
+	}
+}
+
+// multiProxyServingSpec is the explicit multi-proxy open-loop case: two
+// proxies per node under each scheduling policy, heavy enough load that
+// proxies actually contend (and, under steal, actually steal).
+func multiProxyServingSpec(sched string) Spec {
+	return Spec{
+		Name: "diff-multiproxy-" + sched, Kind: KindServing,
+		Archs:           []string{"MP1"},
+		Topology:        Topology{Nodes: 8, Proxies: 2, ProxySched: sched},
+		CommandQueueCap: 64,
+		Serving: &ServingSpec{
+			Topo: "fat-tree", Clients: 2,
+			Requests: 800, Warmup: 100,
+			LoadUs: []float64{160, 40},
+		},
+	}
+}
+
+// TestDifferentialMultiProxyServing pins the proxy-scheduling layer's
+// cross-mode determinism where it matters most: multi-proxy nodes under
+// every policy, including the work-stealing path whose scan turns hop
+// between sibling proxies, must render bit-identically in both
+// execution modes.
+func TestDifferentialMultiProxyServing(t *testing.T) {
+	for _, sched := range []string{"static", "shard", "steal"} {
+		t.Run(sched, func(t *testing.T) {
+			spec := multiProxyServingSpec(sched)
+			if err := spec.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			taskMF, taskOut := runPresetInMode(t, spec, sim.ExecTask)
+			procMF, procOut := runPresetInMode(t, spec, sim.ExecProc)
+			if !bytes.Equal(taskOut, procOut) {
+				t.Fatalf("output bytes diverge: task mode %d bytes (sha %s), proc mode %d bytes (sha %s)",
+					len(taskOut), taskMF.OutputSHA256, len(procOut), procMF.OutputSHA256)
+			}
+			if taskMF != procMF {
+				t.Fatalf("manifests diverge:\n  task mode %+v\n  proc mode %+v", taskMF, procMF)
+			}
+		})
+	}
+}
+
+// TestStealRepeatRunDigest pins the stealing policy's run-to-run
+// determinism: the victim order is a pure function of (node, steal
+// count), so two runs of the same spec must digest identically — any
+// map iteration or pointer-keyed ordering sneaking into the steal path
+// would flip the manifest hash between repeats.
+func TestStealRepeatRunDigest(t *testing.T) {
+	spec := multiProxyServingSpec("steal")
+	var first Manifest
+	for rep := 0; rep < 2; rep++ {
+		var buf bytes.Buffer
+		mf, err := Run(spec, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep == 0 {
+			first = mf
+			continue
+		}
+		if mf != first {
+			t.Fatalf("repeat run diverges:\n  first  %+v\n  second %+v", first, mf)
+		}
 	}
 }

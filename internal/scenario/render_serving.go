@@ -28,8 +28,12 @@ func renderServing(s Spec, opt options, w io.Writer) error {
 	if topoName == "flat" {
 		topoName = "" // openloop's single-switch model
 	}
-	fmt.Fprintf(w, "Open-loop KV serving on %s: %d nodes x %d clients, %d proxies/node\n",
-		label, s.Topology.Nodes, sv.Clients, s.Topology.Proxies)
+	sched := ""
+	if s.Topology.ProxySched != "" {
+		sched = fmt.Sprintf(" (%s scheduling)", s.Topology.ProxySched)
+	}
+	fmt.Fprintf(w, "Open-loop KV serving on %s: %d nodes x %d clients, %d proxies/node%s\n",
+		label, s.Topology.Nodes, sv.Clients, s.Topology.Proxies, sched)
 	fmt.Fprintf(w, "  %d-byte values, scans of %d, replication %d, %d keys (zipf %.2f), %s arrivals\n",
 		sv.ValueBytes, sv.ScanCount, sv.Replication, sv.Keys, sv.Theta, sv.Arrival)
 	fmt.Fprintf(w, "  %d measured + %d warmup requests per load point; latency measured from the scheduled arrival\n",
@@ -50,6 +54,7 @@ func renderServing(s Spec, opt options, w io.Writer) error {
 			Nodes:           s.Topology.Nodes,
 			Clients:         sv.Clients,
 			Proxies:         s.Topology.Proxies,
+			ProxySched:      s.Topology.ProxySched,
 			Topo:            topoName,
 			CommandQueueCap: s.CommandQueueCap,
 			ValueBytes:      sv.ValueBytes,

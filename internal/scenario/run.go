@@ -36,8 +36,11 @@ func (o options) workload() workload.Options {
 // human-readable fault description line the legacy binaries printed.
 func resolve(s Spec) (options, string, error) {
 	opt := options{
-		fabric: comm.Options{CommandQueueCap: s.CommandQueueCap},
-		heap:   s.HeapBytes,
+		fabric: comm.Options{
+			CommandQueueCap: s.CommandQueueCap,
+			ProxySched:      s.Topology.ProxySched,
+		},
+		heap: s.HeapBytes,
 	}
 	cfg, err := fault.Parse(s.Fault.Spec, s.Fault.Seed)
 	if err != nil {
@@ -130,6 +133,8 @@ func runKind(s Spec, opt options, w io.Writer) error {
 		return renderProf(s, opt, w)
 	case KindServing:
 		return renderServing(s, opt, w)
+	case KindProxySweep:
+		return renderProxySweep(s, opt, w)
 	}
 	// Validate accepted the kind; every kind must be dispatched above.
 	panic("scenario: unhandled kind " + s.Kind)

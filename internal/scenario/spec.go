@@ -19,6 +19,7 @@ import (
 	"mproxy/internal/apps/registry"
 	"mproxy/internal/arch"
 	"mproxy/internal/fault"
+	"mproxy/internal/proxy"
 )
 
 // Kinds: one per experiment shape (table/figure family) the repository
@@ -36,13 +37,14 @@ const (
 	KindLoss        = "loss"         // reliable-transport loss sweep
 	KindProf        = "prof"         // profiled phase-breakdown scenarios
 	KindServing     = "serving"      // open-loop KV serving sweep (serving*.txt)
+	KindProxySweep  = "proxy-sweep"  // proxies-per-node x sched-policy design sweep
 )
 
 // Kinds lists every valid Spec.Kind.
 var Kinds = []string{
 	KindModel, KindMicroParams, KindMicroTable4, KindMicroSweep,
 	KindAppsList, KindAppsFigure8, KindAppsTable6,
-	KindSMP, KindQueue, KindLoss, KindProf, KindServing,
+	KindSMP, KindQueue, KindLoss, KindProf, KindServing, KindProxySweep,
 }
 
 // Topology describes the simulated cluster shape for kinds that run
@@ -51,6 +53,11 @@ type Topology struct {
 	Nodes   int `json:"nodes,omitempty"`   // SMP nodes
 	PPN     int `json:"ppn,omitempty"`     // compute processors per node
 	Proxies int `json:"proxies,omitempty"` // message proxies per node (MP points)
+	// ProxySched names the proxy-scheduling policy binding endpoints to
+	// proxies (proxy.SchedByName: static, shard, steal). Empty keeps the
+	// default static slot-modulo binding, so every pre-existing spec
+	// hashes and runs unchanged.
+	ProxySched string `json:"proxy_sched,omitempty"`
 }
 
 // FaultSpec configures deterministic fault injection for the run.
@@ -139,6 +146,13 @@ type ServingSpec struct {
 	// LoadUs is the sweep ladder: per-client mean inter-arrival time in
 	// microseconds, ordered lightest load (largest) first.
 	LoadUs []float64 `json:"load_us,omitempty"`
+
+	// ProxyCounts and Scheds are the proxy-sweep kind's design grid:
+	// every (policy, proxies-per-node) cell runs the full load ladder.
+	// Proxy-sweep only; the serving kind takes a single design point via
+	// Topology.Proxies and Topology.ProxySched.
+	ProxyCounts []int    `json:"proxy_counts,omitempty"`
+	Scheds      []string `json:"scheds,omitempty"`
 }
 
 // ModelParams are the Section 4 analytic-model primitives.
@@ -325,7 +339,7 @@ func (s Spec) Normalize() Spec {
 			m := DefaultModelParams()
 			s.Model = &m
 		}
-	case KindServing:
+	case KindServing, KindProxySweep:
 		if len(s.Archs) == 0 {
 			s.Archs = []string{"MP1"}
 		}
@@ -371,6 +385,14 @@ func (s Spec) Normalize() Spec {
 		}
 		if len(sv.LoadUs) == 0 {
 			sv.LoadUs = []float64{40, 20, 10, 5}
+		}
+		if s.Kind == KindProxySweep {
+			if len(sv.ProxyCounts) == 0 {
+				sv.ProxyCounts = []int{1, 2, 4}
+			}
+			if len(sv.Scheds) == 0 {
+				sv.Scheds = proxy.SchedNames()
+			}
 		}
 		s.Serving = &sv
 	}
@@ -439,6 +461,9 @@ func (s Spec) Validate() error {
 	if s.Topology.Nodes < 0 || s.Topology.PPN < 0 || s.Topology.Proxies < 0 {
 		return fmt.Errorf("scenario: topology counts must be non-negative, got %+v", s.Topology)
 	}
+	if _, err := proxy.SchedByName(s.Topology.ProxySched); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
 	for _, op := range s.Ops {
 		if op != "PUT" && op != "GET" {
 			return fmt.Errorf("scenario: unsupported op %q (want PUT or GET)", op)
@@ -452,7 +477,7 @@ func (s Spec) Validate() error {
 	if _, err := fault.Parse(s.Fault.Spec, s.Fault.Seed); err != nil {
 		return fmt.Errorf("scenario: bad fault spec: %w", err)
 	}
-	if s.Kind == KindServing {
+	if s.Kind == KindServing || s.Kind == KindProxySweep {
 		if err := s.validateServing(); err != nil {
 			return err
 		}
@@ -473,11 +498,17 @@ func (s Spec) Validate() error {
 	return nil
 }
 
-// validateServing checks the serving kind's extra constraints.
+// validateServing checks the extra constraints shared by the serving and
+// proxy-sweep kinds.
 func (s Spec) validateServing() error {
 	for _, name := range s.Archs {
 		if a, ok := arch.ByName(name); ok && a.Kind == arch.Syscall {
 			return fmt.Errorf("scenario: serving does not support the syscall design point %s (no run-to-completion form)", name)
+		}
+		if s.Kind == KindProxySweep {
+			if a, ok := arch.ByName(name); ok && a.Kind != arch.Proxy {
+				return fmt.Errorf("scenario: proxy-sweep needs message-proxy design points, got %s (no proxies to schedule)", name)
+			}
 		}
 	}
 	if s.Fault.Spec != "" {
@@ -504,6 +535,19 @@ func (s Spec) validateServing() error {
 	for _, u := range sv.LoadUs {
 		if u <= 0 {
 			return fmt.Errorf("scenario: serving load points must be positive, got %g us", u)
+		}
+	}
+	if s.Kind == KindServing && (len(sv.ProxyCounts) > 0 || len(sv.Scheds) > 0) {
+		return fmt.Errorf("scenario: proxy_counts/scheds belong to the proxy-sweep kind; the serving kind takes topology.proxies and topology.proxy_sched")
+	}
+	for _, c := range sv.ProxyCounts {
+		if c <= 0 {
+			return fmt.Errorf("scenario: proxy counts must be positive, got %d", c)
+		}
+	}
+	for _, name := range sv.Scheds {
+		if _, err := proxy.SchedByName(name); err != nil {
+			return fmt.Errorf("scenario: %w", err)
 		}
 	}
 	return nil

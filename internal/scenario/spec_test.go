@@ -36,6 +36,11 @@ func TestValidateRejectsBadSpecs(t *testing.T) {
 		{"serving bad arrival", Spec{Kind: KindServing, Serving: &ServingSpec{Arrival: "bursty"}}, "arrival process"},
 		{"serving negative count", Spec{Kind: KindServing, Serving: &ServingSpec{Clients: -1}}, "non-negative"},
 		{"serving zero load point", Spec{Kind: KindServing, Serving: &ServingSpec{LoadUs: []float64{40, 0}}}, "load points"},
+		{"bad proxy sched", Spec{Kind: KindServing, Topology: Topology{ProxySched: "round-robin"}}, "unknown sched policy"},
+		{"serving takes no sweep grid", Spec{Kind: KindServing, Serving: &ServingSpec{ProxyCounts: []int{1, 2}}}, "proxy-sweep kind"},
+		{"proxy-sweep zero count", Spec{Kind: KindProxySweep, Serving: &ServingSpec{ProxyCounts: []int{2, 0}}}, "proxy counts"},
+		{"proxy-sweep bad policy", Spec{Kind: KindProxySweep, Serving: &ServingSpec{Scheds: []string{"static", "rr"}}}, "unknown sched policy"},
+		{"proxy-sweep non-proxy arch", Spec{Kind: KindProxySweep, Archs: []string{"HW1"}}, "message-proxy design points"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -82,6 +87,47 @@ func TestJSONRoundTrip(t *testing.T) {
 		if !reflect.DeepEqual(s, back) {
 			t.Errorf("%s: round trip changed the spec:\nbefore %+v\nafter  %+v", name, s, back)
 		}
+	}
+}
+
+// TestProxySchedJSONRoundTrip pins the scheduling layer's spec surface:
+// the policy knob and the sweep grid survive a JSON round trip both as
+// raw fields and through Normalize's defaulting, and an existing spec
+// with no proxy_sched normalizes without gaining one (its hash — and
+// so every blessed manifest — is unchanged by this layer).
+func TestProxySchedJSONRoundTrip(t *testing.T) {
+	s := Spec{
+		Kind:     KindProxySweep,
+		Topology: Topology{Nodes: 8, ProxySched: "steal"},
+		Serving:  &ServingSpec{ProxyCounts: []int{1, 4}, Scheds: []string{"shard", "steal"}},
+	}.Normalize()
+	data, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"proxy_sched": "steal"`) ||
+		!strings.Contains(string(data), `"proxy_counts"`) ||
+		!strings.Contains(string(data), `"scheds"`) {
+		t.Fatalf("spec JSON missing proxy-sched fields:\n%s", data)
+	}
+	back, err := ParseJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Errorf("round trip changed the spec:\nbefore %+v\nafter  %+v", s, back)
+	}
+
+	plain := Spec{Kind: KindServing}.Normalize()
+	if plain.Topology.ProxySched != "" {
+		t.Errorf("Normalize invented a proxy_sched %q; existing spec hashes would change", plain.Topology.ProxySched)
+	}
+	pdata, err := plain.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(pdata), "proxy_sched") || strings.Contains(string(pdata), "proxy_counts") {
+		t.Errorf("default serving spec JSON leaks proxy-sched fields:\n%s", pdata)
 	}
 }
 

@@ -126,6 +126,7 @@ type Window struct {
 	EndNs   int64
 	cells   []shardCell
 	tier    []int64 // busy-ns delta per tier, aligned with the tier meta
+	proxy   []int64 // busy-ns delta per proxy slot, aligned with the proxy meta
 }
 
 // ShardRow is one shard's exported view of a window.
@@ -198,6 +199,14 @@ type Recorder struct {
 	tierNow  func(buf []int64) []int64 // cumulative busy-ns per tier
 	tierPrev []int64
 	tierBuf  []int64
+
+	// The per-proxy-slot series mirrors the tier series: cumulative
+	// busy-ns per proxy slot (summed across nodes), diffed at window
+	// closes. Installed only for multi-proxy runs.
+	proxies   []TierInfo
+	proxyNow  func(buf []int64) []int64
+	proxyPrev []int64
+	proxyBuf  []int64
 }
 
 // New builds a recorder over the engine clock now.
@@ -224,6 +233,17 @@ func (r *Recorder) SetTiers(meta []TierInfo, probe func(buf []int64) []int64) {
 	r.tierNow = probe
 	r.tierBuf = make([]int64, len(meta))
 	r.tierPrev = append([]int64(nil), probe(make([]int64, len(meta)))...)
+}
+
+// SetProxies installs the per-proxy-slot busy probe for the windowed
+// series, with the same snapshot-and-diff contract as SetTiers: probe
+// fills buf with cumulative busy nanoseconds per proxy slot (aligned
+// with meta; Links carries the node count the slot is summed over).
+func (r *Recorder) SetProxies(meta []TierInfo, probe func(buf []int64) []int64) {
+	r.proxies = meta
+	r.proxyNow = probe
+	r.proxyBuf = make([]int64, len(meta))
+	r.proxyPrev = append([]int64(nil), probe(make([]int64, len(meta)))...)
 }
 
 // Issue opens a record for a measured request and returns its non-zero
@@ -427,6 +447,7 @@ func (r *Recorder) openWindow(idx int64) {
 		EndNs:   (idx + 1) * r.windowNs,
 		cells:   make([]shardCell, r.cfg.Shards),
 		tier:    make([]int64, len(r.tiers)),
+		proxy:   make([]int64, len(r.proxies)),
 	})
 	r.cur = &r.windows[len(r.windows)-1]
 	r.curIdx = idx
@@ -439,6 +460,13 @@ func (r *Recorder) closeWindow() {
 		for i := range busy {
 			r.cur.tier[i] = busy[i] - r.tierPrev[i]
 			r.tierPrev[i] = busy[i]
+		}
+	}
+	if r.proxyNow != nil {
+		busy := r.proxyNow(r.proxyBuf)
+		for i := range busy {
+			r.cur.proxy[i] = busy[i] - r.proxyPrev[i]
+			r.proxyPrev[i] = busy[i]
 		}
 	}
 }
@@ -467,6 +495,9 @@ func (r *Recorder) fold() {
 			for t := range w.tier {
 				p.tier[t] += w.tier[t]
 			}
+			for t := range w.proxy {
+				p.proxy[t] += w.proxy[t]
+			}
 			continue
 		}
 		w.StartNs, w.EndNs = start, start+r.windowNs
@@ -492,6 +523,9 @@ type PointData struct {
 	WindowNs int64      `json:"window_ns"`
 	Windows  []Window   `json:"-"`
 	Tiers    []TierInfo `json:"tiers,omitempty"`
+	// Proxies mirrors Tiers for the per-proxy-slot busy series; Links is
+	// the number of nodes each slot's busy time is summed over.
+	Proxies []TierInfo `json:"proxies,omitempty"`
 }
 
 // Finish closes the current window and harvests the point. The recorder
@@ -505,6 +539,7 @@ func (r *Recorder) Finish() PointData {
 	return PointData{
 		Tracked: r.tracked, Dropped: r.dropped, Late: r.late, Clamped: r.clamped,
 		Slowest: slow, WindowNs: r.windowNs, Windows: r.windows, Tiers: r.tiers,
+		Proxies: r.proxies,
 	}
 }
 
@@ -538,3 +573,6 @@ func (w *Window) ShardRows() []ShardRow {
 
 // TierBusy returns the window's per-tier busy-ns deltas.
 func (w *Window) TierBusy() []int64 { return w.tier }
+
+// ProxyBusy returns the window's per-proxy-slot busy-ns deltas.
+func (w *Window) ProxyBusy() []int64 { return w.proxy }

@@ -95,6 +95,7 @@ type jsonWindow struct {
 	EndUs   float64     `json:"end_us"`
 	Shards  []jsonShard `json:"shards,omitempty"`
 	Tiers   []jsonTier  `json:"tiers,omitempty"`
+	Proxies []jsonTier  `json:"proxies,omitempty"`
 }
 
 type jsonPoint struct {
@@ -104,6 +105,7 @@ type jsonPoint struct {
 	Dropped  uint64       `json:"dropped"`
 	WindowUs float64      `json:"window_us"`
 	Tiers    []TierInfo   `json:"tiers,omitempty"`
+	Proxies  []TierInfo   `json:"proxies,omitempty"`
 	Series   []jsonWindow `json:"series"`
 	Slowest  []jsonSlow   `json:"slowest"`
 }
@@ -122,7 +124,7 @@ func ReportJSON(points []NamedPoint, opName func(uint8) string) ([]byte, error) 
 		jp := jsonPoint{
 			Arch: p.Arch, LoadUs: p.LoadUs,
 			Tracked: d.Tracked, Dropped: d.Dropped,
-			WindowUs: usf(d.WindowNs), Tiers: d.Tiers,
+			WindowUs: usf(d.WindowNs), Tiers: d.Tiers, Proxies: d.Proxies,
 		}
 		for wi := range d.Windows {
 			win := &d.Windows[wi]
@@ -154,7 +156,17 @@ func ReportJSON(points []NamedPoint, opName func(uint8) string) ([]byte, error) 
 					Util: round6(float64(busy) / float64(winNs) / float64(links)),
 				})
 			}
-			if len(jw.Shards) == 0 && len(jw.Tiers) == 0 {
+			for pi, busy := range win.ProxyBusy() {
+				nodes := d.Proxies[pi].Links
+				if nodes == 0 || winNs <= 0 {
+					continue
+				}
+				jw.Proxies = append(jw.Proxies, jsonTier{
+					Name: d.Proxies[pi].Name,
+					Util: round6(float64(busy) / float64(winNs) / float64(nodes)),
+				})
+			}
+			if len(jw.Shards) == 0 && len(jw.Tiers) == 0 && len(jw.Proxies) == 0 {
 				continue
 			}
 			jp.Series = append(jp.Series, jw)

@@ -33,6 +33,9 @@ type Config struct {
 	Nodes   int
 	Clients int // client processes per node (slot 0 is the KV server)
 	Proxies int // proxy processors per node (message-proxy archs)
+	// ProxySched names the proxy-scheduling policy binding client/server
+	// command streams to proxies (proxy.SchedByName; "" = static).
+	ProxySched string
 	// Topo selects the interconnect: "" for the flat single-switch
 	// model, else a topo.ByName kind ("fat-tree", "dragonfly").
 	Topo            string
@@ -79,7 +82,14 @@ type Point struct {
 	Issued      int64                `json:"issued"`
 	MeanHops    float64              `json:"mean_hops,omitempty"`
 	Tiers       []topo.TierUtil      `json:"tiers,omitempty"`
-	ElapsedUs   float64              `json:"elapsed_us"`
+	// ProxyUtil[k] is proxy slot k's utilization averaged across nodes;
+	// Mean/Max summarize every proxy agent in the cluster (message-proxy
+	// design points only). Max is the answer to "is one proxy core the
+	// bottleneck?" when placement is skewed.
+	ProxyUtil     []float64 `json:"proxy_util,omitempty"`
+	ProxyUtilMean float64   `json:"proxy_util_mean,omitempty"`
+	ProxyUtilMax  float64   `json:"proxy_util_max,omitempty"`
+	ElapsedUs     float64   `json:"elapsed_us"`
 	// Flight is the flight recorder's harvest, present when
 	// Config.Flight was set.
 	Flight *flight.PointData `json:"-"`
@@ -256,6 +266,7 @@ func runPoint(cfg *Config, zp *zipfParams, idx int, loadUs float64) (Point, erro
 		Nodes:          cfg.Nodes,
 		ProcsPerNode:   ppn,
 		ProxiesPerNode: cfg.Proxies,
+		ProxySched:     cfg.ProxySched,
 	}, cfg.Arch)
 	var net *topo.Net
 	if cfg.Topo != "" {
@@ -308,6 +319,23 @@ func runPoint(cfg *Config, zp *zipfParams, idx int, loadUs float64) (Point, erro
 				buf = buf[:0]
 				for _, ti := range idxs {
 					buf = append(buf, full[ti])
+				}
+				return buf
+			})
+		}
+		if cfg.Proxies > 1 && cfg.Arch.Kind == arch.Proxy {
+			pmeta := make([]flight.TierInfo, cfg.Proxies)
+			for k := range pmeta {
+				pmeta[k] = flight.TierInfo{Name: fmt.Sprintf("proxy%d", k), Links: cfg.Nodes}
+			}
+			rec.SetProxies(pmeta, func(buf []int64) []int64 {
+				buf = buf[:0]
+				for k := 0; k < cfg.Proxies; k++ {
+					var busy int64
+					for _, nd := range cl.Nodes {
+						busy += int64(nd.Agents[k].BusyTime())
+					}
+					buf = append(buf, busy)
 				}
 				return buf
 			})
@@ -402,6 +430,24 @@ func runPoint(cfg *Config, zp *zipfParams, idx int, loadUs float64) (Point, erro
 	if net != nil {
 		pt.MeanHops = net.MeanHops()
 		pt.Tiers = net.TierUtilization(eng.Now())
+	}
+	if cfg.Arch.Kind == arch.Proxy {
+		nprox := len(cl.Nodes[0].Agents)
+		elapsed := eng.Now()
+		pt.ProxyUtil = make([]float64, nprox)
+		for k := 0; k < nprox; k++ {
+			var sum float64
+			for _, nd := range cl.Nodes {
+				u := nd.Agents[k].Utilization(elapsed)
+				sum += u
+				if u > pt.ProxyUtilMax {
+					pt.ProxyUtilMax = u
+				}
+			}
+			pt.ProxyUtil[k] = sum / float64(len(cl.Nodes))
+			pt.ProxyUtilMean += pt.ProxyUtil[k]
+		}
+		pt.ProxyUtilMean /= float64(nprox)
 	}
 	if rec != nil {
 		pd := rec.Finish()
