@@ -68,9 +68,10 @@ func (p *Port) serveStep(t *sim.Task, done func() bool) {
 	q := p.l.queues[p.rank]
 	rec, ok := q.TryTake()
 	if !ok {
+		eng := p.ep.Node().Eng // the queue's records arrive in the owner node's event context
 		q.TakeAsync(func(r []byte) {
 			p.stash = r
-			p.l.f.Cl.Eng.WakeTask(t)
+			eng.WakeTask(t)
 		})
 		t.Park(func() {
 			rec := p.stash

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"runtime"
 	"time"
 
@@ -86,9 +87,15 @@ func Run(opt Options) (Suite, error) {
 		{"engine-timer", 1_000_000, 0, benchEngineTimer},
 		{"engine-traced", 1_000_000, 0, benchEngineTraced},
 		{"pingpong-e2e", 2_000, 0, benchPingPong},
-		{"serving-smoke", 4_000, 1_000, benchServing(nil, 1, "")},
-		{"serving-forensics", 4_000, 1_000, benchServing(&flight.Config{}, 1, "")},
-		{"serving-proxysched", 4_000, 1_000, benchServing(nil, 2, "steal")},
+		{"serving-smoke", 4_000, 1_000, benchServing(nil, 1, "", 0)},
+		{"serving-forensics", 4_000, 1_000, benchServing(&flight.Config{}, 1, "", 0)},
+		{"serving-proxysched", 4_000, 1_000, benchServing(nil, 2, "steal", 0)},
+		{"serving-smoke-par", 4_000, 1_000, benchServing(nil, 1, "", 2)},
+		// engine-par-events keeps its full count under -quick: the
+		// 1024-node cluster construction is a fixed cost large enough
+		// that per-op figures at a reduced request count would not be
+		// comparable against the full-run baseline.
+		{"engine-par-events", 8_000, 0, benchServingPar()},
 		{"figure8-small", 3, 0, benchFigure8(opt.Quick)},
 	}
 	for _, b := range suite {
@@ -260,8 +267,11 @@ func benchPingPong(ops int64) error {
 // design point: the serving-proxysched row runs two proxies per node
 // under work stealing, so the steal path's cost (idle-proxy victim
 // scans, cross-queue AgentMiss charges) is gated alongside the static
-// baseline.
-func benchServing(fcfg *flight.Config, proxies int, sched string) func(ops int64) error {
+// baseline. shards > 1 runs the point on the conservative-parallel
+// executor (the serving-smoke-par row), gating the sharded driver's
+// overhead — mailbox posts, window barriers, pooling disabled — against
+// the identical sequential configuration next to it in the suite.
+func benchServing(fcfg *flight.Config, proxies int, sched string, shards int) func(ops int64) error {
 	return func(ops int64) error {
 		a, ok := arch.ByName("MP1")
 		if !ok {
@@ -273,9 +283,10 @@ func benchServing(fcfg *flight.Config, proxies int, sched string) func(ops int64
 			ValueBytes: 64, ScanCount: 16, Replication: 2,
 			Keys: 1024, Theta: 0.99,
 			Requests: int(ops), Warmup: int(ops / 10),
-			LoadUs: []float64{320},
-			Seed:   7,
-			Flight: fcfg,
+			LoadUs:    []float64{320},
+			Seed:      7,
+			Flight:    fcfg,
+			SimShards: shards,
 		})
 		if err != nil {
 			return err
@@ -285,6 +296,72 @@ func benchServing(fcfg *flight.Config, proxies int, sched string) func(ops int64
 		}
 		if fcfg != nil && res.Points[0].Flight == nil {
 			return fmt.Errorf("flight recorder produced no data")
+		}
+		return nil
+	}
+}
+
+// servingParConfig is the engine-par-events configuration: the 1k-node
+// fat-tree serving point the parallel executor exists for, one load
+// level, request count = ops.
+func servingParConfig(a arch.Params, ops int64, shards int) openloop.Config {
+	return openloop.Config{
+		Arch: a, Nodes: 1024, Clients: 1,
+		Topo: "fat-tree", CommandQueueCap: 64,
+		ValueBytes: 64, ScanCount: 16, Replication: 2,
+		Keys: 4096, Theta: 0.5,
+		Requests: int(ops), Warmup: int(ops / 10),
+		LoadUs:    []float64{160},
+		Seed:      7,
+		SimShards: shards,
+	}
+}
+
+// benchServingPar measures the conservative-parallel executor at the
+// scale it exists for: 1024 fat-tree nodes across 8 shards, one
+// measured request per op. The first invocation also runs the identical
+// sequential configuration once and reports the wall-clock ratio on
+// stderr ("par-speedup: X.XXx") together with the parallel run's
+// per-shard stats — ci.sh gates the ratio on hosts with enough cores,
+// and the sequential twin stays out of the measured best-of-N (its rep
+// can never be the fastest). The row's own per-op figures gate the
+// sharded driver's scaling overhead against the baseline like any other
+// row.
+func benchServingPar() func(ops int64) error {
+	const shards = 8
+	first := true
+	return func(ops int64) error {
+		a, ok := arch.ByName("MP1")
+		if !ok {
+			return fmt.Errorf("unknown arch MP1")
+		}
+		var seqWall time.Duration
+		if first {
+			first = false
+			start := time.Now()
+			if _, err := openloop.Run(servingParConfig(a, ops, 0)); err != nil {
+				return err
+			}
+			seqWall = time.Since(start)
+		}
+		start := time.Now()
+		res, err := openloop.Run(servingParConfig(a, ops, shards))
+		if err != nil {
+			return err
+		}
+		parWall := time.Since(start)
+		if got := int64(res.Points[0].Latency.Count); got != ops {
+			return fmt.Errorf("measured %d of %d requests", got, ops)
+		}
+		st := res.Points[0].Par
+		if st == nil || st.Shards != shards {
+			return fmt.Errorf("parallel run reported no %d-shard stats", shards)
+		}
+		if seqWall > 0 {
+			fmt.Fprintf(os.Stderr, "par-speedup: %.2fx (seq %v, par %v, %d shards, GOMAXPROCS %d)\n",
+				seqWall.Seconds()/parWall.Seconds(), seqWall.Round(time.Millisecond),
+				parWall.Round(time.Millisecond), shards, runtime.GOMAXPROCS(0))
+			fmt.Fprintf(os.Stderr, "par-stats: %s\n", st)
 		}
 		return nil
 	}

@@ -143,8 +143,8 @@ func TestRunQuickSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(s.Results) != 8 {
-		t.Fatalf("suite has %d results, want 8", len(s.Results))
+	if len(s.Results) != 10 {
+		t.Fatalf("suite has %d results, want 10", len(s.Results))
 	}
 	reparsed, err := ParseJSON(s.JSON())
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 	"mproxy/internal/proxy"
 	"mproxy/internal/rel"
 	"mproxy/internal/sim"
+	"mproxy/internal/sim/par"
 	"mproxy/internal/trace"
 )
 
@@ -169,7 +170,6 @@ type Fabric struct {
 	// turn submits without allocating.
 	stealSeq  []uint64
 	stealWork [][]machine.Work
-	stats     Stats
 
 	// forceRemote disables the intra-node shared-memory fast path,
 	// pushing same-node operations through the agent and loopback network
@@ -192,7 +192,19 @@ type Fabric struct {
 	pktFree []*packet
 	reqFree []*reqBox
 
-	lat [opKinds]latAccum
+	// parallel marks a fabric running under the sharded windowing driver
+	// (Parallelize): packet pooling is disabled — a packet is allocated on
+	// its source shard and released on its destination shard, so a shared
+	// freelist would race — and cross-shard flat-model deliveries detour
+	// through the mailboxes.
+	parallel bool
+
+	// lat accumulates completion latencies per destination node — an
+	// operation completes in its destination's event context, which on a
+	// parallel cluster is that node's shard — and LatencyStats merges the
+	// per-node accumulators (sums and maxima commute, so the merge is
+	// deterministic).
+	lat [][opKinds]latAccum
 }
 
 // New builds the fabric for cl under default Options, creating one
@@ -204,6 +216,7 @@ func New(cl *machine.Cluster) *Fabric { return NewWith(cl, Options{}) }
 // NewWith is New under explicit per-fabric Options.
 func NewWith(cl *machine.Cluster, opt Options) *Fabric {
 	f := &Fabric{Cl: cl, A: cl.Arch, opt: opt}
+	f.lat = make([][opKinds]latAccum, len(cl.Nodes))
 	f.sched = cl.Sched
 	if opt.ProxySched != "" {
 		s, err := proxy.SchedByName(opt.ProxySched)
@@ -239,8 +252,9 @@ func NewWith(cl *machine.Cluster, opt Options) *Fabric {
 				// Scan passes feed the trace stream under the serving
 				// agent's name; Emit is a no-op without a tracer.
 				name := nd.Agents[k].Name + ".scan"
+				eng := nd.Eng // scan passes run in the node's event context
 				s.SetObserver(func(probes, headChecks int64, found bool) {
-					cl.Eng.Emit(trace.KScan, name, trace.ScanArg(probes, headChecks, found))
+					eng.Emit(trace.KScan, name, trace.ScanArg(probes, headChecks, found))
 				})
 				f.scanners[i][k] = s
 				// A proxy crash (fault plane) wipes the scanner's volatile
@@ -302,30 +316,88 @@ func (ep *Endpoint) CommandQueue() *proxy.CommandQueue[request] { return ep.cmdq
 // Endpoint returns the endpoint of a global rank.
 func (f *Fabric) Endpoint(rank int) *Endpoint { return f.eps[rank] }
 
-// Stats returns the accumulated traffic statistics.
-func (f *Fabric) Stats() Stats { return f.stats }
+// Stats returns the accumulated traffic statistics, aggregated over the
+// per-endpoint counters (each endpoint's counters are only ever touched
+// from its own node's event context, so a parallel run needs no locks and
+// this sum is deterministic).
+func (f *Fabric) Stats() Stats {
+	var s Stats
+	for _, ep := range f.eps {
+		for k := 0; k < int(opKinds); k++ {
+			s.Ops[k] += ep.opsK[k]
+			s.Bytes[k] += ep.bytesK[k]
+		}
+		s.Intra += ep.intra
+	}
+	return s
+}
 
 // DisableIntraBypass routes intra-node operations through the
 // communication agent instead of shared memory. For ablation studies only.
 func (f *Fabric) DisableIntraBypass() { f.forceRemote = true }
+
+// Parallelize prepares the fabric for sharded windowed execution driven by
+// ps: packet and CCB pooling switch off (see newPacket, newReqBox), and —
+// on the flat single-link model, where the fabric itself is the packet
+// sink — each node's output link gets a route hook that detours
+// cross-shard deliveries through ps's mailboxes. Multi-switch clusters
+// route at the interconnect instead (topo.Net.Parallelize owns those
+// links). Must be called before any traffic is submitted; requires a
+// sharded cluster.
+func (f *Fabric) Parallelize(ps *par.Sim) {
+	if !f.Cl.Sharded() {
+		panic("comm: Parallelize on an unsharded cluster")
+	}
+	f.parallel = true
+	if f.Cl.Net != nil {
+		return
+	}
+	shard := f.Cl.NodeShard
+	for _, nd := range f.Cl.Nodes {
+		src := shard[nd.ID]
+		nd.OutLink.SetRoute(func(at sim.Time, sink machine.PacketSink, arg any) bool {
+			pkt, ok := arg.(*packet)
+			if !ok {
+				return false
+			}
+			dst := shard[f.nodeOf(pkt.to).ID]
+			if dst == src {
+				return false
+			}
+			ps.Post(int(src), int(dst), at, func() { sink.DeliverPacket(arg, machine.PacketFate{}) })
+			return true
+		})
+	}
+}
 
 // LatencyStats reports observed one-way operation latencies by kind,
 // measured inside whatever workload ran — under load, not quiescent.
 func (f *Fabric) LatencyStats() map[OpKind]LatencyStat {
 	out := make(map[OpKind]LatencyStat, int(opKinds))
 	for k := OpKind(0); k < opKinds; k++ {
-		if f.lat[k].count > 0 {
-			out[k] = f.lat[k].stat()
+		var a latAccum
+		for n := range f.lat {
+			b := &f.lat[n][k]
+			a.count += b.count
+			a.sum += b.sum
+			if b.max > a.max {
+				a.max = b.max
+			}
+		}
+		if a.count > 0 {
+			out[k] = a.stat()
 		}
 	}
 	return out
 }
 
-// opDone records one completed operation's latency.
-func (f *Fabric) opDone(kind OpKind, issued sim.Time) {
-	d := f.Cl.Eng.Now() - issued
-	f.lat[kind].add(d)
-	f.Cl.Eng.Emit(trace.KOpDone, kind.String(), int64(d))
+// opDone records one completed operation's latency. node is the node in
+// whose event context the completion runs (the destination of the data
+// movement); its engine is the correct clock in both execution modes.
+func (f *Fabric) opDone(node *machine.Node, kind OpKind, issued sim.Time) {
+	d := node.Eng.Now() - issued
+	f.lat[node.ID][kind].add(d)
+	node.Eng.Emit(trace.KOpDone, kind.String(), int64(d))
 }
 
 // Registry returns the cluster's address-space registry.
@@ -350,8 +422,15 @@ type Endpoint struct {
 	// (proxy design points only).
 	work machine.Work
 
-	ops   int64
-	bytes int64
+	// Traffic counters live per endpoint — not on the fabric — because an
+	// endpoint submits only from its own node's event context; a parallel
+	// run's shards therefore never contend on them, and Fabric.Stats sums
+	// them deterministically.
+	ops    int64
+	bytes  int64
+	opsK   [opKinds]int64
+	bytesK [opKinds]int64
+	intra  int64
 }
 
 // Bind attaches the simulated process that issues operations through this
@@ -555,9 +634,9 @@ func faultSide(err error, op string) error {
 func (ep *Endpoint) record(kind OpKind, n int) {
 	ep.ops++
 	ep.bytes += int64(n)
-	ep.f.stats.Ops[kind]++
-	ep.f.stats.Bytes[kind] += int64(n)
-	ep.f.Cl.Eng.Emit(trace.KOpSubmit, kind.String(), int64(n))
+	ep.opsK[kind]++
+	ep.bytesK[kind] += int64(n)
+	ep.cpu.Node.Eng.Emit(trace.KOpSubmit, kind.String(), int64(n))
 }
 
 // submit hands the request to the architecture-specific send path after
@@ -565,9 +644,9 @@ func (ep *Endpoint) record(kind OpKind, n int) {
 // target lives on the same SMP node move through shared memory directly.
 func (ep *Endpoint) submit(r request) {
 	f := ep.f
-	r.issued = f.Cl.Eng.Now()
+	r.issued = ep.cpu.Node.Eng.Now()
 	if !f.forceRemote && f.nodeOf(f.targetRank(r)) == ep.cpu.Node {
-		f.stats.Intra++
+		ep.intra++
 		f.intra(ep, r)
 		return
 	}
@@ -583,8 +662,8 @@ func (ep *Endpoint) submit(r request) {
 				err = ep.cmdq.Enqueue(ep.rank, r)
 			}
 		}
-		f.Cl.Eng.Emit(trace.KEnqueue, ep.cmdqComp, int64(ep.cmdq.Len()))
 		node := ep.cpu.Node
+		node.Eng.Emit(trace.KEnqueue, ep.cmdqComp, int64(ep.cmdq.Len()))
 		f.scanners[node.ID][ep.proxyIdx].MarkNonEmpty(ep.cmdqIdx)
 		node.Agents[ep.proxyIdx].Submit(ep.work)
 	case arch.CustomHW:

@@ -186,7 +186,7 @@ func (fr *agentExec) step() {
 	// ---- message proxy: receive side (mpRecv) ----
 	case pcMPPutDeposit:
 		f.depositBytes(fr.pkt.dst, fr.pkt.data)
-		f.opDone(OpPut, fr.pkt.issued)
+		f.opDone(fr.node, OpPut, fr.pkt.issued)
 		fr.mpFinishPut()
 	case pcMPPutRsync:
 		reg.Signal(fr.pkt.rsync)
@@ -197,7 +197,7 @@ func (fr *agentExec) step() {
 	case pcMPPutPage:
 		f.depositBytes(fr.pkt.dst, fr.pkt.data)
 		if fr.pkt.last {
-			f.opDone(OpPut, fr.pkt.issued)
+			f.opDone(fr.node, OpPut, fr.pkt.issued)
 			fr.mpFinishPut()
 			return
 		}
@@ -225,7 +225,7 @@ func (fr *agentExec) step() {
 			issued: in.issued, dst: in.dst, fsync: in.fsync}, in.src, pcFinish)
 	case pcMPGetDeposit:
 		f.depositBytes(fr.pkt.dst, fr.pkt.data)
-		f.opDone(OpGet, fr.pkt.issued)
+		f.opDone(fr.node, OpGet, fr.pkt.issued)
 		fr.hold(A.AgentMiss, pcMPGetFsync)
 	case pcMPGetFsync:
 		reg.Signal(fr.pkt.fsync)
@@ -233,14 +233,14 @@ func (fr *agentExec) step() {
 	case pcMPGetPageStep:
 		f.depositBytes(fr.pkt.dst, fr.pkt.data)
 		if fr.pkt.last {
-			f.opDone(OpGet, fr.pkt.issued)
+			f.opDone(fr.node, OpGet, fr.pkt.issued)
 			fr.hold(A.AgentMiss, pcMPGetFsync)
 			return
 		}
 		fr.finish()
 	case pcMPEnqDeposit:
 		f.depositQueue(fr.pkt.rq, fr.pkt.data)
-		f.opDone(OpEnq, fr.pkt.issued)
+		f.opDone(fr.node, OpEnq, fr.pkt.issued)
 		fr.finish()
 	case pcMPDeqReqTake:
 		fr.deqTake(false)
@@ -248,7 +248,7 @@ func (fr *agentExec) step() {
 		fr.shipDeqReply()
 	case pcMPDeqDeposit:
 		f.depositBytes(fr.pkt.dst, fr.pkt.data)
-		f.opDone(OpDeq, fr.pkt.issued)
+		f.opDone(fr.node, OpDeq, fr.pkt.issued)
 		fr.hold(A.AgentMiss, pcMPDeqFsync)
 	case pcMPDeqFsync:
 		reg.Signal(fr.pkt.fsync)
@@ -264,7 +264,7 @@ func (fr *agentExec) step() {
 			fr.finish() // the victim (or another thief) got there first
 			return
 		}
-		f.Cl.Eng.Emit(trace.KDequeue, f.cmdqNames[fr.node.ID][fr.stealIdx][qi], 0)
+		fr.node.Eng.Emit(trace.KDequeue, f.cmdqNames[fr.node.ID][fr.stealIdx][qi], 0)
 		fr.r = r
 		fr.hold(A.AgentMiss+A.Instr(0.5)+A.VMAtt, pcMPSend)
 
@@ -314,7 +314,7 @@ func (fr *agentExec) step() {
 	// ---- custom hardware: receive side (hwRecv) ----
 	case pcHWPutDeposit:
 		f.depositBytes(fr.pkt.dst, fr.pkt.data)
-		f.opDone(OpPut, fr.pkt.issued)
+		f.opDone(fr.node, OpPut, fr.pkt.issued)
 		fr.hwFinishPut()
 	case pcHWPutRsync:
 		reg.Signal(fr.pkt.rsync)
@@ -325,7 +325,7 @@ func (fr *agentExec) step() {
 	case pcHWPutPage:
 		f.depositBytes(fr.pkt.dst, fr.pkt.data)
 		if fr.pkt.last {
-			f.opDone(OpPut, fr.pkt.issued)
+			f.opDone(fr.node, OpPut, fr.pkt.issued)
 			fr.hwFinishPut()
 			return
 		}
@@ -347,7 +347,7 @@ func (fr *agentExec) step() {
 			issued: in.issued, dst: in.dst, fsync: in.fsync}, in.src, pcFinish)
 	case pcHWGetDeposit:
 		f.depositBytes(fr.pkt.dst, fr.pkt.data)
-		f.opDone(OpGet, fr.pkt.issued)
+		f.opDone(fr.node, OpGet, fr.pkt.issued)
 		fr.hold(A.CacheMiss, pcHWGetFsync)
 	case pcHWGetFsync:
 		reg.Signal(fr.pkt.fsync)
@@ -355,14 +355,14 @@ func (fr *agentExec) step() {
 	case pcHWGetPageStep:
 		f.depositBytes(fr.pkt.dst, fr.pkt.data)
 		if fr.pkt.last {
-			f.opDone(OpGet, fr.pkt.issued)
+			f.opDone(fr.node, OpGet, fr.pkt.issued)
 			fr.hold(A.CacheMiss, pcHWGetFsync)
 			return
 		}
 		fr.finish()
 	case pcHWEnqDeposit:
 		f.depositQueue(fr.pkt.rq, fr.pkt.data)
-		f.opDone(OpEnq, fr.pkt.issued)
+		f.opDone(fr.node, OpEnq, fr.pkt.issued)
 		fr.finish()
 	case pcHWDeqReqTake:
 		fr.deqTake(true)
@@ -370,7 +370,7 @@ func (fr *agentExec) step() {
 		fr.shipDeqReply()
 	case pcHWDeqDeposit:
 		f.depositBytes(fr.pkt.dst, fr.pkt.data)
-		f.opDone(OpDeq, fr.pkt.issued)
+		f.opDone(fr.node, OpDeq, fr.pkt.issued)
 		fr.hold(A.CacheMiss, pcHWDeqFsync)
 	case pcHWDeqFsync:
 		reg.Signal(fr.pkt.fsync)
@@ -563,7 +563,7 @@ func mpServiceWork(a *machine.Agent, _ any) {
 		a.WorkDone() // stale scan hint; the command was already consumed
 		return
 	}
-	f.Cl.Eng.Emit(trace.KDequeue, f.cmdqNames[fr.node.ID][fr.scanIdx][qi], 0)
+	fr.node.Eng.Emit(trace.KDequeue, f.cmdqNames[fr.node.ID][fr.scanIdx][qi], 0)
 	fr.r = r
 	A := f.A
 	// Dequeue entry (read miss), decode command and allocate a CCB,

@@ -53,13 +53,13 @@ func (f *Fabric) hwRecv(ap *sim.Proc, node *machine.Node, pkt *packet) {
 	case pktPutData:
 		ap.Hold(A.AdapterOvh + f.pio(pkt.n) + A.CacheMiss)
 		f.depositBytes(pkt.dst, pkt.data)
-		f.opDone(OpPut, pkt.issued)
+		f.opDone(node, OpPut, pkt.issued)
 		f.hwFinishPut(ap, node, pkt)
 	case pktPutPage:
 		ap.Hold(A.Instr(0.1))
 		f.depositBytes(pkt.dst, pkt.data)
 		if pkt.last {
-			f.opDone(OpPut, pkt.issued)
+			f.opDone(node, OpPut, pkt.issued)
 			f.hwFinishPut(ap, node, pkt)
 		}
 	case pktGetReq:
@@ -79,21 +79,21 @@ func (f *Fabric) hwRecv(ap *sim.Proc, node *machine.Node, pkt *packet) {
 	case pktGetData:
 		ap.Hold(A.AdapterOvh + f.pio(pkt.n) + A.CacheMiss)
 		f.depositBytes(pkt.dst, pkt.data)
-		f.opDone(OpGet, pkt.issued)
+		f.opDone(node, OpGet, pkt.issued)
 		ap.Hold(A.CacheMiss)
 		reg.Signal(pkt.fsync)
 	case pktGetPage:
 		ap.Hold(A.Instr(0.1))
 		f.depositBytes(pkt.dst, pkt.data)
 		if pkt.last {
-			f.opDone(OpGet, pkt.issued)
+			f.opDone(node, OpGet, pkt.issued)
 			ap.Hold(A.CacheMiss)
 			reg.Signal(pkt.fsync)
 		}
 	case pktEnqData:
 		ap.Hold(A.AdapterOvh + f.pio(pkt.n) + 2*A.CacheMiss)
 		f.depositQueue(pkt.rq, pkt.data)
-		f.opDone(OpEnq, pkt.issued)
+		f.opDone(node, OpEnq, pkt.issued)
 	case pktDeqReq:
 		ap.Hold(A.AdapterOvh)
 		q, _ := reg.Queue(pkt.rq)
@@ -112,7 +112,7 @@ func (f *Fabric) hwRecv(ap *sim.Proc, node *machine.Node, pkt *packet) {
 	case pktDeqData:
 		ap.Hold(A.AdapterOvh + f.pio(pkt.n) + A.CacheMiss)
 		f.depositBytes(pkt.dst, pkt.data)
-		f.opDone(OpDeq, pkt.issued)
+		f.opDone(node, OpDeq, pkt.issued)
 		ap.Hold(A.CacheMiss)
 		reg.Signal(pkt.fsync)
 	case pktAck:

@@ -22,7 +22,7 @@ func (f *Fabric) proxyServiceOne(ap *sim.Proc, node *machine.Node, idx int) {
 	if !ok {
 		return // stale scan hint; the command was already consumed
 	}
-	f.Cl.Eng.Emit(trace.KDequeue, f.cmdqNames[node.ID][idx][qi], 0)
+	node.Eng.Emit(trace.KDequeue, f.cmdqNames[node.ID][idx][qi], 0)
 	A := f.A
 	// Dequeue entry (read miss), decode command and allocate a CCB,
 	// vm_att to the user's space.
@@ -78,14 +78,14 @@ func (f *Fabric) mpRecv(ap *sim.Proc, node *machine.Node, pkt *packet) {
 		// payload (uncached + PIO), copy to destination (write miss).
 		ap.Hold(A.CacheMiss + A.Instr(0.9) + A.VMAtt + A.Uncached + f.pio(pkt.n) + A.AgentMiss)
 		f.depositBytes(pkt.dst, pkt.data)
-		f.opDone(OpPut, pkt.issued)
+		f.opDone(node, OpPut, pkt.issued)
 		f.finishPut(ap, node, pkt)
 	case pktPutPage:
 		// DMA deposits the page; the proxy pays per-page bookkeeping.
 		ap.Hold(A.Instr(0.3) + A.AgentMiss)
 		f.depositBytes(pkt.dst, pkt.data)
 		if pkt.last {
-			f.opDone(OpPut, pkt.issued)
+			f.opDone(node, OpPut, pkt.issued)
 			f.finishPut(ap, node, pkt)
 		}
 	case pktGetReq:
@@ -110,14 +110,14 @@ func (f *Fabric) mpRecv(ap *sim.Proc, node *machine.Node, pkt *packet) {
 		// destination (write miss), set lsync (write miss).
 		ap.Hold(A.CacheMiss + A.Instr(0.5) + A.VMAtt + A.Uncached + f.pio(pkt.n) + A.AgentMiss)
 		f.depositBytes(pkt.dst, pkt.data)
-		f.opDone(OpGet, pkt.issued)
+		f.opDone(node, OpGet, pkt.issued)
 		ap.Hold(A.AgentMiss)
 		reg.Signal(pkt.fsync)
 	case pktGetPage:
 		ap.Hold(A.Instr(0.3) + A.AgentMiss)
 		f.depositBytes(pkt.dst, pkt.data)
 		if pkt.last {
-			f.opDone(OpGet, pkt.issued)
+			f.opDone(node, OpGet, pkt.issued)
 			ap.Hold(A.AgentMiss)
 			reg.Signal(pkt.fsync)
 		}
@@ -126,7 +126,7 @@ func (f *Fabric) mpRecv(ap *sim.Proc, node *machine.Node, pkt *packet) {
 		// bookkeeping in the owner's queue.
 		ap.Hold(A.CacheMiss + A.Instr(0.9) + A.VMAtt + A.Uncached + f.pio(pkt.n) + 2*A.CacheMiss + 2*A.AgentMiss)
 		f.depositQueue(pkt.rq, pkt.data)
-		f.opDone(OpEnq, pkt.issued)
+		f.opDone(node, OpEnq, pkt.issued)
 	case pktDeqReq:
 		ap.Hold(A.CacheMiss + A.Instr(0.8) + A.VMAtt)
 		q, _ := reg.Queue(pkt.rq)
@@ -145,7 +145,7 @@ func (f *Fabric) mpRecv(ap *sim.Proc, node *machine.Node, pkt *packet) {
 	case pktDeqData:
 		ap.Hold(A.CacheMiss + A.Instr(0.5) + A.VMAtt + A.Uncached + f.pio(pkt.n) + A.AgentMiss)
 		f.depositBytes(pkt.dst, pkt.data)
-		f.opDone(OpDeq, pkt.issued)
+		f.opDone(node, OpDeq, pkt.issued)
 		ap.Hold(A.AgentMiss)
 		reg.Signal(pkt.fsync)
 	case pktAck:

@@ -54,6 +54,9 @@ type reqBox struct {
 }
 
 func (f *Fabric) newReqBox() *reqBox {
+	if f.parallel {
+		return &reqBox{} // the freelist is fabric-global: shards must not share it
+	}
 	if n := len(f.reqFree); n > 0 {
 		b := f.reqFree[n-1]
 		f.reqFree[n-1] = nil
@@ -64,6 +67,9 @@ func (f *Fabric) newReqBox() *reqBox {
 }
 
 func (f *Fabric) freeReqBox(b *reqBox) {
+	if f.parallel {
+		return
+	}
 	b.r = request{}
 	f.reqFree = append(f.reqFree, b)
 }
@@ -76,7 +82,10 @@ func (f *Fabric) freeReqBox(b *reqBox) {
 // retransmission), faulty links (which may duplicate) — packets are plain
 // heap allocations left to the GC, as the blocking paths always did.
 func (f *Fabric) newPacket(l *machine.Link) *packet {
-	if f.taskMode && f.relE == nil && !l.Faulty() {
+	// Parallel execution disables the freelist: a packet would be taken on
+	// the sending shard and returned on the receiving one, racing on the
+	// shared pool. Plain allocations keep each shard self-contained.
+	if f.taskMode && !f.parallel && f.relE == nil && !l.Faulty() {
 		if n := len(f.pktFree); n > 0 {
 			pkt := f.pktFree[n-1]
 			f.pktFree[n-1] = nil
@@ -323,24 +332,25 @@ func (f *Fabric) intra(ep *Endpoint, r request) {
 	A := f.A
 	copyCost := 2*A.CacheMiss + arch.XferTime(r.n, A.MemBW)
 	reg := f.Cl.Reg
+	node := ep.cpu.Node
 	switch r.kind {
 	case OpPut:
 		ep.cpu.Compute(ep.proc, copyCost)
 		f.depositBytes(r.remote, f.readSource(r))
 		reg.Signal(r.rsync)
 		reg.Signal(r.fsync)
-		f.opDone(OpPut, r.issued)
+		f.opDone(node, OpPut, r.issued)
 	case OpGet:
 		ep.cpu.Compute(ep.proc, copyCost)
 		f.depositBytes(r.local, f.readBytes(r.remote, r.n))
 		reg.Signal(r.rsync)
 		reg.Signal(r.fsync)
-		f.opDone(OpGet, r.issued)
+		f.opDone(node, OpGet, r.issued)
 	case OpEnq:
 		ep.cpu.Compute(ep.proc, copyCost+A.CacheMiss) // tail pointer update
 		f.depositQueue(r.rq, f.readSource(r))
 		reg.Signal(r.fsync)
-		f.opDone(OpEnq, r.issued)
+		f.opDone(node, OpEnq, r.issued)
 	case OpDeq:
 		q, _ := reg.Queue(r.rq)
 		dst, lsync := r.local, r.fsync
@@ -352,7 +362,7 @@ func (f *Fabric) intra(ep *Endpoint, r request) {
 			}
 			f.depositBytes(dst, rec)
 			reg.Signal(lsync)
-			f.opDone(OpDeq, issued)
+			f.opDone(node, OpDeq, issued)
 		})
 		ep.cpu.Compute(ep.proc, copyCost+A.CacheMiss)
 	}

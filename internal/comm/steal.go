@@ -84,7 +84,7 @@ func (f *Fabric) proxyStealOne(ap *sim.Proc, node *machine.Node, victim int) {
 	if !ok {
 		return // the victim (or another thief) got there first
 	}
-	f.Cl.Eng.Emit(trace.KDequeue, f.cmdqNames[node.ID][victim][qi], 0)
+	node.Eng.Emit(trace.KDequeue, f.cmdqNames[node.ID][victim][qi], 0)
 	ap.Hold(A.AgentMiss + A.Instr(0.5) + A.VMAtt)
 	f.mpSend(ap, node, r)
 }

@@ -76,7 +76,7 @@ func (f *Fabric) swRecv(dest *machine.Node, pkt *packet) {
 	case pktPutData:
 		f.depositBytes(pkt.dst, pkt.data)
 		after(A.InterruptOvh+A.ProtocolOvh+f.pio(pkt.n)+2*A.CacheMiss, func() {
-			f.opDone(OpPut, pkt.issued)
+			f.opDone(dest, OpPut, pkt.issued)
 			reg.Signal(pkt.rsync)
 			f.swAck(dest, pkt)
 		})
@@ -88,7 +88,7 @@ func (f *Fabric) swRecv(dest *machine.Node, pkt *packet) {
 		}
 		after(cost, func() {
 			if pkt.last {
-				f.opDone(OpPut, pkt.issued)
+				f.opDone(dest, OpPut, pkt.issued)
 				reg.Signal(pkt.rsync)
 				f.swAck(dest, pkt)
 			}
@@ -116,7 +116,7 @@ func (f *Fabric) swRecv(dest *machine.Node, pkt *packet) {
 	case pktGetData:
 		f.depositBytes(pkt.dst, pkt.data)
 		after(A.InterruptOvh+A.ProtocolOvh+f.pio(pkt.n)+2*A.CacheMiss, func() {
-			f.opDone(OpGet, pkt.issued)
+			f.opDone(dest, OpGet, pkt.issued)
 			reg.Signal(pkt.fsync)
 		})
 	case pktGetPage:
@@ -127,7 +127,7 @@ func (f *Fabric) swRecv(dest *machine.Node, pkt *packet) {
 		}
 		after(cost, func() {
 			if pkt.last {
-				f.opDone(OpGet, pkt.issued)
+				f.opDone(dest, OpGet, pkt.issued)
 				reg.Signal(pkt.fsync)
 			}
 		})
@@ -137,7 +137,7 @@ func (f *Fabric) swRecv(dest *machine.Node, pkt *packet) {
 		// dequeues (Recv / drain).
 		after(A.InterruptOvh+A.ProtocolOvh+f.pio(pkt.n)+3*A.CacheMiss, func() {
 			f.depositQueue(pkt.rq, pkt.data)
-			f.opDone(OpEnq, pkt.issued)
+			f.opDone(dest, OpEnq, pkt.issued)
 		})
 	case pktDeqReq:
 		req := *pkt
@@ -159,7 +159,7 @@ func (f *Fabric) swRecv(dest *machine.Node, pkt *packet) {
 	case pktDeqData:
 		f.depositBytes(pkt.dst, pkt.data)
 		after(A.InterruptOvh+A.ProtocolOvh+f.pio(pkt.n)+2*A.CacheMiss, func() {
-			f.opDone(OpDeq, pkt.issued)
+			f.opDone(dest, OpDeq, pkt.issued)
 			reg.Signal(pkt.fsync)
 		})
 	case pktAck:

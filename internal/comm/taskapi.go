@@ -35,9 +35,9 @@ func (ep *Endpoint) EnqBytesTask(t *sim.Task, data []byte, rq memory.QueueRef, l
 // submitTask is submit in continuation-passing style.
 func (ep *Endpoint) submitTask(t *sim.Task, r request, k func()) {
 	f := ep.f
-	r.issued = f.Cl.Eng.Now()
+	r.issued = ep.cpu.Node.Eng.Now()
 	if !f.forceRemote && f.nodeOf(f.targetRank(r)) == ep.cpu.Node {
-		f.stats.Intra++
+		ep.intra++
 		f.intraTask(ep, t, r, k)
 		return
 	}
@@ -71,8 +71,8 @@ func (ep *Endpoint) enqueueCmdTask(t *sim.Task, r request, k func()) {
 		ep.cpu.ComputeTask(t, ep.f.A.PollDelay(), func() { ep.enqueueCmdTask(t, r, k) })
 		return
 	}
-	ep.f.Cl.Eng.Emit(trace.KEnqueue, ep.cmdqComp, int64(ep.cmdq.Len()))
 	node := ep.cpu.Node
+	node.Eng.Emit(trace.KEnqueue, ep.cmdqComp, int64(ep.cmdq.Len()))
 	ep.f.scanners[node.ID][ep.proxyIdx].MarkNonEmpty(ep.cmdqIdx)
 	node.Agents[ep.proxyIdx].Submit(ep.work)
 	k()
@@ -88,7 +88,7 @@ func (f *Fabric) intraTask(ep *Endpoint, t *sim.Task, r request, k func()) {
 		ep.cpu.ComputeTask(t, copyCost+A.CacheMiss, func() {
 			f.depositQueue(r.rq, f.readSource(r))
 			f.Cl.Reg.Signal(r.fsync)
-			f.opDone(OpEnq, r.issued)
+			f.opDone(ep.cpu.Node, OpEnq, r.issued)
 			k()
 		})
 	default:

@@ -73,13 +73,16 @@ type Service struct {
 	cfg Config
 	idx map[int]int // server rank -> shard index
 
+	// Per-shard-index state only: a server touches exclusively its own
+	// slot, so shards of a parallel run never contend and the aggregate
+	// accessors below sum deterministically.
 	stores  []map[uint64]uint64 // per shard: key -> version
 	pending []map[uint64]*repWait
-	nextRep uint64
-	val     []byte // shared synthesized-value scratch
+	nextRep []uint64 // per shard: replication ids (keys of pending[si])
+	val     []byte   // synthesized-value scratch, sized once at New
 
-	served     [numOps]int64
-	replicated int64
+	served     [][numOps]int64
+	replicated []int64
 
 	// OnReply, when set, observes every reply arriving at a client:
 	// the client's rank, the operation, and the request's echoed flags
@@ -117,6 +120,22 @@ func New(l *am.Layer, cfg Config) *Service {
 		s.stores = append(s.stores, make(map[uint64]uint64))
 		s.pending = append(s.pending, make(map[uint64]*repWait))
 	}
+	s.nextRep = make([]uint64, len(cfg.Servers))
+	s.served = make([][numOps]int64, len(cfg.Servers))
+	s.replicated = make([]int64, len(cfg.Servers))
+	// Pre-size the value scratch to the largest payload any handler
+	// returns: value() then never reallocates, so concurrent shards only
+	// ever read the slice header.
+	maxVal := cfg.ValueBytes
+	if n := cfg.ScanCount * cfg.ValueBytes; n > maxVal {
+		if n > maxScanPayload {
+			n = maxScanPayload
+		}
+		if n > maxVal {
+			maxVal = n
+		}
+	}
+	s.val = make([]byte, maxVal)
 	s.hGet = l.RegisterTask(s.onGet)
 	s.hPut = l.RegisterTask(s.onPut)
 	s.hScan = l.RegisterTask(s.onScan)
@@ -184,10 +203,22 @@ func (s *Service) flightServe(p *am.Port, flags int64, k func()) func() {
 }
 
 // Served returns how many requests of op the servers have processed.
-func (s *Service) Served(op Op) int64 { return s.served[op] }
+func (s *Service) Served(op Op) int64 {
+	var n int64
+	for si := range s.served {
+		n += s.served[si][op]
+	}
+	return n
+}
 
 // Replicated returns how many follower copies PUTs have written.
-func (s *Service) Replicated() int64 { return s.replicated }
+func (s *Service) Replicated() int64 {
+	var n int64
+	for _, v := range s.replicated {
+		n += v
+	}
+	return n
+}
 
 // GetTask issues a GET for key from the client behind p. flags and
 // issuedNs are echoed verbatim in the reply; k runs at submission.
@@ -208,7 +239,7 @@ func (s *Service) ScanTask(p *am.Port, t *sim.Task, key uint64, flags, issuedNs 
 func (s *Service) onGet(p *am.Port, t *sim.Task, src int, args []int64, payload []byte, k func()) {
 	si := s.idx[p.Rank()]
 	_ = s.stores[si][uint64(args[2])] // version lookup
-	s.served[OpGet]++
+	s.served[si][OpGet]++
 	k = s.flightServe(p, args[0], k)
 	p.SendTask(t, src, s.hGetRe, args[:2], s.value(s.cfg.ValueBytes), k)
 }
@@ -217,14 +248,14 @@ func (s *Service) onPut(p *am.Port, t *sim.Task, src int, args []int64, payload 
 	si := s.idx[p.Rank()]
 	key := uint64(args[2])
 	s.stores[si][key]++
-	s.served[OpPut]++
+	s.served[si][OpPut]++
 	k = s.flightServe(p, args[0], k)
 	if s.cfg.Replication == 1 {
 		p.SendTask(t, src, s.hPutRe, args[:2], nil, k)
 		return
 	}
-	id := s.nextRep
-	s.nextRep++
+	id := s.nextRep[si]
+	s.nextRep[si]++
 	s.pending[si][id] = &repWait{need: s.cfg.Replication - 1, client: src, flags: args[0], issued: args[1]}
 	s.sendReps(p, t, si, id, key, 1, k)
 }
@@ -245,7 +276,7 @@ func (s *Service) sendReps(p *am.Port, t *sim.Task, si int, id, key uint64, j in
 func (s *Service) onRep(p *am.Port, t *sim.Task, src int, args []int64, payload []byte, k func()) {
 	si := s.idx[p.Rank()]
 	s.stores[si][uint64(args[1])]++
-	s.replicated++
+	s.replicated[si]++
 	p.SendTask(t, src, s.hRepAck, args[:1], nil, k)
 }
 
@@ -272,7 +303,7 @@ func (s *Service) onRepAck(p *am.Port, t *sim.Task, src int, args []int64, paylo
 func (s *Service) onScan(p *am.Port, t *sim.Task, src int, args []int64, payload []byte, k func()) {
 	si := s.idx[p.Rank()]
 	_ = s.stores[si][uint64(args[2])]
-	s.served[OpScan]++
+	s.served[si][OpScan]++
 	k = s.flightServe(p, args[0], k)
 	n := s.cfg.ScanCount * s.cfg.ValueBytes
 	if n > maxScanPayload {
@@ -281,11 +312,12 @@ func (s *Service) onScan(p *am.Port, t *sim.Task, src int, args []int64, payload
 	p.SendTask(t, src, s.hScanRe, args[:2], s.value(n), k)
 }
 
-// value returns an n-byte synthesized payload. The scratch is shared:
-// every AM submission copies the record at send time, so reuse is safe.
+// value returns an n-byte synthesized payload. The scratch is shared and
+// sized at New: every AM submission copies the record at send time, and
+// the slice header is never rewritten, so concurrent shards only read.
 func (s *Service) value(n int) []byte {
 	if cap(s.val) < n {
-		s.val = make([]byte, n)
+		panic(fmt.Sprintf("kv: %d-byte value exceeds the scratch sized at New", n))
 	}
 	return s.val[:n]
 }

@@ -90,6 +90,11 @@ type Config struct {
 	// affinity, or "steal" for static placement with bounded work stealing
 	// between a node's proxies. Empty means static.
 	ProxySched string
+	// SimShards partitions the cluster's nodes across that many parallel
+	// simulation shards (sim/par), each with its own engine; nodes split
+	// into contiguous blocks of Nodes/SimShards. 0 or 1 means sequential.
+	// Build sharded clusters with NewSharded.
+	SimShards int
 }
 
 // Procs returns the total number of compute processors.
@@ -110,6 +115,15 @@ func (c Config) Validate() error {
 	}
 	if c.Nodes == 0 || c.ProcsPerNode == 0 {
 		return fmt.Errorf("machine: bad config %+v", c)
+	}
+	if c.SimShards < 0 {
+		return fmt.Errorf("machine: negative SimShards %d", c.SimShards)
+	}
+	if c.SimShards > c.Nodes {
+		return fmt.Errorf("machine: SimShards %d exceeds Nodes %d (a shard must own at least one node)", c.SimShards, c.Nodes)
+	}
+	if c.SimShards > 1 && c.Nodes%c.SimShards != 0 {
+		return fmt.Errorf("machine: Nodes %d not divisible by SimShards %d (contiguous equal blocks required)", c.Nodes, c.SimShards)
 	}
 	if _, err := proxy.SchedByName(c.ProxySched); err != nil {
 		return err
@@ -147,6 +161,27 @@ type Cluster struct {
 	// Net, when non-nil, routes inter-node packets through a multi-switch
 	// topology instead of the flat source-link -> destination model.
 	Net Interconnect
+	// Engs lists the shard engines of a parallel cluster (NewSharded), one
+	// per contiguous node block; Eng aliases Engs[0], which also owns the
+	// shared registry. Nil for a sequential cluster.
+	Engs []*sim.Engine
+	// NodeShard maps node ID to owning shard for a parallel cluster
+	// (node / (Nodes/len(Engs)), i.e. contiguous blocks). Nil when
+	// sequential.
+	NodeShard []int32
+}
+
+// Sharded reports whether the cluster was built over multiple shard
+// engines.
+func (c *Cluster) Sharded() bool { return len(c.Engs) > 1 }
+
+// EngOf returns the engine owning node n's events: the shard engine on a
+// parallel cluster, the single engine otherwise.
+func (c *Cluster) EngOf(n int) *sim.Engine {
+	if c.NodeShard != nil {
+		return c.Engs[c.NodeShard[n]]
+	}
+	return c.Eng
 }
 
 // SetInterconnect installs (or, with nil, removes) a multi-switch network.
@@ -154,6 +189,39 @@ func (c *Cluster) SetInterconnect(ic Interconnect) { c.Net = ic }
 
 // New builds a cluster of cfg.Nodes SMPs under design point a.
 func New(eng *sim.Engine, cfg Config, a arch.Params) *Cluster {
+	if cfg.SimShards > 1 {
+		panic(fmt.Sprintf("machine: Config.SimShards=%d requires NewSharded", cfg.SimShards))
+	}
+	return build(eng, nil, nil, cfg, a)
+}
+
+// NewSharded builds a cluster whose nodes are partitioned across
+// len(engs) == cfg.SimShards parallel shard engines in contiguous blocks
+// of cfg.Nodes/len(engs): every per-node resource (links, DMA, agents)
+// lives on its owner shard's engine, and engs[0] additionally hosts the
+// shared registry. The config is validated — including the SimShards
+// divisibility rules — before any model state is built.
+func NewSharded(engs []*sim.Engine, cfg Config, a arch.Params) *Cluster {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.SimShards <= 1 {
+		panic(fmt.Sprintf("machine: NewSharded needs SimShards > 1, got %d", cfg.SimShards))
+	}
+	if len(engs) != cfg.SimShards {
+		panic(fmt.Sprintf("machine: NewSharded given %d engines for SimShards=%d", len(engs), cfg.SimShards))
+	}
+	shard := make([]int32, cfg.Nodes)
+	block := cfg.Nodes / cfg.SimShards
+	for n := range shard {
+		shard[n] = int32(n / block)
+	}
+	return build(engs[0], engs, shard, cfg, a)
+}
+
+// build is the shared constructor: engFor-style node placement with the
+// sequential case collapsing to one engine for everything.
+func build(eng *sim.Engine, engs []*sim.Engine, shard []int32, cfg Config, a arch.Params) *Cluster {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
@@ -161,23 +229,29 @@ func New(eng *sim.Engine, cfg Config, a arch.Params) *Cluster {
 		cfg.ProxiesPerNode = 1
 	}
 	sched, _ := proxy.SchedByName(cfg.ProxySched) // validated above
-	c := &Cluster{Eng: eng, Cfg: cfg, Arch: a, Reg: memory.NewRegistry(eng), Sched: sched}
+	c := &Cluster{Eng: eng, Cfg: cfg, Arch: a, Reg: memory.NewRegistry(eng), Sched: sched,
+		Engs: engs, NodeShard: shard}
 	for n := 0; n < cfg.Nodes; n++ {
+		ne := eng
+		if shard != nil {
+			ne = engs[shard[n]]
+		}
 		node := &Node{
 			ID:      n,
 			Cluster: c,
-			OutLink: NewLink(eng, fmt.Sprintf("node%d.out", n), a.NetBW, a.NetLatency),
-			DMA:     NewLink(eng, fmt.Sprintf("node%d.dma", n), a.DMABW, 0),
+			Eng:     ne,
+			OutLink: NewLink(ne, fmt.Sprintf("node%d.out", n), a.NetBW, a.NetLatency),
+			DMA:     NewLink(ne, fmt.Sprintf("node%d.dma", n), a.DMABW, 0),
 		}
 		switch a.Kind {
 		case arch.Proxy:
 			for k := 0; k < cfg.ProxiesPerNode; k++ {
 				node.Agents = append(node.Agents,
-					NewAgent(eng, fmt.Sprintf("node%d.proxy%d", n, k), a.PollDelay()))
+					NewAgent(ne, fmt.Sprintf("node%d.proxy%d", n, k), a.PollDelay()))
 			}
 			node.Agent = node.Agents[0]
 		case arch.CustomHW:
-			node.Agent = NewAgent(eng, fmt.Sprintf("node%d.adapter", n), 0)
+			node.Agent = NewAgent(ne, fmt.Sprintf("node%d.adapter", n), 0)
 			node.Agents = []*Agent{node.Agent}
 		}
 		for s := 0; s < cfg.ProcsPerNode; s++ {
@@ -210,6 +284,12 @@ func (c *Cluster) SetFaultPlane(p FaultPlane) {
 type Node struct {
 	ID      int
 	Cluster *Cluster
+	// Eng is the engine owning this node's events: the cluster engine, or
+	// the node's shard engine on a parallel cluster. Model layers must
+	// consult it (not Cluster.Eng) for anything that runs in a node's
+	// event context — clock reads, trace emissions, task wakes — so the
+	// same code is correct under both execution modes.
+	Eng     *sim.Engine
 	OutLink *Link
 	// DMA is the node's DMA engine, modeled as a zero-latency serializing
 	// link at the DMA bandwidth.
@@ -335,6 +415,14 @@ type Link struct {
 	// freeDel recycles delivery nodes for the sink-based send path, so a
 	// steady-state packet stream schedules without allocating per packet.
 	freeDel []*delivery
+
+	// route, when non-nil, intercepts sink deliveries whose destination is
+	// owned by another simulation shard: it receives the absolute arrival
+	// time and returns true if it posted the delivery to a cross-shard
+	// mailbox, false to fall through to the local (pooled, zero-alloc)
+	// path. Installed only in parallel mode; sequential runs pay one nil
+	// check.
+	route func(at sim.Time, sink PacketSink, arg any) bool
 }
 
 // NewLink returns a link of mbps MB/s bandwidth and the given wire latency.
@@ -344,6 +432,16 @@ func NewLink(eng *sim.Engine, name string, mbps float64, latency sim.Time) *Link
 
 // SetFaultPlane installs (or, with nil, removes) the link's fault plane.
 func (l *Link) SetFaultPlane(p FaultPlane, node int) { l.plane, l.node = p, node }
+
+// SetRoute installs (or, with nil, removes) the cross-shard routing hook
+// on the link's sink-delivery path. Parallel runs never combine routing
+// with a fault plane (fault scenarios are parallel-ineligible), so the
+// hook lives on the plane-free fast path only.
+func (l *Link) SetRoute(r func(at sim.Time, sink PacketSink, arg any) bool) { l.route = r }
+
+// Latency returns the link's wire latency — the lookahead contribution of
+// one hop when the link crosses simulation shards.
+func (l *Link) Latency() sim.Time { return l.latency }
 
 // Send serializes n bytes onto the link and schedules deliver at the
 // arrival time. Headers count toward serialization, so callers pass the
@@ -483,6 +581,9 @@ func (l *Link) dispatchSink(n int, depart sim.Time, sink PacketSink, arg any) {
 	l.packets++
 	l.sentByte += int64(n)
 	if l.plane == nil {
+		if l.route != nil && l.route(l.eng.Now()+depart+l.latency, sink, arg) {
+			return
+		}
 		d := l.newDelivery()
 		d.sink, d.arg = sink, arg
 		l.eng.Schedule(depart+l.latency, d.run)

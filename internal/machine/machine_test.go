@@ -94,6 +94,11 @@ func TestConfigValidate(t *testing.T) {
 		{Config{Nodes: 0, ProcsPerNode: 1}, "bad config"},
 		{Config{Nodes: 2, ProcsPerNode: 0}, "bad config"},
 		{Config{Nodes: 2, ProcsPerNode: 1, ProxySched: "lottery"}, "unknown sched policy"},
+		{Config{Nodes: 8, ProcsPerNode: 1, SimShards: 2}, ""},
+		{Config{Nodes: 8, ProcsPerNode: 1, SimShards: 8}, ""}, // one node per shard is fine
+		{Config{Nodes: 8, ProcsPerNode: 1, SimShards: -2}, "negative SimShards"},
+		{Config{Nodes: 8, ProcsPerNode: 1, SimShards: 3}, "not divisible by SimShards"},
+		{Config{Nodes: 4, ProcsPerNode: 1, SimShards: 8}, "SimShards 8 exceeds Nodes 4"},
 	}
 	for _, c := range cases {
 		err := c.cfg.Validate()
@@ -107,6 +112,53 @@ func TestConfigValidate(t *testing.T) {
 			t.Errorf("Validate(%+v) = %v, want error containing %q", c.cfg, err, c.want)
 		}
 	}
+}
+
+// TestNewShardedPlacement checks the contiguous node→shard blocks: every
+// node's resources (links, agents) land on its owner shard's engine, and
+// the sequential constructor refuses sharded configs outright.
+func TestNewShardedPlacement(t *testing.T) {
+	engs := []*sim.Engine{sim.NewEngine(), sim.NewEngine()}
+	c := NewSharded(engs, Config{Nodes: 4, ProcsPerNode: 1, SimShards: 2}, arch.MP1)
+	if !c.Sharded() {
+		t.Fatal("cluster not sharded")
+	}
+	for n, nd := range c.Nodes {
+		want := engs[n/2]
+		if nd.Eng != want || c.EngOf(n) != want {
+			t.Errorf("node %d on wrong engine (shard %d expected)", n, n/2)
+		}
+	}
+	if c.Eng != engs[0] {
+		t.Error("control engine must be shard 0's")
+	}
+	for i := range engs {
+		engs[i].Shutdown()
+	}
+}
+
+// TestNewRejectsShardedConfig: a SimShards>1 config must be built with
+// NewSharded; New panics before any model state (or goroutine) exists.
+func TestNewRejectsShardedConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(sim.NewEngine(), Config{Nodes: 4, ProcsPerNode: 1, SimShards: 2}, arch.MP1)
+}
+
+// TestNewShardedValidatesFirst: an invalid partition panics out of
+// NewSharded before any agent is constructed (under ExecProc agents own
+// goroutines, so validation must precede every spawn).
+func TestNewShardedValidatesFirst(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	engs := []*sim.Engine{sim.NewEngine(), sim.NewEngine(), sim.NewEngine()}
+	NewSharded(engs, Config{Nodes: 4, ProcsPerNode: 1, SimShards: 3}, arch.MP1)
 }
 
 // TestNegativeProxiesPanics: before Config.Validate existed, a negative

@@ -5,6 +5,7 @@ import (
 
 	"mproxy/internal/machine"
 	"mproxy/internal/sim"
+	"mproxy/internal/sim/par"
 )
 
 // hop is one packet in flight through the topology. The struct rides the
@@ -36,26 +37,52 @@ type Net struct {
 	links [][]*machine.Link // per switch: output link per port
 	tiers [][]Tier          // per switch: tier per port
 	route [][]uint16        // per switch: destination node -> port
-	free  []*hop
 
-	delivered int64
-	totalHops int64
+	// shard maps every element (nodes, then switches) to its owning
+	// simulation shard; all-zero on a sequential cluster. Hop freelists
+	// and delivery counters are per shard, indexed by the shard executing
+	// the touch, so parallel windows never contend: a hop is taken from
+	// the shipping shard's pool and returned to the delivering shard's.
+	shard     []int32
+	free      [][]*hop
+	delivered []int64
+	totalHops []int64
 }
 
 // NewNet wires a Net for cl over g. The caller installs it with
 // cl.SetInterconnect. Switch links never carry a fault plane — the fault
 // surface stays the node output links, as in the flat model.
+//
+// On a sharded cluster every switch's output links are built on the
+// switch's owner engine: a switch attached to nodes belongs to its
+// lowest-numbered node's shard (contiguous node blocks keep pod/group
+// traffic intra-shard); pure transit switches (fat-tree spines) are dealt
+// round-robin across shards so their forwarding load spreads.
 func NewNet(cl *machine.Cluster, g Graph) *Net {
 	if g.Nodes != cl.Cfg.Nodes {
 		panic(fmt.Sprintf("topo: graph has %d nodes, cluster %d", g.Nodes, cl.Cfg.Nodes))
 	}
 	n := &Net{cl: cl, g: g}
+	nsh := 1
+	if cl.Sharded() {
+		nsh = len(cl.Engs)
+		n.shard = shardElements(g, cl.NodeShard, nsh)
+	} else {
+		n.shard = make([]int32, g.Nodes+g.Switches)
+	}
+	n.free = make([][]*hop, nsh)
+	n.delivered = make([]int64, nsh)
+	n.totalHops = make([]int64, nsh)
 	n.adj, n.tiers = neighbors(g)
 	n.links = make([][]*machine.Link, g.Switches)
 	for s := range n.links {
+		eng := cl.Eng
+		if cl.Sharded() {
+			eng = cl.Engs[n.shard[g.Nodes+s]]
+		}
 		n.links[s] = make([]*machine.Link, len(n.adj[s]))
 		for pi := range n.adj[s] {
-			n.links[s][pi] = machine.NewLink(cl.Eng,
+			n.links[s][pi] = machine.NewLink(eng,
 				fmt.Sprintf("%s.sw%d.p%d", g.Kind, s, pi),
 				cl.Arch.NetBW, cl.Arch.NetLatency)
 		}
@@ -65,6 +92,63 @@ func NewNet(cl *machine.Cluster, g Graph) *Net {
 		netHook(n)
 	}
 	return n
+}
+
+// shardElements extends the cluster's node→shard map to switches: a
+// switch with attached nodes joins its lowest-numbered node's shard; a
+// pure transit switch is assigned round-robin by switch id. Both rules
+// are pure functions of the graph, so the partition — and with it the
+// parallel schedule — is deterministic.
+func shardElements(g Graph, nodeShard []int32, shards int) []int32 {
+	es := make([]int32, g.Nodes+g.Switches)
+	copy(es, nodeShard)
+	attached := make([]int32, g.Switches) // lowest attached node + 1; 0 = transit
+	for node := len(g.Up) - 1; node >= 0; node-- {
+		attached[int(g.Up[node])-g.Nodes] = int32(node) + 1
+	}
+	rr := 0
+	for s := 0; s < g.Switches; s++ {
+		if a := attached[s]; a > 0 {
+			es[g.Nodes+s] = nodeShard[a-1]
+		} else {
+			es[g.Nodes+s] = int32(rr % shards)
+			rr++
+		}
+	}
+	return es
+}
+
+// Parallelize installs cross-shard routing on every interconnect link —
+// the switches' output ports and the nodes' output links, whose traffic
+// all carries *hop arguments — posting any delivery bound for an element
+// another shard owns into the windowing driver's mailboxes. Deliveries
+// that stay on their own shard fall through to the pooled local path
+// untouched.
+func (n *Net) Parallelize(ps *par.Sim) {
+	for s := range n.links {
+		src := n.shard[n.g.Nodes+s]
+		for _, l := range n.links[s] {
+			l.SetRoute(n.routeHook(src, ps))
+		}
+	}
+	for id, nd := range n.cl.Nodes {
+		nd.OutLink.SetRoute(n.routeHook(n.shard[id], ps))
+	}
+}
+
+func (n *Net) routeHook(src int32, ps *par.Sim) func(at sim.Time, sink machine.PacketSink, arg any) bool {
+	return func(at sim.Time, sink machine.PacketSink, arg any) bool {
+		h, ok := arg.(*hop)
+		if !ok {
+			return false
+		}
+		dst := n.shard[h.at]
+		if dst == src {
+			return false
+		}
+		ps.Post(int(src), int(dst), at, func() { sink.DeliverPacket(arg, machine.PacketFate{}) })
+		return true
+	}
 }
 
 // netHook, when set, observes every Net the process builds — the
@@ -153,11 +237,14 @@ func routes(g Graph, adj [][]int32) [][]uint16 {
 	return route
 }
 
-func (n *Net) newHop() *hop {
-	if k := len(n.free); k > 0 {
-		h := n.free[k-1]
-		n.free[k-1] = nil
-		n.free = n.free[:k-1]
+// newHop takes a hop from the executing shard's pool (sh indexes the
+// shard running the caller's event; 0 on a sequential cluster).
+func (n *Net) newHop(sh int32) *hop {
+	pool := n.free[sh]
+	if k := len(pool); k > 0 {
+		h := pool[k-1]
+		pool[k-1] = nil
+		n.free[sh] = pool[:k-1]
 		return h
 	}
 	return &hop{}
@@ -169,7 +256,7 @@ func (n *Net) newHop() *hop {
 // accumulated fate) reach the sink exactly as a flat-model delivery
 // would.
 func (n *Net) Ship(src, dst int, bytes int, sink machine.PacketSink, arg any, overlapped bool) {
-	h := n.newHop()
+	h := n.newHop(n.shard[src])
 	h.at = n.g.Up[src]
 	h.dst = int32(dst)
 	h.hops = 1
@@ -194,11 +281,14 @@ func (n *Net) DeliverPacket(arg any, fate machine.PacketFate) {
 	}
 	at := int(h.at)
 	if at < n.g.Nodes {
+		// This delivery event runs on the destination node's shard, so
+		// the hop and the counters go to that shard's pool.
+		sh := n.shard[at]
 		sink, a, f, hops := h.sink, h.arg, h.fate, h.hops
 		h.sink, h.arg, h.fate = nil, nil, machine.PacketFate{}
-		n.free = append(n.free, h)
-		n.delivered++
-		n.totalHops += int64(hops)
+		n.free[sh] = append(n.free[sh], h)
+		n.delivered[sh]++
+		n.totalHops[sh] += int64(hops)
 		sink.DeliverPacket(a, f)
 		return
 	}
@@ -294,15 +384,27 @@ func (n *Net) TierBusy(busy []int64) []int64 {
 	return busy
 }
 
-// Delivered returns the number of packets handed to their final sink.
-func (n *Net) Delivered() int64 { return n.delivered }
+// Delivered returns the number of packets handed to their final sink,
+// summed across shard counters.
+func (n *Net) Delivered() int64 {
+	var d int64
+	for _, v := range n.delivered {
+		d += v
+	}
+	return d
+}
 
 // MeanHops returns the average link count over delivered packets.
 func (n *Net) MeanHops() float64 {
-	if n.delivered == 0 {
+	d := n.Delivered()
+	if d == 0 {
 		return 0
 	}
-	return float64(n.totalHops) / float64(n.delivered)
+	var h int64
+	for _, v := range n.totalHops {
+		h += v
+	}
+	return float64(h) / float64(d)
 }
 
 // TierUtil is one tier's aggregate link load.

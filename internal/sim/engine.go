@@ -225,6 +225,33 @@ func (e *Engine) Emit(kind trace.Kind, comp string, arg int64) {
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
+// NextAt returns the timestamp of the earliest pending event, or false if
+// none are pending. Lane entries fire at the current instant; heap entries
+// at their scheduled time. The parallel windowing driver (sim/par) uses it
+// to pick the next safe execution window across shard engines.
+func (e *Engine) NextAt() (Time, bool) {
+	if e.lane.len() > 0 {
+		return e.now, true
+	}
+	if len(e.heap) > 0 {
+		return e.heap[0].at, true
+	}
+	return 0, false
+}
+
+// Scheduled returns the cumulative count of scheduled events — the
+// engine's sequence counter. sim/par reports it per shard so load
+// imbalance across a partition is visible.
+func (e *Engine) Scheduled() uint64 { return e.seq }
+
+// RunEvents executes events with timestamps <= t like RunUntil, but
+// leaves the clock at the last fired event instead of advancing it to t.
+// The parallel windowing driver uses it so a shard's clock never runs
+// ahead of its own last event: cross-shard deliveries inserted between
+// windows then always land at or after the receiving engine's present,
+// and the final clock alignment can recover the global last-event time.
+func (e *Engine) RunEvents(t Time) error { return e.run(t) }
+
 // Live returns the number of spawned processes that have not terminated.
 func (e *Engine) Live() int { return e.live }
 

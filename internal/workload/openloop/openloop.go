@@ -22,6 +22,7 @@ import (
 	"mproxy/internal/machine"
 	"mproxy/internal/machine/topo"
 	"mproxy/internal/sim"
+	"mproxy/internal/sim/par"
 	"mproxy/internal/trace/flight"
 	"mproxy/internal/trace/metrics"
 )
@@ -61,6 +62,15 @@ type Config struct {
 	// microseconds per point, ordered lightest load (largest) first.
 	LoadUs []float64
 	Seed   uint64
+
+	// SimShards > 1 runs every load point on a sharded cluster: nodes
+	// partition into contiguous equal blocks, each block simulated by its
+	// own engine on its own OS thread, synchronized in lookahead windows
+	// of the wire latency (see internal/sim/par). Results are
+	// bit-deterministic across repeat runs. Requires Nodes divisible by
+	// SimShards, a positive Arch.NetLatency, no Flight recorder, and no
+	// process-global tracer. 0 or 1 = sequential.
+	SimShards int
 }
 
 // opMix is the fixed GET/PUT/SCAN request mix (YCSB-style read-heavy).
@@ -90,6 +100,11 @@ type Point struct {
 	ProxyUtilMean float64   `json:"proxy_util_mean,omitempty"`
 	ProxyUtilMax  float64   `json:"proxy_util_max,omitempty"`
 	ElapsedUs     float64   `json:"elapsed_us"`
+	// Par carries the parallel driver's per-shard execution statistics
+	// (events, wall-clock busy and barrier-blocked time per shard) when
+	// the point ran under Config.SimShards > 1; nil on sequential runs,
+	// so sequential JSON output is unchanged.
+	Par *par.Stats `json:"par,omitempty"`
 	// Flight is the flight recorder's harvest, present when
 	// Config.Flight was set.
 	Flight *flight.PointData `json:"-"`
@@ -120,6 +135,20 @@ func Run(cfg Config) (Result, error) {
 	case "", "poisson", "onoff":
 	default:
 		return Result{}, fmt.Errorf("openloop: unknown arrival process %q (want poisson or onoff)", cfg.Arrival)
+	}
+	if cfg.SimShards > 1 {
+		if cfg.Nodes%cfg.SimShards != 0 || cfg.SimShards > cfg.Nodes {
+			return Result{}, fmt.Errorf("openloop: %d nodes cannot split into %d equal shards", cfg.Nodes, cfg.SimShards)
+		}
+		if cfg.Arch.NetLatency <= 0 {
+			return Result{}, fmt.Errorf("openloop: parallel execution needs a positive wire latency for lookahead, got %v", cfg.Arch.NetLatency)
+		}
+		if cfg.Flight != nil {
+			return Result{}, fmt.Errorf("openloop: the flight recorder is sequential-only; unset Flight or SimShards")
+		}
+		if sim.GlobalTracerInstalled() {
+			return Result{}, fmt.Errorf("openloop: a process-global tracer is installed; parallel shards cannot share it")
+		}
 	}
 	zp := zipfFor(cfg.Keys, cfg.Theta)
 	var res Result
@@ -260,14 +289,34 @@ func (c *client) track(op kv.Op, key uint64, at int64) uint64 {
 }
 
 func runPoint(cfg *Config, zp *zipfParams, idx int, loadUs float64) (Point, error) {
-	eng := sim.NewEngine()
+	shards := cfg.SimShards
+	if shards < 1 {
+		shards = 1
+	}
+	engs := make([]*sim.Engine, shards)
+	for i := range engs {
+		engs[i] = sim.NewEngine()
+	}
+	eng := engs[0]
 	ppn := 1 + cfg.Clients
-	cl := machine.New(eng, machine.Config{
+	mcfg := machine.Config{
 		Nodes:          cfg.Nodes,
 		ProcsPerNode:   ppn,
 		ProxiesPerNode: cfg.Proxies,
 		ProxySched:     cfg.ProxySched,
-	}, cfg.Arch)
+	}
+	var cl *machine.Cluster
+	var ps *par.Sim
+	if shards > 1 {
+		mcfg.SimShards = shards
+		cl = machine.NewSharded(engs, mcfg, cfg.Arch)
+		var err error
+		if ps, err = par.New(engs, cfg.Arch.NetLatency); err != nil {
+			return Point{}, fmt.Errorf("openloop: %w", err)
+		}
+	} else {
+		cl = machine.New(eng, mcfg, cfg.Arch)
+	}
 	var net *topo.Net
 	if cfg.Topo != "" {
 		g, err := topo.ByName(cfg.Topo, cfg.Nodes)
@@ -278,6 +327,12 @@ func runPoint(cfg *Config, zp *zipfParams, idx int, loadUs float64) (Point, erro
 		cl.SetInterconnect(net)
 	}
 	f := comm.NewWith(cl, comm.Options{CommandQueueCap: cfg.CommandQueueCap})
+	if ps != nil {
+		if net != nil {
+			net.Parallelize(ps)
+		}
+		f.Parallelize(ps)
+	}
 	l := am.New(f)
 	servers := make([]int, cfg.Nodes)
 	for n := range servers {
@@ -345,31 +400,48 @@ func runPoint(cfg *Config, zp *zipfParams, idx int, loadUs float64) (Point, erro
 	active := cfg.Nodes * cfg.Clients
 	got := make([]int64, active)
 	quota := make([]int64, active)
-	var hist metrics.Hist
-	var ops [3]int64
-	var measured, minIssued, lastReply int64
-	minIssued = -1
+	// Reply accounting is per shard: a reply runs in its client's node
+	// event context, so each accumulator is touched by exactly one worker
+	// and the merge below is deterministic (sums, minima and maxima
+	// commute; Hist.Merge is order-independent).
+	type replyAcc struct {
+		hist      metrics.Hist
+		ops       [3]int64
+		measured  int64
+		minIssued int64
+		lastReply int64
+	}
+	accs := make([]replyAcc, shards)
+	for i := range accs {
+		accs[i].minIssued = -1
+	}
+	shardOf := cl.NodeShard
+	if shardOf == nil {
+		shardOf = make([]int32, cfg.Nodes)
+	}
 	svc.OnReply = func(rank int, op kv.Op, flags, issued int64) {
-		ci := (rank/ppn)*cfg.Clients + rank%ppn - 1
+		node := rank / ppn
+		ci := node*cfg.Clients + rank%ppn - 1
 		got[ci]++
 		if flags&1 == 0 {
 			return
 		}
-		now := int64(eng.Now())
-		hist.Add(now - issued)
-		ops[op]++
-		measured++
-		if minIssued < 0 || issued < minIssued {
-			minIssued = issued
+		a := &accs[shardOf[node]]
+		now := int64(cl.EngOf(node).Now())
+		a.hist.Add(now - issued)
+		a.ops[op]++
+		a.measured++
+		if a.minIssued < 0 || issued < a.minIssued {
+			a.minIssued = issued
 		}
-		if now > lastReply {
-			lastReply = now
+		if now > a.lastReply {
+			a.lastReply = now
 		}
 	}
 
 	for _, rank := range servers {
 		port := l.Port(rank)
-		eng.SpawnTaskDaemon(fmt.Sprintf("kv.server.%d", rank), func(t *sim.Task) {
+		cl.EngOf(rank/ppn).SpawnTaskDaemon(fmt.Sprintf("kv.server.%d", rank), func(t *sim.Task) {
 			port.ServeWhileTask(t, func() bool { return false })
 		})
 	}
@@ -387,7 +459,7 @@ func runPoint(cfg *Config, zp *zipfParams, idx int, loadUs float64) (Point, erro
 			quota[ci] = int64(q)
 			issuedTotal += int64(q)
 			c := &client{
-				eng:   eng,
+				eng:   cl.EngOf(n),
 				svc:   svc,
 				port:  l.Port(rank),
 				arr:   newArrivals(cfg.Seed, uint64(rank), uint64(idx), loadUs, onoff),
@@ -401,31 +473,56 @@ func runPoint(cfg *Config, zp *zipfParams, idx int, loadUs float64) (Point, erro
 				ppn:   ppn,
 			}
 			c.perHop, c.perHopR = &perHop, &perHopR
-			eng.SpawnTask(fmt.Sprintf("kv.client.%d", rank), c.issue)
+			ne := cl.EngOf(n)
+			ne.SpawnTask(fmt.Sprintf("kv.client.%d", rank), c.issue)
 			port, qci := c.port, ci
-			eng.SpawnTask(fmt.Sprintf("kv.recv.%d", rank), func(t *sim.Task) {
+			ne.SpawnTask(fmt.Sprintf("kv.recv.%d", rank), func(t *sim.Task) {
 				port.ServeWhileTask(t, func() bool { return got[qci] >= quota[qci] })
 			})
 		}
 	}
 
-	if err := eng.Run(); err != nil {
+	var pst *par.Stats
+	if ps != nil {
+		st, err := ps.Run()
+		if err != nil {
+			return Point{}, fmt.Errorf("openloop: load point %v us: %w", loadUs, err)
+		}
+		pst = st
+	} else if err := eng.Run(); err != nil {
 		return Point{}, fmt.Errorf("openloop: load point %v us: %w", loadUs, err)
+	}
+
+	agg := &accs[0]
+	for i := 1; i < len(accs); i++ {
+		a := &accs[i]
+		agg.hist.Merge(&a.hist)
+		for op := range agg.ops {
+			agg.ops[op] += a.ops[op]
+		}
+		agg.measured += a.measured
+		if a.minIssued >= 0 && (agg.minIssued < 0 || a.minIssued < agg.minIssued) {
+			agg.minIssued = a.minIssued
+		}
+		if a.lastReply > agg.lastReply {
+			agg.lastReply = a.lastReply
+		}
 	}
 
 	pt := Point{
 		LoadUs:     loadUs,
 		OfferedRPS: float64(active) * 1e6 / loadUs,
-		Latency:    hist.Snapshot(),
-		Gets:       ops[kv.OpGet],
-		Puts:       ops[kv.OpPut],
-		Scans:      ops[kv.OpScan],
+		Latency:    agg.hist.Snapshot(),
+		Gets:       agg.ops[kv.OpGet],
+		Puts:       agg.ops[kv.OpPut],
+		Scans:      agg.ops[kv.OpScan],
 		Replicated: svc.Replicated(),
 		Issued:     issuedTotal,
 		ElapsedUs:  eng.Now().Micros(),
+		Par:        pst,
 	}
-	if window := lastReply - minIssued; window > 0 && minIssued >= 0 {
-		pt.AchievedRPS = float64(measured) * 1e9 / float64(window)
+	if window := agg.lastReply - agg.minIssued; window > 0 && agg.minIssued >= 0 {
+		pt.AchievedRPS = float64(agg.measured) * 1e9 / float64(window)
 	}
 	if net != nil {
 		pt.MeanHops = net.MeanHops()

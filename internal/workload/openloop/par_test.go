@@ -1,0 +1,129 @@
+package openloop
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// pointsJSON serializes a sweep's points with the Par stats stripped:
+// wall-clock shard timings legitimately differ between runs, everything
+// else must not.
+func pointsJSON(t *testing.T, res Result) string {
+	t.Helper()
+	for i := range res.Points {
+		res.Points[i].Par = nil
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestParallelMatchesSequential holds the sharded driver to the
+// sequential result: same simulated clocks, same latency histogram, same
+// op counts, at every shard count that divides the cluster.
+func TestParallelMatchesSequential(t *testing.T) {
+	cfg := smokeConfig(t)
+	cfg.Nodes = 8
+	cfg.Requests, cfg.Warmup = 600, 100
+	cfg.LoadUs = []float64{20}
+	seq, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pointsJSON(t, seq)
+	for _, shards := range []int{1, 2, 4, 8} {
+		pcfg := cfg
+		pcfg.SimShards = shards
+		got, err := Run(pcfg)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if shards > 1 {
+			st := got.Points[0].Par
+			if st == nil {
+				t.Fatalf("shards=%d: no parallel stats on the point", shards)
+			}
+			if st.Shards != shards || st.Windows <= 0 {
+				t.Errorf("shards=%d: stats %+v", shards, st)
+			}
+			var events int64
+			for _, e := range st.Events {
+				events += e
+			}
+			if events == 0 {
+				t.Errorf("shards=%d: no events executed", shards)
+			}
+		}
+		if g := pointsJSON(t, got); g != want {
+			t.Errorf("shards=%d diverges from sequential:\nseq: %s\npar: %s", shards, want, g)
+		}
+	}
+}
+
+// TestParallelRepeatRunsIdentical pins bit-determinism of the parallel
+// driver itself: two runs with OS-thread scheduling free to differ must
+// produce identical results. Run under -race this also exercises the
+// cross-shard happens-before edges.
+func TestParallelRepeatRunsIdentical(t *testing.T) {
+	cfg := smokeConfig(t)
+	cfg.Nodes = 8
+	cfg.SimShards = 4
+	cfg.Requests, cfg.Warmup = 600, 100
+	cfg.LoadUs = []float64{40, 10}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ja, jb := pointsJSON(t, a), pointsJSON(t, b); ja != jb {
+		t.Errorf("parallel reruns differ:\n%s\n%s", ja, jb)
+	}
+}
+
+// TestParallelFlatModel covers the single-switch interconnect, whose
+// cross-shard crossings route at the node output links rather than in
+// the switched fabric.
+func TestParallelFlatModel(t *testing.T) {
+	cfg := smokeConfig(t)
+	cfg.Topo = ""
+	cfg.Nodes = 4
+	cfg.Requests, cfg.Warmup = 400, 80
+	cfg.LoadUs = []float64{20}
+	seq, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SimShards = 2
+	parr, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, g := pointsJSON(t, seq), pointsJSON(t, parr); w != g {
+		t.Errorf("flat-model parallel diverges:\nseq: %s\npar: %s", w, g)
+	}
+}
+
+// TestParallelRejectsBadConfigs exercises the eligibility guards.
+func TestParallelRejectsBadConfigs(t *testing.T) {
+	cfg := smokeConfig(t)
+	cfg.SimShards = 3 // 4 nodes: not divisible
+	if _, err := Run(cfg); err == nil {
+		t.Error("3 shards over 4 nodes accepted")
+	}
+	cfg = smokeConfig(t)
+	cfg.SimShards = 8 // more shards than nodes
+	if _, err := Run(cfg); err == nil {
+		t.Error("8 shards over 4 nodes accepted")
+	}
+	cfg = smokeConfig(t)
+	cfg.SimShards = 2
+	cfg.Arch.NetLatency = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero wire latency accepted: no lookahead exists")
+	}
+}
